@@ -1,0 +1,63 @@
+/// Fig. 11 (a,b): shared-memory strong scaling on up to 128 cores for a
+/// fixed problem size. On this single-core host the curves are produced by
+/// the scheduling simulator: the REAL factorizations run serially with
+/// per-task timing, and the measured task durations are replayed through
+/// each method's true dependency structure — dependency-free level-parallel
+/// phases for the ULV, the trailing-dependency tiled-Cholesky DAG (plus
+/// PaRSEC-like per-task runtime overhead) for the BLR baseline.
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace h2;
+  using namespace h2::bench;
+
+  const int n = static_cast<int>(4096 * scale());
+  Rng rng(1);
+  const PointCloud pts = uniform_cube(n, rng);
+  const LaplaceKernel kernel(1e-4);
+  SolverConfig cfg;
+  cfg.leaf = 64;  // small leaf: the ULV's optimum (Fig. 12), many block rows
+  cfg.tol = 1e-6;
+  cfg.max_rank = 64;
+
+  const UlvRun ulv = run_ulv(pts, kernel, cfg, /*record_tasks=*/true);
+  SolverConfig bcfg = cfg;
+  bcfg.leaf = blr_tile_for(n);  // large tile: the BLR's optimum (Fig. 12)
+  const BlrRun blr = run_blr(pts, kernel, bcfg);
+
+  UlvDistModel ulv_model{&ulv.stats, &ulv.structure};
+
+  ScheduleInput blr_in;
+  blr_in.durations.resize(blr.exec.records.size());
+  for (const auto& r : blr.exec.records) blr_in.durations[r.id] = r.duration();
+  blr_in.successors = blr.successors;
+  // PaRSEC-like runtime overhead per task (the red tasks of Fig. 13).
+  blr_in.per_task_overhead = kRuntimeOverhead;
+  const CommModel none;
+
+  Table t({"cores", "ULV time (s)", "ULV speedup", "BLR time (s)",
+           "BLR speedup"});
+  const double ulv_t1 = ulv_model.shared_memory_time(1);
+  const double blr_t1 = list_schedule(blr_in, 1, none).makespan;
+  for (const int p : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const double tu = ulv_model.shared_memory_time(p);
+    const double tb = list_schedule(blr_in, p, none).makespan;
+    t.add_row({std::to_string(p), Table::fmt(tu, 4), Table::fmt(ulv_t1 / tu, 1),
+               Table::fmt(tb, 4), Table::fmt(blr_t1 / tb, 1)});
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Fig. 11: strong scaling, N=%d (measured task durations "
+                "replayed on P simulated cores)", n);
+  emit(t, title, "fig11_strong_scaling");
+  std::printf(
+      "paper shape check: the dependency-free ULV keeps scaling to high core\n"
+      "counts while the BLR DAG saturates on its critical path + runtime\n"
+      "overhead (ULV speedup at 128 cores: %.0fx, BLR: %.0fx).\n",
+      ulv_t1 / ulv_model.shared_memory_time(128),
+      blr_t1 / list_schedule(blr_in, 128, none).makespan);
+  return 0;
+}

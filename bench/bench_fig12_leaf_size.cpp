@@ -1,0 +1,66 @@
+/// Fig. 12: impact of the leaf (tile) size at fixed N on 32 cores.
+/// Paper's shape: the ULV is best at a SMALL leaf (more tree levels, more
+/// parallel block rows), while BLR wants LARGE tiles (fewer, fatter tasks
+/// to amortize runtime overhead) — the two curves move in opposite
+/// directions.
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace h2;
+  using namespace h2::bench;
+
+  const int n = static_cast<int>(2048 * scale());
+  const int cores = 32;
+  Rng rng(1);
+  const PointCloud pts = uniform_cube(n, rng);
+  const LaplaceKernel kernel(1e-4);
+
+  Table t({"leaf size", "ULV time (s)", "BLR time (s)", "ULV max rank",
+           "BLR max rank"});
+  std::vector<int> leaves{32, 64, 128, 256, 512};
+  double best_ulv = 1e30, best_blr = 1e30;
+  int best_ulv_leaf = 0, best_blr_leaf = 0;
+  for (const int leaf : leaves) {
+    if (leaf * 2 > n) continue;
+    SolverConfig cfg;
+    cfg.leaf = leaf;
+    cfg.tol = 1e-6;
+    cfg.max_rank = std::min(leaf, 80);
+    const UlvRun ulv = run_ulv(pts, kernel, cfg, /*record_tasks=*/true);
+    const BlrRun blr = run_blr(pts, kernel, cfg);
+
+    UlvDistModel model{&ulv.stats, &ulv.structure};
+    const double tu = model.shared_memory_time(cores);
+
+    ScheduleInput in;
+    in.durations.resize(blr.exec.records.size());
+    for (const auto& r : blr.exec.records) in.durations[r.id] = r.duration();
+    in.successors = blr.successors;
+    in.per_task_overhead = kRuntimeOverhead;
+    const double tb = list_schedule(in, cores, CommModel{}).makespan;
+
+    if (tu < best_ulv) {
+      best_ulv = tu;
+      best_ulv_leaf = leaf;
+    }
+    if (tb < best_blr) {
+      best_blr = tb;
+      best_blr_leaf = leaf;
+    }
+    t.add_row({std::to_string(leaf), Table::fmt(tu, 4), Table::fmt(tb, 4),
+               std::to_string(ulv.max_rank), std::to_string(blr.max_rank)});
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Fig. 12: time vs leaf size (N=%d, %d simulated cores)", n,
+                cores);
+  emit(t, title, "fig12_leaf_size");
+  std::printf("paper shape check: ULV optimum at a small leaf (%d), BLR "
+              "optimum at a larger leaf (%d): %s\n",
+              best_ulv_leaf, best_blr_leaf,
+              best_ulv_leaf <= best_blr_leaf ? "yes" : "no");
+  return 0;
+}

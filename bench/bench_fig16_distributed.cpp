@@ -1,0 +1,84 @@
+/// Fig. 16: distributed-memory strong scaling on the hemoglobin
+/// boundary-element problem (Yukawa potential on molecular surfaces) for two
+/// problem sizes, up to thousands of cores. Substitution (DESIGN.md): the
+/// geometry is our pseudo-hemoglobin crowd, and the cluster is simulated —
+/// real measured task durations replayed through the paper's process-tree
+/// partitioning (redundant upper levels + split-communicator Allgathers)
+/// for the ULV, and through a block-cyclic task DAG with alpha-beta
+/// communication and runtime overhead for the BLR baseline.
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace h2;
+  using namespace h2::bench;
+
+  const std::vector<int> sizes{static_cast<int>(2048 * scale()),
+                               static_cast<int>(4096 * scale())};
+  const std::vector<int> ranks{8, 16, 32, 64, 128, 256, 512, 1024};
+  const CommModel comm;  // 2 us latency, 10 GB/s
+
+  Table t({"cores", "ULV N=" + std::to_string(sizes[0]),
+           "ULV N=" + std::to_string(sizes[1]),
+           "BLR N=" + std::to_string(sizes[0]),
+           "BLR N=" + std::to_string(sizes[1])});
+
+  std::vector<std::vector<double>> ulv_times(sizes.size()),
+      blr_times(sizes.size());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const int n = sizes[si];
+    Rng rng(1);
+    const PointCloud pts = crowded_molecules(n, rng, 8);
+    const double diam = cloud_diameter(pts);
+    const YukawaKernel kernel(2.0 / diam, 1e-4 * diam);
+    SolverConfig cfg;
+    cfg.leaf = 64;
+    cfg.tol = 1e-6;
+    cfg.max_rank = 64;
+
+    const UlvRun ulv = run_ulv(pts, kernel, cfg, /*record_tasks=*/true);
+    UlvDistModel model{&ulv.stats, &ulv.structure};
+
+    SolverConfig bcfg = cfg;
+    bcfg.leaf = blr_tile_for(n);
+    const BlrRun blr = run_blr(pts, kernel, bcfg);
+    ScheduleInput in;
+    const int nt = static_cast<int>(blr.exec.records.size());
+    in.durations.resize(nt);
+    for (const auto& r : blr.exec.records) in.durations[r.id] = r.duration();
+    in.successors = blr.successors;
+    in.per_task_overhead = kRuntimeOverhead;
+    // 2-D block-cyclic tile ownership; each task's output is one tile.
+    in.owner.resize(nt);
+    for (int t = 0; t < nt; ++t)
+      in.owner[t] = blr.owner_rows[t] + blr.n_tiles * blr.owner_cols[t];
+    const double tile_bytes = 8.0 * bcfg.leaf * bcfg.leaf;
+    in.out_bytes.assign(in.durations.size(), tile_bytes);
+
+    for (const int p : ranks) {
+      ulv_times[si].push_back(model.time(p, comm));
+      blr_times[si].push_back(list_schedule(in, p, comm).makespan);
+    }
+  }
+  for (std::size_t pi = 0; pi < ranks.size(); ++pi) {
+    t.add_row({std::to_string(ranks[pi]), Table::fmt(ulv_times[0][pi], 4),
+               Table::fmt(ulv_times[1][pi], 4), Table::fmt(blr_times[0][pi], 4),
+               Table::fmt(blr_times[1][pi], 4)});
+  }
+  emit(t, "Fig. 16: distributed strong scaling, Yukawa pseudo-hemoglobin "
+          "(simulated ranks, measured task durations)",
+       "fig16_distributed");
+
+  const double gap_small = blr_times[0].back() / ulv_times[0].back();
+  const double gap_large = blr_times[1].back() / ulv_times[1].back();
+  std::printf(
+      "paper shape check: at the most cores the ULV leads BLR by %.2fx at\n"
+      "N=%d and %.2fx at N=%d — the gap widens with N (%s), which is the\n"
+      "paper's mechanism for its 4700x at N=954k on 10240 cores (O(N) vs\n"
+      "O(N^2) + runtime overhead).\n",
+      gap_small, sizes[0], gap_large, sizes[1],
+      gap_large > gap_small ? "yes" : "no");
+  return 0;
+}

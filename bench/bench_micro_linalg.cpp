@@ -1,0 +1,84 @@
+/// google-benchmark micro-benchmarks of the dense linear-algebra substrate —
+/// the kernels every solver in this repository is built from. Useful for
+/// calibrating the absolute times in the figure benches against the paper's
+/// MKL-based numbers.
+#include <benchmark/benchmark.h>
+
+#include "linalg/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace h2;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Getrf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Matrix a0 = Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    Matrix a = a0;
+    std::vector<int> piv;
+    getrf(a, piv);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Getrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Matrix spd = Matrix::random(n, n, rng);
+  Matrix a0 = matmul(spd, spd, Trans::No, Trans::Yes);
+  add_identity(a0, n);
+  for (auto _ : state) {
+    Matrix a = a0;
+    potrf(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PivotedQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Matrix a = Matrix::random(n, 4 * n, rng);
+  for (auto _ : state) {
+    const PivotedQr qr = pivoted_qr(a, 1e-8);
+    benchmark::DoNotOptimize(qr.rank);
+  }
+}
+BENCHMARK(BM_PivotedQr)->Arg(64)->Arg(128);
+
+void BM_Trsm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Matrix l = Matrix::random(n, n, rng);
+  add_identity(l, 2.0 * n);
+  const Matrix b0 = Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    Matrix b = b0;
+    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/// Gaussian-process log-likelihood for a large spatial dataset — the
+/// "determinant of covariance matrices in statistics" application the paper's
+/// introduction motivates. The ULV factorization provides both the solve
+/// (for the quadratic form) and log|det| in O(N).
+#include <cmath>
+#include <cstdio>
+
+#include "core/ulv_factorization.hpp"
+#include "geometry/cloud.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "hmatrix/h2_matrix.hpp"
+#include "kernels/assembly.hpp"
+#include "kernels/kernel.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace h2;
+  const int n = static_cast<int>(env::get_int("H2_N", 8192));
+  const int leaf = static_cast<int>(env::get_int("H2_LEAF", 128));
+  const double tol = env::get_double("H2_TOL", 1e-8);
+
+  // Spatial sites in a unit cube; Matern-3/2 covariance with a nugget.
+  Rng rng(11);
+  const PointCloud sites = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(sites, leaf, rng);
+  const Matern32Kernel cov(0.25, 1e-2);
+
+  H2BuildOptions hopt;
+  hopt.admissibility = {Admissibility::Strong, 0.75};
+  hopt.tol = 1e-2 * tol;
+  const H2Matrix k(tree, cov, hopt);
+
+  UlvOptions uopt;
+  uopt.tol = tol;
+  Timer t_factor;
+  const UlvFactorization chol(k, uopt);
+  const double factor_s = t_factor.seconds();
+
+  // Synthetic observations y; evaluate the GP log-likelihood
+  //   -1/2 (y^T K^-1 y + log det K + n log 2 pi).
+  Matrix y = Matrix::random_normal(n, 1, rng);
+  Matrix alpha = y;
+  chol.solve(alpha);
+  double quad = 0.0;
+  for (int i = 0; i < n; ++i) quad += y(i, 0) * alpha(i, 0);
+  const double logdet = chol.logabsdet();
+  constexpr double kLog2Pi = 1.8378770664093454836;
+  const double loglik = -0.5 * (quad + logdet + n * kLog2Pi);
+
+  std::printf("sites              : %d\n", n);
+  std::printf("factorization time : %.3f s (flops %.3e)\n", factor_s,
+              static_cast<double>(chol.stats().factor_flops));
+  std::printf("log det K          : %.6f\n", logdet);
+  std::printf("y^T K^-1 y         : %.6f\n", quad);
+  std::printf("GP log-likelihood  : %.6f\n", loglik);
+
+  // Small-N cross-check against a dense Cholesky when feasible.
+  if (n <= 2048) {
+    Matrix kd = kernel_dense(cov, tree.points());
+    std::vector<int> piv;
+    getrf(kd, piv);
+    std::printf("dense logdet check : %.6f (|diff| %.2e)\n",
+                lu_logabsdet(kd, piv),
+                std::fabs(lu_logabsdet(kd, piv) - logdet));
+  }
+  return 0;
+}

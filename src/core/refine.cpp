@@ -1,0 +1,37 @@
+#include "core/refine.hpp"
+
+#include "linalg/norms.hpp"
+
+namespace h2 {
+
+double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
+                  ConstMatrixView b, MatrixView x, int max_iters,
+                  double target) {
+  const int n = b.rows(), nrhs = b.cols();
+  const double bnorm = norm_fro(b);
+  if (bnorm == 0.0) return 0.0;
+
+  Matrix r(n, nrhs);
+  double rel = 0.0;
+  for (int it = 0; it <= max_iters; ++it) {
+    // r = b - A x.
+    a.matvec(x, r);
+    for (int j = 0; j < nrhs; ++j) {
+      double* rj = r.data() + static_cast<std::size_t>(j) * n;
+      const double* bj = b.col(j);
+      for (int i = 0; i < n; ++i) rj[i] = bj[i] - rj[i];
+    }
+    rel = norm_fro(r) / bnorm;
+    if (it == max_iters || rel <= target) break;
+    // x += F^-1 r.
+    f.solve(r);
+    for (int j = 0; j < nrhs; ++j) {
+      double* xj = x.col(j);
+      const double* rj = r.data() + static_cast<std::size_t>(j) * n;
+      for (int i = 0; i < n; ++i) xj[i] += rj[i];
+    }
+  }
+  return rel;
+}
+
+}  // namespace h2

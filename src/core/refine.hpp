@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/ulv_factorization.hpp"
+#include "hmatrix/h2_matrix.hpp"
+
+namespace h2 {
+
+/// Iterative refinement: x <- x + F^-1 (b - A x), using the H^2 matvec for
+/// the residual. A handful of steps recovers most of the digits the
+/// approximate factorization truncated away, at O(N) per step — the standard
+/// companion to approximate direct solvers like this one.
+///
+/// `b` and `x` are n x nrhs in tree ordering; returns the final residual
+/// Frobenius norm relative to ||b||.
+double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
+                  ConstMatrixView b, MatrixView x, int max_iters = 3,
+                  double target = 0.0);
+
+}  // namespace h2

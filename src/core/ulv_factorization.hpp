@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/ulv_options.hpp"
+#include "hmatrix/h2_matrix.hpp"
+#include "linalg/linalg.hpp"
+
+namespace h2 {
+
+/// ULV factorization of an H^2 / HSS / BLR^2 matrix (the paper's core
+/// algorithm, Secs. II-III).
+///
+/// Per level, leaf to root:
+///  1. pre-compute the fill-in column spaces per block row (Fig. 7);
+///  2. build the square shared basis [U^S U^R] per cluster from the
+///     concatenated fill-in and low-rank blocks (Eqs. 27-28);
+///  3. project every block onto the bases (USV form, Eqs. 8-9);
+///  4. eliminate the redundant variables — in Parallel mode every block row
+///     independently (the paper's contribution), in Sequential mode
+///     right-looking with trailing-sub-matrix updates (the Sec. II.D
+///     baseline);
+///  5. merge the skeleton sub-blocks into the parent level (Eq. 22).
+/// The final merged block is LU-factorized densely.
+///
+/// The matrix must be symmetric (all built-in kernels are), which makes the
+/// shared row and column bases coincide; the factorization itself is a
+/// general LU (Eqs. 11-15), not a Cholesky, so SPD-ness is not required.
+///
+/// The ClusterTree referenced by the input H2Matrix must outlive this object;
+/// the H2Matrix itself is only needed during construction.
+class UlvFactorization {
+ public:
+  UlvFactorization(const H2Matrix& a, const UlvOptions& opt);
+
+  /// In-place solve A x = b; b is n x nrhs in TREE ordering.
+  void solve(MatrixView b) const;
+
+  /// log|det A| from the triangular factors (orthogonal transforms drop out).
+  [[nodiscard]] double logabsdet() const;
+
+  [[nodiscard]] const UlvStats& stats() const { return stats_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+  /// Skeleton rank of a cluster (tests/ablations).
+  [[nodiscard]] int rank(int level, int lid) const {
+    return levels_[level].rank[lid];
+  }
+
+ private:
+  using Key = std::pair<int, int>;
+
+  struct Level {
+    int nb = 0;
+    std::vector<int> size;  ///< current-coordinate size per cluster
+    std::vector<int> rank;  ///< skeleton rank per cluster
+    /// Square orthonormal basis per cluster, columns [skeleton | redundant].
+    std::vector<Matrix> q;
+    /// Projected (and, after elimination, strip-solved) dense blocks.
+    std::map<Key, Matrix> dense;
+    /// getrf pivots of each diagonal RR block.
+    std::vector<std::vector<int>> rr_piv;
+  };
+
+  void factorize(const H2Matrix& a);
+  /// Run phases 1-4 for `level`, leaving projected+solved blocks in
+  /// levels_[level] and merged parent blocks in `parent_dense`.
+  void process_level(const H2Matrix& a, int level,
+                     std::map<Key, Matrix>& cur_dense,
+                     std::map<Key, Matrix>& parent_dense);
+  /// Express rows of cluster (level, lid), given in full point coordinates,
+  /// in the current (child-skeleton) coordinates of `level`.
+  Matrix current_rows(int level, int lid, ConstMatrixView x_full) const;
+  void eliminate_block(int level, int k);
+  void eliminate_parallel(int level);
+  void eliminate_sequential(int level);
+  std::vector<int> schur_k_list(int level, int i, int j) const;
+
+  void record_task(int level, const char* kind, int owner, double seconds);
+  void add_dropped(double fro2);
+  /// Serial or pool-parallel loop over [0, n), by options.
+  void for_indices(int n, const std::function<void(int)>& fn) const;
+
+  struct SolveScratch;
+  void forward_level(int level, SolveScratch& s) const;
+  void backward_level(int level, SolveScratch& s) const;
+
+  const ClusterTree* tree_ = nullptr;
+  BlockStructure structure_;  // copied: the H2Matrix may be discarded
+  UlvOptions opt_;
+  int depth_ = 0;
+
+  std::vector<Level> levels_;  ///< index = level; [0] unused (top is dense)
+  /// Admissible skeleton blocks per level (filled during projection, updated
+  /// by Schur products, consumed by the merge).
+  std::vector<std::map<Key, Matrix>> skel_;
+  /// R factor of the QR of each admissible block's V factor (per level):
+  /// the magnitude-preserving right factor for basis concatenations.
+  std::vector<std::map<Key, Matrix>> ry_;
+  Matrix top_lu_;
+  std::vector<int> top_piv_;
+
+  UlvStats stats_;
+  mutable std::mutex stats_mutex_;
+};
+
+}  // namespace h2

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace h2 {
+
+class ThreadPool;
+
+/// Which variant of the ULV factorization to run.
+enum class UlvMode {
+  /// The paper's contribution (Sec. III): fill-ins are pre-computed per block
+  /// row/column and folded into the shared bases, so the per-level
+  /// elimination has NO trailing sub-matrix dependencies and every block row
+  /// factorizes independently.
+  Parallel,
+  /// The conventional H2-ULV flow (Sec. II.D): block rows are eliminated in
+  /// order; Schur updates are applied to the trailing sub-matrix (all four
+  /// S-parts of dense targets) and fill-ins into admissible targets are
+  /// recompressed on the fly by projection onto the shared bases. Inherently
+  /// serial; kept as the ablation baseline.
+  Sequential,
+};
+
+struct UlvOptions {
+  /// Relative truncation tolerance of the shared-basis QR (and the skeleton
+  /// rank it implies).
+  double tol = 1e-8;
+  /// Optional hard cap on skeleton ranks (-1: none).
+  int max_rank = -1;
+  /// The fill-in column spaces entering the shared bases are truncated at
+  /// fill_tol_factor * tol (relative). Smaller keeps more fill directions
+  /// (more accurate elimination, larger skeleton ranks).
+  double fill_tol_factor = 0.01;
+  /// The paper's key idea: include the pre-computed fill-in directions in the
+  /// shared bases (Eqs. 27-28). Turning this off with strong admissibility
+  /// reproduces the failure mode the paper fixes (see bench_ablation_fillin).
+  bool fillin_augmentation = true;
+  UlvMode mode = UlvMode::Parallel;
+  /// Execute block-level phases through a thread pool (Parallel mode only).
+  bool use_threads = false;
+  ThreadPool* pool = nullptr;  ///< nullptr: the global pool
+  /// Accumulate the Frobenius mass of all dropped (non-SS) Schur update
+  /// components — the quantity the paper argues is negligible once the bases
+  /// contain the fill-ins. Costs extra GEMMs; enable in tests/ablations.
+  bool measure_dropped = false;
+  /// Record a per-task timing log (level, kind, owner cluster, seconds) used
+  /// by the distributed-memory scheduling simulator.
+  bool record_tasks = false;
+};
+
+/// One timed unit of factorization work (granularity = one block task).
+struct UlvTaskRecord {
+  int level;         ///< tree level the task belongs to (0 = top)
+  const char* kind;  ///< "fill", "basis", "project", "eliminate", ...
+  int owner;         ///< block row / cluster id owning the task
+  double seconds;
+};
+
+struct UlvStats {
+  /// ranks[level][cluster] = skeleton rank chosen at that level.
+  std::vector<std::vector<int>> ranks;
+  int max_rank = 0;
+  /// Accumulated SQUARED Frobenius norms of all dropped update components
+  /// (only populated when measure_dropped); take sqrt for a norm-like value.
+  double dropped_mass = 0.0;
+  double factor_seconds = 0.0;
+  double setup_seconds = 0.0;  ///< fills + bases + projections
+  std::uint64_t factor_flops = 0;
+  std::vector<UlvTaskRecord> tasks;  ///< only when record_tasks
+};
+
+}  // namespace h2

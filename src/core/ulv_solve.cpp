@@ -1,0 +1,172 @@
+#include <cassert>
+
+#include "core/ulv_factorization.hpp"
+
+namespace h2 {
+
+/// Per-solve working state: the right-hand side as it migrates through the
+/// levels (Eqs. 16-19).
+struct UlvFactorization::SolveScratch {
+  int nrhs = 1;
+  /// s[level][c]: skeleton part of the transformed rhs (rank x nrhs).
+  std::vector<std::vector<Matrix>> s;
+  /// z[level][c]: redundant solution in the forward pass; re-used as the
+  /// y / x^R buffer in the backward pass ((size-rank) x nrhs).
+  std::vector<std::vector<Matrix>> z;
+  /// xs[level][c]: skeleton part of the solution (backward pass).
+  std::vector<std::vector<Matrix>> xs;
+  /// Current per-cluster rhs/solution at the level being processed.
+  std::vector<Matrix> cur;
+};
+
+void UlvFactorization::forward_level(int level, SolveScratch& s) const {
+  const Level& ld = levels_[level];
+  const int nb = ld.nb, nrhs = s.nrhs;
+  auto& sl = s.s[level];
+  auto& zl = s.z[level];
+  sl.resize(nb);
+  zl.resize(nb);
+
+  // b_hat = Q^T b, split into skeleton and redundant parts.
+  for (int c = 0; c < nb; ++c) {
+    const Matrix bhat = matmul(ld.q[c], s.cur[c], Trans::Yes, Trans::No);
+    sl[c] = Matrix::from(bhat.block(0, 0, ld.rank[c], nrhs));
+    zl[c] = Matrix::from(
+        bhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
+  }
+
+  // Forward substitution on the redundant variables. The dense-neighbor
+  // couplings of the L factor are the (solved) [R,R] strips; they make this
+  // loop sequential in k, but its cost is O(N) and negligible.
+  for (int k = 0; k < nb; ++k) {
+    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+    if (nrk == 0) continue;
+    MatrixView zk = zl[k];
+    laswp(zk, ld.rr_piv[k], /*forward=*/true);
+    ConstMatrixView rr = ld.dense.at({k, k}).block(rk, rk, nrk, nrk);
+    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, rr, zk);
+    for (const int i : structure_.dense_cols(level, k)) {
+      if (i >= k) break;  // sorted: couplings below the block diagonal only
+      const int nri = ld.size[i] - ld.rank[i];
+      if (nri == 0) continue;
+      gemm(-1.0, ld.dense.at({k, i}).block(rk, ld.rank[i], nrk, nri),
+           Trans::No, zl[i], Trans::No, 1.0, zk);
+    }
+  }
+
+  // Downdate the skeleton rhs with the L_SR strips: b^S_i -= sum_k
+  // D(i,k)[S,R] z_k over the diagonal and every dense partner.
+  for (int i = 0; i < nb; ++i) {
+    const int ri = ld.rank[i];
+    if (ri == 0) continue;
+    auto update = [&](int k) {
+      const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+      if (nrk == 0) return;
+      gemm(-1.0, ld.dense.at({i, k}).block(0, rk, ri, nrk), Trans::No, zl[k],
+           Trans::No, 1.0, sl[i]);
+    };
+    update(i);
+    for (const int k : structure_.dense_cols(level, i)) update(k);
+  }
+
+  // Merge sibling skeleton parts into the parent rhs (Eq. 22's rhs analog).
+  std::vector<Matrix> next(nb / 2);
+  for (int p = 0; p < nb / 2; ++p)
+    next[p] = vconcat({sl[2 * p], sl[2 * p + 1]});
+  s.cur = std::move(next);
+}
+
+void UlvFactorization::backward_level(int level, SolveScratch& s) const {
+  const Level& ld = levels_[level];
+  const int nb = ld.nb, nrhs = s.nrhs;
+  auto& xsl = s.xs[level];
+  auto& zl = s.z[level];  // holds z from the forward pass; becomes y, then x^R
+  xsl.resize(nb);
+
+  // Split the parent-level solution into this level's skeleton solutions.
+  for (int p = 0; p < nb / 2; ++p) {
+    const Matrix& xp = s.cur[p];
+    xsl[2 * p] = Matrix::from(xp.block(0, 0, ld.rank[2 * p], nrhs));
+    xsl[2 * p + 1] = Matrix::from(
+        xp.block(ld.rank[2 * p], 0, ld.rank[2 * p + 1], nrhs));
+  }
+
+  // y_k = z_k - sum_{j>k} [R,R]strip y_j - sum_j [R,S]strip x^S_j, computed
+  // descending (y_j for j > k must still be pre-triangular-solve values).
+  for (int k = nb - 1; k >= 0; --k) {
+    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+    if (nrk == 0) continue;
+    MatrixView yk = zl[k];
+    const auto& cols = structure_.dense_cols(level, k);
+    for (auto it = cols.rbegin(); it != cols.rend(); ++it) {
+      const int j = *it;
+      if (j <= k) break;  // sorted: couplings above the block diagonal only
+      const int nrj = ld.size[j] - ld.rank[j];
+      if (nrj == 0) continue;
+      gemm(-1.0, ld.dense.at({k, j}).block(rk, ld.rank[j], nrk, nrj),
+           Trans::No, zl[j], Trans::No, 1.0, yk);
+    }
+    auto update_rs = [&](int j) {
+      if (ld.rank[j] == 0) return;
+      gemm(-1.0, ld.dense.at({k, j}).block(rk, 0, nrk, ld.rank[j]), Trans::No,
+           xsl[j], Trans::No, 1.0, yk);
+    };
+    update_rs(k);
+    for (const int j : cols) update_rs(j);
+  }
+  // x^R_k = U_k^-1 y_k (separate pass: couplings above needed y, not x^R).
+  for (int k = 0; k < nb; ++k) {
+    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+    if (nrk == 0) continue;
+    ConstMatrixView rr = ld.dense.at({k, k}).block(rk, rk, nrk, nrk);
+    trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr,
+         MatrixView(zl[k]));
+  }
+
+  // x = Q [x^S; x^R] back in current coordinates.
+  std::vector<Matrix> out(nb);
+  for (int c = 0; c < nb; ++c) {
+    Matrix xhat(ld.size[c], nrhs);
+    if (ld.rank[c] > 0)
+      copy_into(xsl[c], xhat.block(0, 0, ld.rank[c], nrhs));
+    if (ld.size[c] - ld.rank[c] > 0)
+      copy_into(zl[c],
+                xhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
+    out[c] = matmul(ld.q[c], xhat);
+  }
+  s.cur = std::move(out);
+}
+
+void UlvFactorization::solve(MatrixView b) const {
+  assert(b.rows() == tree_->n_points());
+  if (depth_ == 0) {
+    getrs(top_lu_, top_piv_, b);
+    return;
+  }
+  SolveScratch s;
+  s.nrhs = b.cols();
+  s.s.resize(depth_ + 1);
+  s.z.resize(depth_ + 1);
+  s.xs.resize(depth_ + 1);
+
+  const int n_leaves = tree_->n_clusters(depth_);
+  s.cur.resize(n_leaves);
+  for (int c = 0; c < n_leaves; ++c) {
+    const ClusterNode& nd = tree_->node(depth_, c);
+    s.cur[c] = Matrix::from(b.block(nd.begin, 0, nd.size(), s.nrhs));
+  }
+
+  for (int level = depth_; level >= 1; --level) forward_level(level, s);
+
+  assert(s.cur.size() == 1);
+  getrs(top_lu_, top_piv_, s.cur[0]);
+
+  for (int level = 1; level <= depth_; ++level) backward_level(level, s);
+
+  for (int c = 0; c < n_leaves; ++c) {
+    const ClusterNode& nd = tree_->node(depth_, c);
+    copy_into(s.cur[c], b.block(nd.begin, 0, nd.size(), s.nrhs));
+  }
+}
+
+}  // namespace h2

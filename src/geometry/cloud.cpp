@@ -1,0 +1,158 @@
+#include "geometry/cloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2 {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Random unit vector.
+Point random_direction(Rng& rng) {
+  // Marsaglia: uniform on the sphere.
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = 2.0 * std::sqrt(1.0 - s);
+  return {u * f, v * f, 1.0 - 2.0 * s};
+}
+
+/// Apply a random rotation (uniformly random axis + angle) around `center`.
+struct Rotation {
+  double m[3][3];
+  static Rotation random(Rng& rng) {
+    const Point axis = random_direction(rng);
+    const double angle = rng.uniform(0.0, 2.0 * kPi);
+    const double c = std::cos(angle), s = std::sin(angle), t = 1.0 - c;
+    const double x = axis.x, y = axis.y, z = axis.z;
+    Rotation r;
+    r.m[0][0] = t * x * x + c;
+    r.m[0][1] = t * x * y - s * z;
+    r.m[0][2] = t * x * z + s * y;
+    r.m[1][0] = t * x * y + s * z;
+    r.m[1][1] = t * y * y + c;
+    r.m[1][2] = t * y * z - s * x;
+    r.m[2][0] = t * x * z - s * y;
+    r.m[2][1] = t * y * z + s * x;
+    r.m[2][2] = t * z * z + c;
+    return r;
+  }
+  [[nodiscard]] Point apply(const Point& p) const {
+    return {m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z,
+            m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z,
+            m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z};
+  }
+};
+
+}  // namespace
+
+PointCloud uniform_cube(int n, Rng& rng) {
+  PointCloud pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+PointCloud sphere_surface(int n, Rng& rng, Point center, double radius) {
+  PointCloud pts(n);
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (int i = 0; i < n; ++i) {
+    // Fibonacci lattice with small random jitter so points are never exactly
+    // coincident across repeated shells.
+    const double z = 1.0 - 2.0 * (i + 0.5) / n;
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double theta = golden * i + 0.01 * rng.uniform();
+    pts[i] = {center.x + radius * r * std::cos(theta),
+              center.y + radius * r * std::sin(theta), center.z + radius * z};
+  }
+  return pts;
+}
+
+PointCloud molecule_surface(int n, Rng& rng, int n_atoms) {
+  // Build a compact blob of overlapping atom spheres via a short random
+  // walk biased back toward the origin.
+  struct Atom {
+    Point c;
+    double r;
+  };
+  std::vector<Atom> atoms;
+  atoms.reserve(n_atoms);
+  Point cur{0, 0, 0};
+  for (int a = 0; a < n_atoms; ++a) {
+    const double radius = rng.uniform(0.6, 1.1);
+    atoms.push_back({cur, radius});
+    const Point step = random_direction(rng) * rng.uniform(0.7, 1.2);
+    cur = cur + step;
+    cur = cur * 0.92;  // pull back toward the centroid: compact, globular
+  }
+
+  // Rejection-sample points on the union-of-spheres surface: a point on atom
+  // a's sphere is on the exposed surface iff it is outside every other atom.
+  PointCloud pts;
+  pts.reserve(n);
+  int attempts = 0;
+  const int max_attempts = 200 * n + 10000;
+  while (static_cast<int>(pts.size()) < n && attempts < max_attempts) {
+    ++attempts;
+    const auto& atom = atoms[rng.uniform_index(atoms.size())];
+    const Point p = atom.c + random_direction(rng) * atom.r;
+    bool exposed = true;
+    for (const auto& other : atoms) {
+      if (&other == &atom) continue;
+      if (dist2(p, other.c) < other.r * other.r * (1.0 - 1e-12)) {
+        exposed = false;
+        break;
+      }
+    }
+    if (exposed) pts.push_back(p);
+  }
+  // Extremely unlikely fallback: pad with sphere points so callers always
+  // receive exactly n points.
+  while (static_cast<int>(pts.size()) < n) {
+    const auto& atom = atoms[rng.uniform_index(atoms.size())];
+    pts.push_back(atom.c + random_direction(rng) * atom.r);
+  }
+  return pts;
+}
+
+PointCloud crowded_molecules(int n, Rng& rng, int n_molecules) {
+  const int grid = static_cast<int>(std::ceil(std::cbrt(double(n_molecules))));
+  const double spacing = 7.0;  // molecule diameter is ~5-6: close packing
+  PointCloud pts;
+  pts.reserve(n);
+  int placed = 0;
+  for (int gx = 0; gx < grid && placed < n_molecules; ++gx)
+    for (int gy = 0; gy < grid && placed < n_molecules; ++gy)
+      for (int gz = 0; gz < grid && placed < n_molecules; ++gz) {
+        const int count = (placed == n_molecules - 1)
+                              ? n - static_cast<int>(pts.size())
+                              : n / n_molecules;
+        PointCloud mol = molecule_surface(count, rng);
+        const Rotation rot = Rotation::random(rng);
+        const Point offset{gx * spacing + rng.uniform(-0.5, 0.5),
+                           gy * spacing + rng.uniform(-0.5, 0.5),
+                           gz * spacing + rng.uniform(-0.5, 0.5)};
+        for (const auto& p : mol) pts.push_back(rot.apply(p) + offset);
+        ++placed;
+      }
+  return pts;
+}
+
+double cloud_diameter(const PointCloud& pts) {
+  if (pts.empty()) return 0.0;
+  Point lo = pts.front(), hi = pts.front();
+  for (const auto& p : pts) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  return (hi - lo).norm();
+}
+
+}  // namespace h2

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+
+using PointCloud = std::vector<Point>;
+
+/// n points i.i.d. uniform inside the unit cube [0,1]^3 (paper SSec. IV).
+PointCloud uniform_cube(int n, Rng& rng);
+
+/// n points on a sphere surface (quasi-uniform Fibonacci lattice with
+/// random jitter).
+PointCloud sphere_surface(int n, Rng& rng, Point center = {0, 0, 0},
+                          double radius = 1.0);
+
+/// Pseudo-hemoglobin: surface of a union of `n_atoms` overlapping spheres
+/// arranged as a random compact blob; points sampled on the exposed surface.
+/// Substitutes for the paper's hemoglobin boundary-element mesh (Fig. 14):
+/// a non-convex molecular-like surface point cloud.
+PointCloud molecule_surface(int n, Rng& rng, int n_atoms = 24);
+
+/// Crowded environment of `n_molecules` pseudo-hemoglobins arranged on a
+/// cubic grid with random orientations (Fig. 15). `n` is the total point
+/// count, split evenly across molecules.
+PointCloud crowded_molecules(int n, Rng& rng, int n_molecules = 8);
+
+/// Axis-aligned bounding-box diameter of the cloud (used to scale kernel
+/// regularization).
+double cloud_diameter(const PointCloud& pts);
+
+}  // namespace h2

@@ -1,0 +1,190 @@
+#include "geometry/cluster_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace h2 {
+namespace {
+
+/// Two-centroid Lloyd iteration on pts[idx[begin:end]]; returns the axis
+/// between the converged centroids (used as the split direction).
+Point two_means_axis(const PointCloud& pts, std::span<int> idx, Rng& rng) {
+  assert(idx.size() >= 2);
+  // Seed: a random point, the point farthest from it, then the point farthest
+  // from that one (a cheap approximate diameter).
+  const Point seed = pts[idx[rng.uniform_index(idx.size())]];
+  auto farthest_from = [&](const Point& q) {
+    double best = -1.0;
+    Point arg = q;
+    for (const int i : idx) {
+      const double d = dist2(pts[i], q);
+      if (d > best) {
+        best = d;
+        arg = pts[i];
+      }
+    }
+    return arg;
+  };
+  Point c0 = farthest_from(seed);
+  Point c1 = farthest_from(c0);
+
+  for (int iter = 0; iter < 8; ++iter) {
+    Point s0{0, 0, 0}, s1{0, 0, 0};
+    int n0 = 0, n1 = 0;
+    for (const int i : idx) {
+      const Point& p = pts[i];
+      if (dist2(p, c0) <= dist2(p, c1)) {
+        s0 = s0 + p;
+        ++n0;
+      } else {
+        s1 = s1 + p;
+        ++n1;
+      }
+    }
+    if (n0 == 0 || n1 == 0) break;  // degenerate (e.g. all points identical)
+    const Point nc0 = s0 * (1.0 / n0);
+    const Point nc1 = s1 * (1.0 / n1);
+    if (dist2(nc0, c0) + dist2(nc1, c1) < 1e-24) {
+      c0 = nc0;
+      c1 = nc1;
+      break;
+    }
+    c0 = nc0;
+    c1 = nc1;
+  }
+  return c1 - c0;
+}
+
+void bisect(const PointCloud& pts, std::span<int> idx, Rng& rng) {
+  const Point axis = two_means_axis(pts, idx, rng);
+  const std::size_t half = idx.size() / 2;
+  // Median split along the centroid axis: balanced and geometry-adaptive.
+  std::nth_element(idx.begin(), idx.begin() + half, idx.end(),
+                   [&](int a, int b) {
+                     return dot(pts[a], axis) < dot(pts[b], axis);
+                   });
+}
+
+/// 63-bit Morton code: 21 bits per axis, interleaved x,y,z.
+std::uint64_t morton_code(const Point& p, const Point& lo, double inv_extent) {
+  auto quantize = [&](double v, double l) {
+    const double t = (v - l) * inv_extent;
+    const double clamped = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    return static_cast<std::uint64_t>(clamped * ((1u << 21) - 1));
+  };
+  auto spread = [](std::uint64_t v) {
+    v &= 0x1fffff;
+    v = (v | v << 32) & 0x1f00000000ffffull;
+    v = (v | v << 16) & 0x1f0000ff0000ffull;
+    v = (v | v << 8) & 0x100f00f00f00f00full;
+    v = (v | v << 4) & 0x10c30c30c30c30c3ull;
+    v = (v | v << 2) & 0x1249249249249249ull;
+    return v;
+  };
+  return spread(quantize(p.x, lo.x)) | (spread(quantize(p.y, lo.y)) << 1) |
+         (spread(quantize(p.z, lo.z)) << 2);
+}
+
+}  // namespace
+
+ClusterTree ClusterTree::build(const PointCloud& pts, int leaf_size, Rng& rng,
+                               Partitioner partitioner) {
+  assert(leaf_size >= 1);
+  const int n = static_cast<int>(pts.size());
+  ClusterTree tree;
+  tree.depth_ = 0;
+  // Median splits give leaves of size ceil(n / 2^depth) at most.
+  while ((n + (1 << tree.depth_) - 1) / (1 << tree.depth_) > leaf_size)
+    ++tree.depth_;
+  // Guard: never create empty leaves.
+  while (tree.depth_ > 0 && (1 << tree.depth_) > n) --tree.depth_;
+
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+
+  if (partitioner == Partitioner::Morton && n > 0) {
+    Point lo = pts.front(), hi = pts.front();
+    for (const auto& p : pts) {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      lo.z = std::min(lo.z, p.z);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+      hi.z = std::max(hi.z, p.z);
+    }
+    const double extent =
+        std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-300});
+    std::vector<std::uint64_t> code(n);
+    for (int i = 0; i < n; ++i) code[i] = morton_code(pts[i], lo, 1.0 / extent);
+    std::sort(idx.begin(), idx.end(),
+              [&](int a, int b) { return code[a] < code[b]; });
+  }
+
+  const int n_nodes = (2 << tree.depth_) - 1;
+  tree.nodes_.resize(n_nodes);
+
+  // Level-order construction: split each node's index range in half.
+  struct Range {
+    int begin, end;
+  };
+  std::vector<Range> ranges{{0, n}};
+  for (int level = 0; level <= tree.depth_; ++level) {
+    std::vector<Range> next;
+    next.reserve(ranges.size() * 2);
+    for (int lid = 0; lid < static_cast<int>(ranges.size()); ++lid) {
+      const Range r = ranges[lid];
+      ClusterNode& nd = tree.nodes_[(1 << level) - 1 + lid];
+      nd.level = level;
+      nd.lid = lid;
+      nd.begin = r.begin;
+      nd.end = r.end;
+      if (level < tree.depth_) {
+        if (partitioner == Partitioner::KMeans) {
+          std::span<int> range_idx(idx.data() + r.begin,
+                                   static_cast<std::size_t>(r.end - r.begin));
+          bisect(pts, range_idx, rng);
+        }  // Morton: the global sort already ordered the range.
+        const int mid = r.begin + (r.end - r.begin) / 2;
+        next.push_back({r.begin, mid});
+        next.push_back({mid, r.end});
+      }
+    }
+    ranges = std::move(next);
+  }
+
+  tree.perm_ = idx;
+  tree.points_.resize(n);
+  for (int i = 0; i < n; ++i) tree.points_[i] = pts[idx[i]];
+
+  // Centroids and bounding-sphere radii.
+  for (auto& nd : tree.nodes_) {
+    Point c{0, 0, 0};
+    for (int i = nd.begin; i < nd.end; ++i) c = c + tree.points_[i];
+    if (nd.size() > 0) c = c * (1.0 / nd.size());
+    nd.center = c;
+    double r2 = 0.0;
+    for (int i = nd.begin; i < nd.end; ++i)
+      r2 = std::max(r2, dist2(tree.points_[i], c));
+    nd.radius = std::sqrt(r2);
+  }
+  return tree;
+}
+
+std::vector<double> ClusterTree::to_tree_order(
+    const std::vector<double>& original) const {
+  assert(original.size() == perm_.size());
+  std::vector<double> out(original.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i) out[i] = original[perm_[i]];
+  return out;
+}
+
+std::vector<double> ClusterTree::to_original_order(
+    const std::vector<double>& tree_ordered) const {
+  assert(tree_ordered.size() == perm_.size());
+  std::vector<double> out(tree_ordered.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i) out[perm_[i]] = tree_ordered[i];
+  return out;
+}
+
+}  // namespace h2

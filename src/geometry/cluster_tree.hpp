@@ -1,0 +1,83 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/cloud.hpp"
+#include "geometry/point.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+
+/// One node of the (full, balanced, binary) cluster tree.
+struct ClusterNode {
+  int level = 0;    ///< 0 = root; depth() = leaf level
+  int lid = 0;      ///< index within its level, 0 .. 2^level - 1
+  int begin = 0;    ///< first reordered point index (inclusive)
+  int end = 0;      ///< last reordered point index (exclusive)
+  Point center;     ///< centroid of the cluster's points
+  double radius = 0.0;  ///< bounding-sphere radius around `center`
+
+  [[nodiscard]] int size() const { return end - begin; }
+};
+
+/// Geometry-adaptive full binary cluster tree built by recursive balanced
+/// 2-means bisection.
+///
+/// The paper partitions points with 3-D k-means "enforcing the number of
+/// clusters to always be a power of two" (SSec. V). We realize the same thing
+/// as recursive 2-means: at each node, two centroids are found by Lloyd
+/// iteration and the points are split at the median of their projection onto
+/// the centroid axis, so sibling sizes differ by at most one and the tree is
+/// always full — exactly the structure the process tree of Fig. 8 requires.
+/// How points are assigned to clusters.
+enum class Partitioner {
+  /// Recursive balanced 2-means (the paper's choice for complex surfaces).
+  KMeans,
+  /// Morton (Z-order) space-filling curve: quantize, interleave bits, sort,
+  /// split in halves. The paper found k-means "works much better than
+  /// space-filling curves" on complex surface geometry — kept here to
+  /// reproduce that comparison (bench/examples).
+  Morton,
+};
+
+class ClusterTree {
+ public:
+  /// Build a tree over `pts`; leaves hold at most `leaf_size` points.
+  static ClusterTree build(const PointCloud& pts, int leaf_size, Rng& rng,
+                           Partitioner partitioner = Partitioner::KMeans);
+
+  /// Leaf level (root is level 0); the tree has depth()+1 levels.
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] int n_points() const { return static_cast<int>(points_.size()); }
+  [[nodiscard]] int n_clusters(int level) const { return 1 << level; }
+  [[nodiscard]] int leaf_count() const { return 1 << depth_; }
+
+  /// Points in tree order (contiguous per cluster).
+  [[nodiscard]] const PointCloud& points() const { return points_; }
+  /// perm()[i] = original index of reordered point i.
+  [[nodiscard]] const std::vector<int>& perm() const { return perm_; }
+
+  [[nodiscard]] const ClusterNode& node(int level, int lid) const {
+    return nodes_[static_cast<std::size_t>((1 << level) - 1 + lid)];
+  }
+  /// The points belonging to cluster (level, lid), as a contiguous span.
+  [[nodiscard]] std::span<const Point> cluster_points(int level, int lid) const {
+    const ClusterNode& nd = node(level, lid);
+    return {points_.data() + nd.begin, static_cast<std::size_t>(nd.size())};
+  }
+
+  /// Gather a vector in original ordering into tree ordering (and back).
+  [[nodiscard]] std::vector<double> to_tree_order(
+      const std::vector<double>& original) const;
+  [[nodiscard]] std::vector<double> to_original_order(
+      const std::vector<double>& tree_ordered) const;
+
+ private:
+  int depth_ = 0;
+  PointCloud points_;
+  std::vector<int> perm_;
+  std::vector<ClusterNode> nodes_;  // heap order: (2^level - 1) + lid
+};
+
+}  // namespace h2

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cmath>
+
+namespace h2 {
+
+/// A point in 3-D space. The solver consumes nothing but point clouds
+/// (the paper's collocation BEM "essentially turns the mesh into a cloud of
+/// points", SSec. V).
+struct Point {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Point operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  [[nodiscard]] double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+inline double dist2(const Point& a, const Point& b) { return (a - b).norm2(); }
+inline double dist(const Point& a, const Point& b) {
+  return std::sqrt(dist2(a, b));
+}
+inline double dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+}  // namespace h2

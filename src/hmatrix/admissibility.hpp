@@ -1,0 +1,32 @@
+#pragma once
+
+#include "geometry/cluster_tree.hpp"
+
+namespace h2 {
+
+/// Which blocks may be approximated in low rank (paper Table I).
+/// * Weak:   every same-level off-diagonal pair is admissible (HSS / BLR^2
+///           structure; only the diagonal is dense).
+/// * Strong: a pair is admissible only when the clusters are well separated
+///           (H^2 / BLR structure; neighbors stay dense and later fill in).
+enum class Admissibility { Weak, Strong };
+
+/// Strong-admissibility separation parameter: (i, j) is admissible iff
+/// dist(c_i, c_j) >= eta * (r_i + r_j) with bounding-sphere radii r.
+/// Smaller eta admits more blocks (faster, less accurate for a given rank).
+struct AdmissibilityConfig {
+  Admissibility kind = Admissibility::Strong;
+  double eta = 0.75;
+};
+
+/// Decide admissibility of two same-level clusters.
+inline bool is_admissible(const ClusterNode& a, const ClusterNode& b,
+                          const AdmissibilityConfig& cfg) {
+  if (a.level != b.level) return false;
+  if (a.lid == b.lid) return false;  // diagonal is never admissible
+  if (cfg.kind == Admissibility::Weak) return true;
+  const double d = dist(a.center, b.center);
+  return d >= cfg.eta * (a.radius + b.radius);
+}
+
+}  // namespace h2

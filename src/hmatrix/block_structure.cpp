@@ -1,0 +1,83 @@
+#include "hmatrix/block_structure.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2 {
+
+BlockStructure::BlockStructure(const ClusterTree& tree,
+                               const AdmissibilityConfig& cfg) {
+  depth_ = tree.depth();
+  admissible_.resize(depth_ + 1);
+  inadmissible_.resize(depth_ + 1);
+  adm_cols_.resize(depth_ + 1);
+  adm_rows_.resize(depth_ + 1);
+  dense_cols_.resize(depth_ + 1);
+  dense_rows_.resize(depth_ + 1);
+  for (int l = 0; l <= depth_; ++l) {
+    const int nb = tree.n_clusters(l);
+    adm_cols_[l].resize(nb);
+    adm_rows_[l].resize(nb);
+    dense_cols_[l].resize(nb);
+    dense_rows_[l].resize(nb);
+  }
+
+  // Dual traversal from the root pair: an admissible pair is stored at its
+  // level; an inadmissible pair is recorded and, unless at the leaf,
+  // subdivided into its four children pairs.
+  inadmissible_[0].push_back({0, 0});
+  for (int l = 0; l < depth_; ++l) {
+    for (const auto& [pi, pj] : inadmissible_[l]) {
+      for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci) {
+        for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj) {
+          const bool adm =
+              is_admissible(tree.node(l + 1, ci), tree.node(l + 1, cj), cfg);
+          auto& bucket = adm ? admissible_[l + 1] : inadmissible_[l + 1];
+          bucket.push_back({ci, cj});
+        }
+      }
+    }
+  }
+
+  for (int l = 1; l <= depth_; ++l) {
+    for (const auto& [i, j] : admissible_[l]) {
+      adm_cols_[l][i].push_back(j);
+      adm_rows_[l][j].push_back(i);
+    }
+    for (const auto& [i, j] : inadmissible_[l]) {
+      if (i == j) continue;
+      dense_cols_[l][i].push_back(j);
+      dense_rows_[l][j].push_back(i);
+    }
+  }
+  for (int l = 1; l <= depth_; ++l) {
+    for (auto& v : adm_cols_[l]) std::sort(v.begin(), v.end());
+    for (auto& v : adm_rows_[l]) std::sort(v.begin(), v.end());
+    for (auto& v : dense_cols_[l]) std::sort(v.begin(), v.end());
+    for (auto& v : dense_rows_[l]) std::sort(v.begin(), v.end());
+  }
+}
+
+bool BlockStructure::is_admissible_at(int level, int i, int j) const {
+  const auto& cols = adm_cols_[level][i];
+  return std::binary_search(cols.begin(), cols.end(), j);
+}
+
+bool BlockStructure::is_inadmissible_at(int level, int i, int j) const {
+  if (i == j) {
+    // The diagonal is inadmissible at every level by construction.
+    return true;
+  }
+  const auto& cols = dense_cols_[level][i];
+  return std::binary_search(cols.begin(), cols.end(), j);
+}
+
+int BlockStructure::max_dense_row_size() const {
+  int best = 0;
+  const auto& rows = dense_cols_[depth_];
+  for (const auto& v : rows)
+    best = std::max(best, static_cast<int>(v.size()) + 1);  // +1: diagonal
+  return best;
+}
+
+}  // namespace h2

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "geometry/cluster_tree.hpp"
+#include "hmatrix/admissibility.hpp"
+
+namespace h2 {
+
+/// The hierarchical block partition of the matrix: which same-level cluster
+/// pairs are stored as low-rank blocks (admissible at that level, parents
+/// inadmissible) and which remain inadmissible (subdivided further; at the
+/// leaf level these are the dense near-field blocks).
+///
+/// Invariant: the stored blocks of all levels tile the matrix exactly — every
+/// (row point, col point) pair is covered by exactly one admissible block or
+/// one leaf dense block. BlockStructureTest checks this.
+class BlockStructure {
+ public:
+  BlockStructure() = default;
+  BlockStructure(const ClusterTree& tree, const AdmissibilityConfig& cfg);
+
+  [[nodiscard]] int depth() const { return depth_; }
+
+  /// Admissible (low-rank) pairs stored at `level` (1 <= level <= depth).
+  [[nodiscard]] const std::vector<std::pair<int, int>>& admissible_pairs(
+      int level) const {
+    return admissible_[level];
+  }
+  /// Inadmissible pairs at `level` (at the leaf: the dense blocks; above:
+  /// the blocks that the factorization re-assembles by merging child
+  /// skeletons).
+  [[nodiscard]] const std::vector<std::pair<int, int>>& inadmissible_pairs(
+      int level) const {
+    return inadmissible_[level];
+  }
+
+  /// Low-rank column partners of cluster `i` in its block row at `level`.
+  [[nodiscard]] const std::vector<int>& admissible_cols(int level, int i) const {
+    return adm_cols_[level][i];
+  }
+  /// Low-rank row partners of cluster `j` in its block column at `level`.
+  [[nodiscard]] const std::vector<int>& admissible_rows(int level, int j) const {
+    return adm_rows_[level][j];
+  }
+  /// Inadmissible (dense) column partners of `i` at `level`, EXCLUDING the
+  /// diagonal.
+  [[nodiscard]] const std::vector<int>& dense_cols(int level, int i) const {
+    return dense_cols_[level][i];
+  }
+  [[nodiscard]] const std::vector<int>& dense_rows(int level, int j) const {
+    return dense_rows_[level][j];
+  }
+
+  [[nodiscard]] bool is_admissible_at(int level, int i, int j) const;
+  [[nodiscard]] bool is_inadmissible_at(int level, int i, int j) const;
+
+  /// Largest number of dense neighbors of any cluster at the leaf level
+  /// (the paper's O(1) constant that makes the method O(N)).
+  [[nodiscard]] int max_dense_row_size() const;
+
+ private:
+  int depth_ = 0;
+  // Index 0 unused for pair lists (the root block is always inadmissible).
+  std::vector<std::vector<std::pair<int, int>>> admissible_;
+  std::vector<std::vector<std::pair<int, int>>> inadmissible_;
+  std::vector<std::vector<std::vector<int>>> adm_cols_, adm_rows_;
+  std::vector<std::vector<std::vector<int>>> dense_cols_, dense_rows_;
+};
+
+}  // namespace h2

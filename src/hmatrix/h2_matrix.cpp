@@ -1,0 +1,99 @@
+#include "hmatrix/h2_matrix.hpp"
+
+#include <cassert>
+
+#include "linalg/blas.hpp"
+
+namespace h2 {
+
+H2Matrix::H2Matrix(const ClusterTree& tree, const Kernel& kernel,
+                   const H2BuildOptions& opt)
+    : tree_(&tree), opt_(opt), structure_(tree, opt.admissibility) {
+  const int depth = tree.depth();
+  lowrank_.resize(depth + 1);
+
+  // Leaf near field: explicit kernel blocks (diagonal + inadmissible pairs).
+  for (const auto& [i, j] : structure_.inadmissible_pairs(depth)) {
+    leaf_dense_.emplace(
+        std::make_pair(i, j),
+        kernel_block(kernel, tree.cluster_points(depth, i),
+                     tree.cluster_points(depth, j)));
+  }
+
+  // Far field: ACA factors per admissible pair, at every level.
+  for (int l = 1; l <= depth; ++l) {
+    for (const auto& [i, j] : structure_.admissible_pairs(l)) {
+      lowrank_[l].emplace(
+          std::make_pair(i, j),
+          aca_compress(kernel, tree.cluster_points(l, i),
+                       tree.cluster_points(l, j), opt.tol, opt.max_rank));
+    }
+  }
+}
+
+void H2Matrix::matvec(ConstMatrixView x, MatrixView y) const {
+  const int n = tree_->n_points();
+  assert(x.rows() == n && y.rows() == n && x.cols() == y.cols());
+  (void)n;
+  for (int j = 0; j < y.cols(); ++j) std::fill_n(y.col(j), y.rows(), 0.0);
+
+  const int depth = tree_->depth();
+  for (const auto& [key, d] : leaf_dense_) {
+    const ClusterNode& ri = tree_->node(depth, key.first);
+    const ClusterNode& cj = tree_->node(depth, key.second);
+    gemm(1.0, d, Trans::No,
+         x.block(cj.begin, 0, cj.size(), x.cols()), Trans::No, 1.0,
+         y.block(ri.begin, 0, ri.size(), y.cols()));
+  }
+  for (int l = 1; l <= depth; ++l) {
+    for (const auto& [key, lr] : lowrank_[l]) {
+      if (lr.rank() == 0) continue;
+      const ClusterNode& ri = tree_->node(l, key.first);
+      const ClusterNode& cj = tree_->node(l, key.second);
+      Matrix t(lr.rank(), x.cols());
+      gemm(1.0, lr.v, Trans::Yes, x.block(cj.begin, 0, cj.size(), x.cols()),
+           Trans::No, 0.0, t);
+      gemm(1.0, lr.u, Trans::No, t, Trans::No, 1.0,
+           y.block(ri.begin, 0, ri.size(), y.cols()));
+    }
+  }
+}
+
+Matrix H2Matrix::to_dense() const {
+  const int n = tree_->n_points();
+  Matrix a(n, n);
+  const int depth = tree_->depth();
+  for (const auto& [key, d] : leaf_dense_) {
+    const ClusterNode& ri = tree_->node(depth, key.first);
+    const ClusterNode& cj = tree_->node(depth, key.second);
+    copy_into(d, a.block(ri.begin, cj.begin, ri.size(), cj.size()));
+  }
+  for (int l = 1; l <= depth; ++l) {
+    for (const auto& [key, lr] : lowrank_[l]) {
+      const ClusterNode& ri = tree_->node(l, key.first);
+      const ClusterNode& cj = tree_->node(l, key.second);
+      const Matrix d = lr.to_dense();
+      copy_into(d, a.block(ri.begin, cj.begin, ri.size(), cj.size()));
+    }
+  }
+  return a;
+}
+
+int H2Matrix::max_rank_used() const {
+  int r = 0;
+  for (const auto& level : lowrank_)
+    for (const auto& [key, lr] : level) r = std::max(r, lr.rank());
+  return r;
+}
+
+std::uint64_t H2Matrix::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [key, d] : leaf_dense_)
+    bytes += 8ull * d.rows() * d.cols();
+  for (const auto& level : lowrank_)
+    for (const auto& [key, lr] : level)
+      bytes += 8ull * (lr.rows() + lr.cols()) * lr.rank();
+  return bytes;
+}
+
+}  // namespace h2

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "geometry/cluster_tree.hpp"
+#include "hmatrix/block_structure.hpp"
+#include "hmatrix/low_rank.hpp"
+#include "kernels/assembly.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Construction parameters for an H^2 / HSS representation.
+struct H2BuildOptions {
+  AdmissibilityConfig admissibility;
+  double tol = 1e-8;   ///< ACA relative tolerance for admissible blocks
+  int max_rank = -1;   ///< optional rank cap for admissible blocks
+};
+
+/// The assembled hierarchical matrix: dense near-field blocks at the leaf
+/// level plus low-rank (ACA-factorized, full-coordinate) admissible blocks
+/// at every level. This is the input representation the ULV factorization
+/// engine consumes; it is also independently usable (matvec, to_dense).
+///
+/// The referenced ClusterTree must outlive the H2Matrix.
+class H2Matrix {
+ public:
+  H2Matrix(const ClusterTree& tree, const Kernel& kernel,
+           const H2BuildOptions& opt);
+
+  [[nodiscard]] const ClusterTree& tree() const { return *tree_; }
+  [[nodiscard]] const BlockStructure& structure() const { return structure_; }
+  [[nodiscard]] const H2BuildOptions& options() const { return opt_; }
+  [[nodiscard]] int n() const { return tree_->n_points(); }
+
+  /// Dense near-field block for an inadmissible leaf pair.
+  [[nodiscard]] const Matrix& dense_block(int i, int j) const {
+    return leaf_dense_.at({i, j});
+  }
+  /// Low-rank factors of an admissible pair stored at `level`.
+  [[nodiscard]] const LowRank& lowrank_block(int level, int i, int j) const {
+    return lowrank_[level].at({i, j});
+  }
+
+  /// y = A x, both in tree ordering (x, y are n x nrhs).
+  void matvec(ConstMatrixView x, MatrixView y) const;
+
+  /// Materialize the full matrix (validation sizes only).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Largest ACA rank over all stored admissible blocks.
+  [[nodiscard]] int max_rank_used() const;
+  /// Total storage of all blocks, in bytes.
+  [[nodiscard]] std::uint64_t memory_bytes() const;
+
+ private:
+  const ClusterTree* tree_;
+  H2BuildOptions opt_;
+  BlockStructure structure_;
+  std::map<std::pair<int, int>, Matrix> leaf_dense_;
+  std::vector<std::map<std::pair<int, int>, LowRank>> lowrank_;  // [level]
+};
+
+}  // namespace h2

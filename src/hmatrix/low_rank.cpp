@@ -1,0 +1,178 @@
+#include "hmatrix/low_rank.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "util/flops.hpp"
+
+namespace h2 {
+
+Matrix LowRank::to_dense() const {
+  Matrix d(rows(), cols());
+  if (rank() > 0) gemm(1.0, u, Trans::No, v, Trans::Yes, 0.0, d);
+  return d;
+}
+
+LowRank compress_dense(ConstMatrixView a, double rel_tol, int max_rank) {
+  const PivotedQr qr = pivoted_qr(a, rel_tol, max_rank);
+  LowRank lr;
+  lr.u = Matrix::from(qr.q.block(0, 0, a.rows(), qr.rank));
+  // A(:, jpvt[k]) = Q R(:, k)  =>  V(jpvt[k], :) = R(:, k)^T.
+  lr.v = Matrix(a.cols(), qr.rank);
+  for (int k = 0; k < a.cols(); ++k)
+    for (int i = 0; i < qr.rank; ++i) lr.v(qr.jpvt[k], i) = qr.r(i, k);
+  return lr;
+}
+
+LowRank aca_compress(const Kernel& kernel, std::span<const Point> rows,
+                     std::span<const Point> cols, double rel_tol,
+                     int max_rank) {
+  const int m = static_cast<int>(rows.size());
+  const int n = static_cast<int>(cols.size());
+  const int rmax0 = std::min(m, n);
+  const int rmax = (max_rank >= 0 && max_rank < rmax0) ? max_rank : rmax0;
+
+  std::vector<Matrix> us, vs;  // columns accumulated cross by cross
+  std::vector<bool> row_used(m, false), col_used(n, false);
+  double norm2_est = 0.0;  // running estimate of ||A||_F^2
+
+  int pivot_row = 0;
+  int rank = 0;
+  int stalls = 0;
+  while (rank < rmax) {
+    // Residual row `pivot_row`: A(i,:) - sum_l u_l(i) v_l.
+    Matrix rrow(n, 1);
+    for (int j = 0; j < n; ++j) rrow(j, 0) = kernel.eval(rows[pivot_row], cols[j]);
+    flops::add(flops::kernel_eval(n, kernel.flops_per_eval()));
+    for (int l = 0; l < rank; ++l) {
+      const double ui = us[l](pivot_row, 0);
+      const double* vl = vs[l].data();
+      double* r = rrow.data();
+      for (int j = 0; j < n; ++j) r[j] -= ui * vl[j];
+    }
+    flops::add(2ull * rank * n);
+
+    int pivot_col = -1;
+    double vmax = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (col_used[j]) continue;
+      const double v = std::fabs(rrow(j, 0));
+      if (v > vmax) {
+        vmax = v;
+        pivot_col = j;
+      }
+    }
+    row_used[pivot_row] = true;
+    if (pivot_col < 0 || vmax == 0.0) {
+      // Dead row; try another unused row a few times before giving up.
+      ++stalls;
+      if (stalls > 4) break;
+      int next = -1;
+      for (int i = 0; i < m; ++i)
+        if (!row_used[i]) {
+          next = i;
+          break;
+        }
+      if (next < 0) break;
+      pivot_row = next;
+      continue;
+    }
+    stalls = 0;
+
+    // Residual column `pivot_col`.
+    Matrix rcol(m, 1);
+    for (int i = 0; i < m; ++i)
+      rcol(i, 0) = kernel.eval(rows[i], cols[pivot_col]);
+    flops::add(flops::kernel_eval(m, kernel.flops_per_eval()));
+    for (int l = 0; l < rank; ++l) {
+      const double vj = vs[l](pivot_col, 0);
+      const double* ul = us[l].data();
+      double* r = rcol.data();
+      for (int i = 0; i < m; ++i) r[i] -= vj * ul[i];
+    }
+    flops::add(2ull * rank * m);
+
+    const double inv_pivot = 1.0 / rrow(pivot_col, 0);
+    for (int i = 0; i < m; ++i) rcol(i, 0) *= inv_pivot;
+    col_used[pivot_col] = true;
+
+    double unorm2 = 0.0, vnorm2 = 0.0;
+    for (int i = 0; i < m; ++i) unorm2 += rcol(i, 0) * rcol(i, 0);
+    for (int j = 0; j < n; ++j) vnorm2 += rrow(j, 0) * rrow(j, 0);
+    // Update the Frobenius-norm estimate with the new cross + cross terms.
+    double cross = 0.0;
+    for (int l = 0; l < rank; ++l) {
+      double uu = 0.0, vv = 0.0;
+      const double* ul = us[l].data();
+      const double* vl = vs[l].data();
+      const double* un = rcol.data();
+      const double* vn = rrow.data();
+      for (int i = 0; i < m; ++i) uu += ul[i] * un[i];
+      for (int j = 0; j < n; ++j) vv += vl[j] * vn[j];
+      cross += uu * vv;
+    }
+    norm2_est += unorm2 * vnorm2 + 2.0 * cross;
+    flops::add(4ull * rank * (m + n));
+
+    us.push_back(std::move(rcol));
+    vs.push_back(std::move(rrow));
+    ++rank;
+
+    if (unorm2 * vnorm2 <= rel_tol * rel_tol * std::max(norm2_est, 0.0)) break;
+
+    // Next pivot row: largest entry of the new u among unused rows.
+    pivot_row = -1;
+    double umax = -1.0;
+    for (int i = 0; i < m; ++i) {
+      if (row_used[i]) continue;
+      const double v = std::fabs(us.back()(i, 0));
+      if (v > umax) {
+        umax = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row < 0) break;
+  }
+
+  LowRank lr;
+  lr.u = Matrix(m, rank);
+  lr.v = Matrix(n, rank);
+  for (int l = 0; l < rank; ++l) {
+    std::copy_n(us[l].data(), m, lr.u.data() + static_cast<std::size_t>(l) * m);
+    std::copy_n(vs[l].data(), n, lr.v.data() + static_cast<std::size_t>(l) * n);
+  }
+  return lr;
+}
+
+LowRank recompress(const LowRank& lr, double rel_tol, int max_rank) {
+  const int r = lr.rank();
+  if (r == 0) return lr;
+  // QR both factors, SVD of the r x r core.
+  Matrix uw = lr.u, vw = lr.v;
+  std::vector<double> tau_u, tau_v;
+  householder_qr(uw, tau_u);
+  householder_qr(vw, tau_v);
+  const int ru = std::min(lr.rows(), r), rv = std::min(lr.cols(), r);
+  Matrix core = matmul(extract_r(uw).block(0, 0, ru, r),
+                       extract_r(vw).block(0, 0, rv, r), Trans::No, Trans::Yes);
+  const Svd svd = jacobi_svd(core);
+  const int newr = svd_truncation_rank(svd.sigma, rel_tol, max_rank);
+
+  Matrix qu = form_q(uw, tau_u, ru);
+  Matrix qv = form_q(vw, tau_v, rv);
+  LowRank out;
+  out.u = matmul(qu, svd.u.block(0, 0, ru, newr));
+  // Fold the singular values into V.
+  Matrix vs(rv, newr);
+  for (int j = 0; j < newr; ++j)
+    for (int i = 0; i < rv; ++i) vs(i, j) = svd.v(i, j) * svd.sigma[j];
+  out.v = matmul(qv, vs);
+  return out;
+}
+
+}  // namespace h2

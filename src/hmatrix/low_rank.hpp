@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "kernels/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// A rank-r factorization U V^T of an m x n block.
+struct LowRank {
+  Matrix u;  ///< m x r
+  Matrix v;  ///< n x r
+
+  [[nodiscard]] int rank() const { return u.cols(); }
+  [[nodiscard]] int rows() const { return u.rows(); }
+  [[nodiscard]] int cols() const { return v.rows(); }
+
+  /// Materialize U V^T (tests and small blocks only).
+  [[nodiscard]] Matrix to_dense() const;
+};
+
+/// Compress an explicit matrix with column-pivoted QR truncated at rel_tol.
+LowRank compress_dense(ConstMatrixView a, double rel_tol, int max_rank = -1);
+
+/// Partially-pivoted Adaptive Cross Approximation of the kernel block
+/// K(rows, cols), touching only O((m+n) r) kernel entries. Stops when the
+/// new cross's norm falls below rel_tol times the running estimate of
+/// ||A||_F, or at max_rank.
+LowRank aca_compress(const Kernel& kernel, std::span<const Point> rows,
+                     std::span<const Point> cols, double rel_tol,
+                     int max_rank = -1);
+
+/// Re-orthogonalize and re-truncate a low-rank factorization:
+/// QR both factors, SVD of the small core, keep singular values above
+/// rel_tol * sigma_max.
+LowRank recompress(const LowRank& lr, double rel_tol, int max_rank = -1);
+
+}  // namespace h2

@@ -1,0 +1,58 @@
+#include "kernels/assembly.hpp"
+
+#include <cassert>
+
+#include "util/flops.hpp"
+
+namespace h2 {
+
+void kernel_block_into(const Kernel& k, std::span<const Point> rows,
+                       std::span<const Point> cols, MatrixView out) {
+  const int m = static_cast<int>(rows.size());
+  const int n = static_cast<int>(cols.size());
+  assert(out.rows() == m && out.cols() == n);
+  for (int j = 0; j < n; ++j) {
+    double* cj = out.col(j);
+    const Point& pj = cols[j];
+    for (int i = 0; i < m; ++i) cj[i] = k.eval(rows[i], pj);
+  }
+  flops::add(flops::kernel_eval(static_cast<std::uint64_t>(m) * n,
+                                k.flops_per_eval()));
+}
+
+Matrix kernel_block(const Kernel& k, std::span<const Point> rows,
+                    std::span<const Point> cols) {
+  Matrix out(static_cast<int>(rows.size()), static_cast<int>(cols.size()));
+  kernel_block_into(k, rows, cols, out);
+  return out;
+}
+
+Matrix kernel_dense(const Kernel& k, std::span<const Point> pts) {
+  return kernel_block(k, pts, pts);
+}
+
+void kernel_matvec(const Kernel& k, std::span<const Point> pts,
+                   ConstMatrixView x, MatrixView y) {
+  const int n = static_cast<int>(pts.size());
+  const int nrhs = x.cols();
+  assert(x.rows() == n && y.rows() == n && y.cols() == nrhs);
+  constexpr int kBlock = 256;
+  Matrix buf(kBlock, n);
+  for (int i0 = 0; i0 < n; i0 += kBlock) {
+    const int mb = std::min(kBlock, n - i0);
+    MatrixView rows = buf.block(0, 0, mb, n);
+    kernel_block_into(k, pts.subspan(i0, mb), pts, rows);
+    for (int c = 0; c < nrhs; ++c) {
+      const double* xc = x.col(c);
+      double* yc = y.col(c);
+      for (int i = 0; i < mb; ++i) {
+        double s = 0.0;
+        for (int j = 0; j < n; ++j) s += rows(i, j) * xc[j];
+        yc[i0 + i] = s;
+      }
+    }
+    flops::add(2ull * mb * n * nrhs);
+  }
+}
+
+}  // namespace h2

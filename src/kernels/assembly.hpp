@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "geometry/point.hpp"
+#include "kernels/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Fill `out` (rows.size() x cols.size()) with K(rows[i], cols[j]).
+void kernel_block_into(const Kernel& k, std::span<const Point> rows,
+                       std::span<const Point> cols, MatrixView out);
+
+/// Allocate and fill a kernel sub-block.
+Matrix kernel_block(const Kernel& k, std::span<const Point> rows,
+                    std::span<const Point> cols);
+
+/// Full dense kernel matrix over `pts` (reference-solution sizes only).
+Matrix kernel_dense(const Kernel& k, std::span<const Point> pts);
+
+/// y = G x computed row-block by row-block without materializing G
+/// (O(N^2) kernel evals, O(N) memory); used for residual checks at sizes
+/// where the dense matrix would not fit.
+void kernel_matvec(const Kernel& k, std::span<const Point> pts,
+                   ConstMatrixView x, MatrixView y);
+
+}  // namespace h2

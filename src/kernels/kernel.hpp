@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "geometry/point.hpp"
+
+namespace h2 {
+
+/// Interaction kernel K(x, y) generating the dense rank-structured matrix
+/// G_ij = K(x_i, x_j). Implementations must be symmetric in (a, b).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  [[nodiscard]] virtual double eval(const Point& a, const Point& b) const = 0;
+
+  /// Approximate flop cost of one eval (for the Fig. 10 flop accounting).
+  [[nodiscard]] virtual std::uint64_t flops_per_eval() const { return 20; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Laplace Green's function 1/(4 pi r) (paper Eq. 29), regularized as
+/// r <- r + pv so coincident points produce the finite diagonal 1/(4 pi pv).
+/// A completely monotone radial kernel: SPD on distinct points.
+class LaplaceKernel final : public Kernel {
+ public:
+  explicit LaplaceKernel(double pv = 1e-3) : pv_(pv) {}
+  [[nodiscard]] double eval(const Point& a, const Point& b) const override {
+    return 1.0 / (4.0 * kPi * (dist(a, b) + pv_));
+  }
+  [[nodiscard]] std::string name() const override { return "laplace"; }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  double pv_;
+};
+
+/// Yukawa / screened-Coulomb potential exp(-alpha r) / (4 pi r) (paper
+/// Eq. 30 with the charge and permittivity constants folded into alpha and
+/// an overall unit scale), regularized like the Laplace kernel.
+class YukawaKernel final : public Kernel {
+ public:
+  explicit YukawaKernel(double alpha = 1.0, double pv = 1e-3)
+      : alpha_(alpha), pv_(pv) {}
+  [[nodiscard]] double eval(const Point& a, const Point& b) const override {
+    const double r = dist(a, b);
+    return std::exp(-alpha_ * r) / (4.0 * kPi * (r + pv_));
+  }
+  [[nodiscard]] std::uint64_t flops_per_eval() const override { return 30; }
+  [[nodiscard]] std::string name() const override { return "yukawa"; }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  double alpha_, pv_;
+};
+
+/// Squared-exponential covariance exp(-r^2 / (2 l^2)) with a nugget on the
+/// diagonal (r == 0). Used by the covariance log-determinant example, one of
+/// the applications the paper's introduction motivates.
+class GaussianKernel final : public Kernel {
+ public:
+  explicit GaussianKernel(double lengthscale = 0.5, double nugget = 1e-2)
+      : inv2l2_(0.5 / (lengthscale * lengthscale)), nugget_(nugget) {}
+  [[nodiscard]] double eval(const Point& a, const Point& b) const override {
+    const double r2 = dist2(a, b);
+    return std::exp(-r2 * inv2l2_) + (r2 == 0.0 ? nugget_ : 0.0);
+  }
+  [[nodiscard]] std::uint64_t flops_per_eval() const override { return 25; }
+  [[nodiscard]] std::string name() const override { return "gaussian"; }
+
+ private:
+  double inv2l2_, nugget_;
+};
+
+/// Matern nu=3/2 covariance (1 + sqrt(3) r / l) exp(-sqrt(3) r / l) + nugget.
+class Matern32Kernel final : public Kernel {
+ public:
+  explicit Matern32Kernel(double lengthscale = 0.5, double nugget = 1e-2)
+      : s_(std::sqrt(3.0) / lengthscale), nugget_(nugget) {}
+  [[nodiscard]] double eval(const Point& a, const Point& b) const override {
+    const double sr = s_ * dist(a, b);
+    return (1.0 + sr) * std::exp(-sr) + (sr == 0.0 ? nugget_ : 0.0);
+  }
+  [[nodiscard]] std::uint64_t flops_per_eval() const override { return 30; }
+  [[nodiscard]] std::string name() const override { return "matern32"; }
+
+ private:
+  double s_, nugget_;
+};
+
+}  // namespace h2

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+/// Level-1/2/3 dense kernels (BLAS substitute), column-major, exact flop
+/// accounting via h2::flops. All routines are serial by design: parallelism
+/// in this library lives at the block level (src/runtime), which keeps the
+/// task-duration measurements used by the scheduling simulator honest.
+namespace h2 {
+
+enum class Trans : bool { No = false, Yes = true };
+enum class Side : bool { Left, Right };
+enum class UpLo : bool { Lower, Upper };
+enum class Diag : bool { NonUnit, Unit };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+          double beta, MatrixView c);
+
+/// Convenience: returns op(A) * op(B).
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta = Trans::No,
+              Trans tb = Trans::No);
+
+/// Triangular solve, B <- alpha * op(A)^-1 * B (Left) or alpha * B * op(A)^-1
+/// (Right). A is the triangular factor (uplo selects which triangle is read;
+/// Diag::Unit means an implicit unit diagonal).
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+/// Y += alpha * X (element-wise over equal-shape views).
+void axpy(double alpha, ConstMatrixView x, MatrixView y);
+
+/// X *= alpha.
+void scale(double alpha, MatrixView x);
+
+/// A += alpha * I (on the leading square part).
+void add_identity(MatrixView a, double alpha);
+
+}  // namespace h2

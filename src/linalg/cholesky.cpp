@@ -1,0 +1,38 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/error.hpp"
+#include "util/flops.hpp"
+
+namespace h2 {
+
+void potrf(MatrixView a) {
+  assert(a.rows() == a.cols());
+  const int n = a.rows();
+  for (int j = 0; j < n; ++j) {
+    // Update column j with previously computed columns (left-looking).
+    double* cj = a.col(j);
+    for (int l = 0; l < j; ++l) {
+      const double f = a(j, l);
+      if (f == 0.0) continue;
+      const double* cl = a.col(l);
+      for (int i = j; i < n; ++i) cj[i] -= f * cl[i];
+    }
+    const double d = cj[j];
+    if (!(d > 0.0)) throw NumericalError("potrf: matrix is not SPD");
+    const double r = std::sqrt(d);
+    cj[j] = r;
+    const double inv = 1.0 / r;
+    for (int i = j + 1; i < n; ++i) cj[i] *= inv;
+  }
+  flops::add(flops::potrf(n));
+}
+
+void potrs(ConstMatrixView l, MatrixView b) {
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
+  trsm(Side::Left, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0, l, b);
+}
+
+}  // namespace h2

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// In-place lower Cholesky A = L L^T (upper triangle left untouched).
+/// Throws NumericalError if A is not numerically SPD.
+void potrf(MatrixView a);
+
+/// Solve A X = B in place given potrf's L.
+void potrs(ConstMatrixView l, MatrixView b);
+
+}  // namespace h2

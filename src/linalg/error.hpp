@@ -1,0 +1,15 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace h2 {
+
+/// Thrown when a factorization encounters an exactly singular pivot or a
+/// non-SPD matrix where SPD is required.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace h2

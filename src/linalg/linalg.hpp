@@ -1,0 +1,11 @@
+#pragma once
+
+/// Umbrella header for the dense linear-algebra substrate.
+#include "linalg/blas.hpp"        // IWYU pragma: export
+#include "linalg/cholesky.hpp"    // IWYU pragma: export
+#include "linalg/error.hpp"       // IWYU pragma: export
+#include "linalg/lu.hpp"          // IWYU pragma: export
+#include "linalg/matrix.hpp"      // IWYU pragma: export
+#include "linalg/norms.hpp"       // IWYU pragma: export
+#include "linalg/qr.hpp"          // IWYU pragma: export
+#include "linalg/svd.hpp"         // IWYU pragma: export

@@ -1,0 +1,98 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "linalg/error.hpp"
+#include "util/flops.hpp"
+
+namespace h2 {
+
+void getrf(MatrixView a, std::vector<int>& piv) {
+  const int m = a.rows(), n = a.cols();
+  const int k = m < n ? m : n;
+  piv.assign(k, 0);
+  for (int p = 0; p < k; ++p) {
+    // Partial pivoting: largest magnitude in column p at/below the diagonal.
+    int imax = p;
+    double vmax = std::fabs(a(p, p));
+    for (int i = p + 1; i < m; ++i) {
+      const double v = std::fabs(a(i, p));
+      if (v > vmax) {
+        vmax = v;
+        imax = i;
+      }
+    }
+    piv[p] = imax;
+    if (vmax == 0.0) throw NumericalError("getrf: exactly singular pivot");
+    if (imax != p)
+      for (int j = 0; j < n; ++j) std::swap(a(p, j), a(imax, j));
+
+    const double inv = 1.0 / a(p, p);
+    double* cp = a.col(p);
+    for (int i = p + 1; i < m; ++i) cp[i] *= inv;
+    // Rank-1 trailing update, column by column (stride-1).
+    for (int j = p + 1; j < n; ++j) {
+      const double upj = a(p, j);
+      if (upj == 0.0) continue;
+      double* cj = a.col(j);
+      for (int i = p + 1; i < m; ++i) cj[i] -= cp[i] * upj;
+    }
+  }
+  flops::add(flops::getrf(m, n));
+}
+
+void laswp(MatrixView b, const std::vector<int>& piv, bool forward) {
+  const int k = static_cast<int>(piv.size());
+  const int n = b.cols();
+  auto swap_rows = [&](int r1, int r2) {
+    if (r1 == r2) return;
+    for (int j = 0; j < n; ++j) std::swap(b(r1, j), b(r2, j));
+  };
+  if (forward) {
+    for (int p = 0; p < k; ++p) swap_rows(p, piv[p]);
+  } else {
+    for (int p = k - 1; p >= 0; --p) swap_rows(p, piv[p]);
+  }
+}
+
+void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
+           Trans trans) {
+  assert(lu.rows() == lu.cols() && lu.rows() == b.rows());
+  if (trans == Trans::No) {
+    // A = P^T L U  =>  x = U^-1 L^-1 P b.
+    laswp(b, piv, /*forward=*/true);
+    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, lu, b);
+    trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, lu, b);
+  } else {
+    // A^T = U^T L^T P  =>  x = P^T L^-T U^-T b.
+    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, lu, b);
+    trsm(Side::Left, UpLo::Lower, Trans::Yes, Diag::Unit, 1.0, lu, b);
+    laswp(b, piv, /*forward=*/false);
+  }
+}
+
+Matrix lu_solve(Matrix a, Matrix b) {
+  std::vector<int> piv;
+  getrf(a, piv);
+  getrs(a, piv, b);
+  return b;
+}
+
+double lu_logabsdet(ConstMatrixView lu, const std::vector<int>& piv, int* sign) {
+  const int n = lu.rows() < lu.cols() ? lu.rows() : lu.cols();
+  double logdet = 0.0;
+  int s = 1;
+  for (int i = 0; i < n; ++i) {
+    const double d = lu(i, i);
+    logdet += std::log(std::fabs(d));
+    if (d < 0.0) s = -s;
+  }
+  for (std::size_t p = 0; p < piv.size(); ++p)
+    if (piv[p] != static_cast<int>(p)) s = -s;
+  if (sign != nullptr) *sign = s;
+  return logdet;
+}
+
+}  // namespace h2

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// In-place LU with partial pivoting (LAPACK getrf layout: unit-lower L below
+/// the diagonal, U on and above; piv[k] = row swapped with row k at step k).
+/// Throws NumericalError on an exactly zero pivot.
+void getrf(MatrixView a, std::vector<int>& piv);
+
+/// Solve op(LU) X = B in place given getrf output.
+void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
+           Trans trans = Trans::No);
+
+/// Apply (forward=true) or undo the getrf row interchanges to B's rows.
+void laswp(MatrixView b, const std::vector<int>& piv, bool forward);
+
+/// One-shot dense solve: returns X with A X = B (A and B by value; A is
+/// factorized in place internally).
+Matrix lu_solve(Matrix a, Matrix b);
+
+/// log|det A| and optionally the sign, from getrf factors.
+double lu_logabsdet(ConstMatrixView lu, const std::vector<int>& piv,
+                    int* sign = nullptr);
+
+}  // namespace h2

@@ -1,0 +1,83 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace h2 {
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  double* d = m.data();
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  for (std::size_t i = 0; i < n; ++i) d[i] = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix Matrix::random_normal(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  double* d = m.data();
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  for (std::size_t i = 0; i < n; ++i) d[i] = rng.normal();
+  return m;
+}
+
+Matrix Matrix::from(ConstMatrixView v) {
+  Matrix m(v.rows(), v.cols());
+  copy_into(v, m);
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int j = 0; j < cols_; ++j)
+    for (int i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void copy_into(ConstMatrixView src, MatrixView dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (int j = 0; j < src.cols(); ++j)
+    std::copy_n(src.col(j), src.rows(), dst.col(j));
+}
+
+Matrix hconcat(const std::vector<ConstMatrixView>& blocks) {
+  if (blocks.empty()) return {};
+  int cols = 0;
+  const int rows = blocks.front().rows();
+  for (const auto& b : blocks) {
+    assert(b.rows() == rows);
+    cols += b.cols();
+  }
+  Matrix out(rows, cols);
+  int j0 = 0;
+  for (const auto& b : blocks) {
+    copy_into(b, out.block(0, j0, rows, b.cols()));
+    j0 += b.cols();
+  }
+  return out;
+}
+
+Matrix vconcat(const std::vector<ConstMatrixView>& blocks) {
+  if (blocks.empty()) return {};
+  int rows = 0;
+  const int cols = blocks.front().cols();
+  for (const auto& b : blocks) {
+    assert(b.cols() == cols);
+    rows += b.rows();
+  }
+  Matrix out(rows, cols);
+  int i0 = 0;
+  for (const auto& b : blocks) {
+    copy_into(b, out.block(i0, 0, b.rows(), cols));
+    i0 += b.rows();
+  }
+  return out;
+}
+
+}  // namespace h2

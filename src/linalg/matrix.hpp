@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace h2 {
+
+class Matrix;
+
+/// Non-owning read-only view of a column-major matrix with leading dimension.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows);
+  }
+
+  [[nodiscard]] double operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * ld_];
+  }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int ld() const { return ld_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] const double* col(int j) const {
+    return data_ + static_cast<std::size_t>(j) * ld_;
+  }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Sub-view of rows [i0, i0+m) x cols [j0, j0+n).
+  [[nodiscard]] ConstMatrixView block(int i0, int j0, int m, int n) const {
+    assert(i0 >= 0 && j0 >= 0 && i0 + m <= rows_ && j0 + n <= cols_);
+    return {data_ + static_cast<std::size_t>(i0) + static_cast<std::size_t>(j0) * ld_,
+            m, n, ld_};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  int rows_ = 0, cols_ = 0, ld_ = 1;
+};
+
+/// Non-owning mutable view; converts implicitly to ConstMatrixView.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows);
+  }
+
+  [[nodiscard]] double& operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * ld_];
+  }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int ld() const { return ld_; }
+  [[nodiscard]] double* data() const { return data_; }
+  [[nodiscard]] double* col(int j) const {
+    return data_ + static_cast<std::size_t>(j) * ld_;
+  }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] MatrixView block(int i0, int j0, int m, int n) const {
+    assert(i0 >= 0 && j0 >= 0 && i0 + m <= rows_ && j0 + n <= cols_);
+    return {data_ + static_cast<std::size_t>(i0) + static_cast<std::size_t>(j0) * ld_,
+            m, n, ld_};
+  }
+
+  operator ConstMatrixView() const { return {data_, rows_, cols_, ld_}; }  // NOLINT
+
+ private:
+  double* data_ = nullptr;
+  int rows_ = 0, cols_ = 0, ld_ = 1;
+};
+
+/// Owning column-major dense matrix of doubles (leading dimension == rows).
+/// The single value type used throughout the library; vectors are n x 1.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized r x c matrix.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix identity(int n);
+  /// Entries i.i.d. uniform in [-1, 1).
+  static Matrix random(int rows, int cols, Rng& rng);
+  /// Entries i.i.d. standard normal.
+  static Matrix random_normal(int rows, int cols, Rng& rng);
+  /// Deep copy of a view.
+  static Matrix from(ConstMatrixView v);
+
+  [[nodiscard]] double& operator()(int i, int j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * rows_];
+  }
+  [[nodiscard]] double operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * rows_];
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] MatrixView view() { return {data(), rows_, cols_, rows_}; }
+  [[nodiscard]] ConstMatrixView view() const { return {data(), rows_, cols_, rows_}; }
+  [[nodiscard]] MatrixView block(int i0, int j0, int m, int n) {
+    return view().block(i0, j0, m, n);
+  }
+  [[nodiscard]] ConstMatrixView block(int i0, int j0, int m, int n) const {
+    return view().block(i0, j0, m, n);
+  }
+
+  operator MatrixView() { return view(); }             // NOLINT
+  operator ConstMatrixView() const { return view(); }  // NOLINT
+
+  /// Discard contents and reshape to zero-filled r x c.
+  void resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0);
+  }
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  [[nodiscard]] Matrix transposed() const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copy `src` into `dst` (shapes must match).
+void copy_into(ConstMatrixView src, MatrixView dst);
+
+/// Horizontal concatenation [A0 A1 ...]; all blocks share the row count.
+Matrix hconcat(const std::vector<ConstMatrixView>& blocks);
+/// Vertical concatenation; all blocks share the column count.
+Matrix vconcat(const std::vector<ConstMatrixView>& blocks);
+
+}  // namespace h2

@@ -1,0 +1,41 @@
+#include "linalg/norms.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace h2 {
+
+double norm_fro(ConstMatrixView a) {
+  double s = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    const double* cj = a.col(j);
+    for (int i = 0; i < a.rows(); ++i) s += cj[i] * cj[i];
+  }
+  return std::sqrt(s);
+}
+
+double norm_max(ConstMatrixView a) {
+  double s = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    const double* cj = a.col(j);
+    for (int i = 0; i < a.rows(); ++i) s = std::max(s, std::fabs(cj[i]));
+  }
+  return s;
+}
+
+double rel_error_fro(ConstMatrixView a, ConstMatrixView b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double diff2 = 0.0, ref2 = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    const double* aj = a.col(j);
+    const double* bj = b.col(j);
+    for (int i = 0; i < a.rows(); ++i) {
+      const double d = aj[i] - bj[i];
+      diff2 += d * d;
+      ref2 += bj[i] * bj[i];
+    }
+  }
+  return ref2 > 0.0 ? std::sqrt(diff2 / ref2) : std::sqrt(diff2);
+}
+
+}  // namespace h2

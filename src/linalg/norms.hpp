@@ -1,0 +1,17 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Frobenius norm.
+double norm_fro(ConstMatrixView a);
+
+/// Largest absolute entry.
+double norm_max(ConstMatrixView a);
+
+/// ||A - B||_F / ||B||_F (relative to the reference B; returns ||A||_F when
+/// B is exactly zero).
+double rel_error_fro(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace h2

@@ -1,0 +1,155 @@
+#include "linalg/qr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "util/flops.hpp"
+
+namespace h2 {
+namespace {
+
+/// Generate an elementary reflector H = I - tau v v^T annihilating x(1:).
+/// x(0) is replaced by beta, x(1:) by the reflector tail (v(0) == 1 implicit).
+double make_reflector(double* x, int n) {
+  if (n <= 1) return 0.0;
+  double xnorm2 = 0.0;
+  for (int i = 1; i < n; ++i) xnorm2 += x[i] * x[i];
+  if (xnorm2 == 0.0) return 0.0;
+  const double alpha = x[0];
+  double beta = std::sqrt(alpha * alpha + xnorm2);
+  if (alpha > 0.0) beta = -beta;
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (int i = 1; i < n; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+/// Apply H = I - tau v v^T (v packed in col[k:], v0 implicit 1) to columns
+/// [j0, j1) of `a`, restricted to rows [k, m).
+void apply_reflector_left(MatrixView a, int k, const double* v, double tau,
+                          int j0, int j1) {
+  if (tau == 0.0) return;
+  const int m = a.rows();
+  for (int j = j0; j < j1; ++j) {
+    double* cj = a.col(j);
+    double w = cj[k];
+    for (int i = k + 1; i < m; ++i) w += v[i] * cj[i];
+    w *= tau;
+    cj[k] -= w;
+    for (int i = k + 1; i < m; ++i) cj[i] -= w * v[i];
+  }
+}
+
+}  // namespace
+
+void householder_qr(MatrixView a, std::vector<double>& tau) {
+  const int m = a.rows(), n = a.cols();
+  const int k = m < n ? m : n;
+  tau.assign(k, 0.0);
+  for (int p = 0; p < k; ++p) {
+    double* cp = a.col(p);
+    tau[p] = make_reflector(cp + p, m - p);
+    apply_reflector_left(a, p, cp, tau[p], p + 1, n);
+  }
+  flops::add(flops::geqrf(m, n));
+}
+
+Matrix form_q(ConstMatrixView qr, const std::vector<double>& tau, int ncols,
+              int nref) {
+  const int m = qr.rows();
+  if (nref < 0) nref = static_cast<int>(tau.size());
+  assert(ncols <= m);
+  Matrix q(m, ncols);
+  for (int j = 0; j < ncols && j < m; ++j) q(j, j) = 1.0;
+  MatrixView qv = q;
+  for (int p = nref - 1; p >= 0; --p)
+    apply_reflector_left(qv, p, qr.col(p), tau[p], 0, ncols);
+  flops::add(2ull * m * ncols * static_cast<std::uint64_t>(nref));
+  return q;
+}
+
+Matrix extract_r(ConstMatrixView qr) {
+  const int m = qr.rows(), n = qr.cols();
+  const int k = m < n ? m : n;
+  Matrix r(k, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j && i < k; ++i) r(i, j) = qr(i, j);
+  return r;
+}
+
+PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank) {
+  const int m = a.rows(), n = a.cols();
+  const int kmax0 = m < n ? m : n;
+  const int kmax = (max_rank >= 0 && max_rank < kmax0) ? max_rank : kmax0;
+
+  Matrix work = Matrix::from(a);
+  MatrixView w = work;
+  std::vector<double> tau;
+  tau.reserve(kmax);
+  PivotedQr out;
+  out.jpvt.resize(n);
+  for (int j = 0; j < n; ++j) out.jpvt[j] = j;
+
+  // Column norms (squared), with the classic downdate + recompute guard.
+  std::vector<double> norm2(n), norm2_ref(n);
+  double init_max = 0.0;
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    const double* cj = w.col(j);
+    for (int i = 0; i < m; ++i) s += cj[i] * cj[i];
+    norm2[j] = norm2_ref[j] = s;
+    init_max = std::max(init_max, s);
+  }
+  flops::add(2ull * m * n);
+  const double stop2 =
+      (rel_tol > 0.0) ? rel_tol * rel_tol * init_max : -1.0;
+
+  int rank = 0;
+  for (int p = 0; p < kmax; ++p) {
+    // Pick the remaining column with the largest norm.
+    int jmax = p;
+    double vmax = norm2[p];
+    for (int j = p + 1; j < n; ++j)
+      if (norm2[j] > vmax) {
+        vmax = norm2[j];
+        jmax = j;
+      }
+    if (vmax <= stop2 || vmax == 0.0) break;
+    if (jmax != p) {
+      for (int i = 0; i < m; ++i) std::swap(w(i, p), w(i, jmax));
+      std::swap(norm2[p], norm2[jmax]);
+      std::swap(norm2_ref[p], norm2_ref[jmax]);
+      std::swap(out.jpvt[p], out.jpvt[jmax]);
+    }
+    double* cp = w.col(p);
+    const double t = make_reflector(cp + p, m - p);
+    tau.push_back(t);
+    apply_reflector_left(w, p, cp, t, p + 1, n);
+    ++rank;
+    // Downdate remaining column norms; recompute on cancellation.
+    for (int j = p + 1; j < n; ++j) {
+      const double wp = w(p, j);
+      norm2[j] -= wp * wp;
+      if (norm2[j] < 1e-12 * norm2_ref[j] || norm2[j] < 0.0) {
+        double s = 0.0;
+        const double* cj = w.col(j);
+        for (int i = p + 1; i < m; ++i) s += cj[i] * cj[i];
+        norm2[j] = norm2_ref[j] = s;
+      }
+    }
+  }
+  flops::add(flops::geqrf(m, n));
+
+  out.rank = rank;
+  out.q = form_q(w, tau, m, rank);
+  out.r = Matrix(rank, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < rank && i <= j; ++i) out.r(i, j) = w(i, j);
+  // R is upper-trapezoidal in the pivoted ordering; rows beyond `rank` are
+  // truncated (that is the low-rank approximation error).
+  return out;
+}
+
+}  // namespace h2

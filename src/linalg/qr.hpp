@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// In-place Householder QR (LAPACK geqrf layout: R on/above the diagonal,
+/// reflector vectors below with implicit leading 1; tau holds the reflector
+/// scales).
+void householder_qr(MatrixView a, std::vector<double>& tau);
+
+/// Assemble the first `ncols` columns of Q from geqrf output, using the first
+/// `nref` reflectors (nref = tau.size() by default when nref < 0).
+Matrix form_q(ConstMatrixView qr, const std::vector<double>& tau, int ncols,
+              int nref = -1);
+
+/// Extract the upper-trapezoidal R (k x n, k = min(m,n)) from geqrf output.
+Matrix extract_r(ConstMatrixView qr);
+
+/// Result of rank-revealing (column-pivoted) QR.
+///
+/// A(:, jpvt) ~= q(:, 0:rank) * r, with q a FULL m x m orthonormal matrix:
+/// the first `rank` columns span the numerical column space of A (the
+/// "skeleton" part U^S in the paper's notation) and the remaining m - rank
+/// columns its orthogonal complement (the "redundant" part U^R). This full
+/// square basis is exactly what the ULV factorization requires (Eqs. 2-3).
+struct PivotedQr {
+  Matrix q;               ///< m x m orthonormal [U^S U^R]
+  Matrix r;               ///< rank x n, R of the pivoted factorization
+  std::vector<int> jpvt;  ///< jpvt[j] = original index of pivoted column j
+  int rank = 0;
+};
+
+/// Column-pivoted Householder QR truncated at `rel_tol` (relative to the
+/// largest initial column norm) and optionally capped at `max_rank`.
+/// rel_tol <= 0 keeps full numerical rank.
+PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank = -1);
+
+}  // namespace h2

@@ -1,0 +1,106 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/flops.hpp"
+
+namespace h2 {
+
+Svd jacobi_svd(ConstMatrixView a) {
+  // Work on the tall orientation; swap U/V at the end if we transposed.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? Matrix::from(a).transposed() : Matrix::from(a);
+  const int m = w.rows(), n = w.cols();
+  Matrix v = Matrix::identity(n);
+
+  const double tol = 1e-14;
+  const int max_sweeps = 42;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = w.data() + static_cast<std::size_t>(p) * m;
+        const double* cq = w.data() + static_cast<std::size_t>(q) * m;
+        for (int i = 0; i < m; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) continue;
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        double* wp = w.data() + static_cast<std::size_t>(p) * m;
+        double* wq = w.data() + static_cast<std::size_t>(q) * m;
+        for (int i = 0; i < m; ++i) {
+          const double x = wp[i], y = wq[i];
+          wp[i] = cs * x - sn * y;
+          wq[i] = sn * x + cs * y;
+        }
+        double* vp = v.data() + static_cast<std::size_t>(p) * n;
+        double* vq = v.data() + static_cast<std::size_t>(q) * n;
+        for (int i = 0; i < n; ++i) {
+          const double x = vp[i], y = vq[i];
+          vp[i] = cs * x - sn * y;
+          vq[i] = sn * x + cs * y;
+        }
+      }
+    }
+    flops::add(6ull * m * n * n / 2);
+    if (!rotated) break;
+  }
+
+  Svd out;
+  out.sigma.resize(n);
+  out.u = Matrix(m, n);
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    const double* cj = w.data() + static_cast<std::size_t>(j) * m;
+    for (int i = 0; i < m; ++i) s += cj[i] * cj[i];
+    s = std::sqrt(s);
+    out.sigma[j] = s;
+    if (s > 0.0) {
+      const double inv = 1.0 / s;
+      for (int i = 0; i < m; ++i) out.u(i, j) = cj[i] * inv;
+    }
+  }
+  // Sort descending.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return out.sigma[x] > out.sigma[y]; });
+  Svd sorted;
+  sorted.sigma.resize(n);
+  sorted.u = Matrix(m, n);
+  sorted.v = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    const int src = order[j];
+    sorted.sigma[j] = out.sigma[src];
+    for (int i = 0; i < m; ++i) sorted.u(i, j) = out.u(i, src);
+    for (int i = 0; i < n; ++i) sorted.v(i, j) = v(i, src);
+  }
+  if (transposed) std::swap(sorted.u, sorted.v);
+  return sorted;
+}
+
+int svd_truncation_rank(const std::vector<double>& sigma, double rel_tol,
+                        int max_rank) {
+  if (sigma.empty()) return 0;
+  const double cut = rel_tol > 0.0 ? rel_tol * sigma.front() : 0.0;
+  int r = 0;
+  for (const double s : sigma) {
+    if (s <= cut || s == 0.0) break;
+    ++r;
+  }
+  if (max_rank >= 0 && r > max_rank) r = max_rank;
+  return r;
+}
+
+}  // namespace h2

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Thin SVD A = U diag(sigma) V^T with singular values sorted descending.
+struct Svd {
+  Matrix u;                   ///< m x k
+  std::vector<double> sigma;  ///< k, descending
+  Matrix v;                   ///< n x k
+};
+
+/// One-sided Jacobi SVD; intended for the small skeleton/recompression
+/// matrices (dimensions up to a few hundred).
+Svd jacobi_svd(ConstMatrixView a);
+
+/// Number of singular values above rel_tol * sigma[0], optionally capped.
+int svd_truncation_rank(const std::vector<double>& sigma, double rel_tol,
+                        int max_rank = -1);
+
+}  // namespace h2

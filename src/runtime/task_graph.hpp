@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace h2 {
+
+using TaskId = int;
+
+/// One executed-task record; the trace is the Fig. 13 artifact and the input
+/// to the distributed scheduling simulator (src/dist).
+struct TaskRecord {
+  TaskId id = -1;
+  int worker = -1;
+  double t_start = 0.0;  ///< seconds, monotonic epoch
+  double t_end = 0.0;
+  std::string label;
+
+  [[nodiscard]] double duration() const { return t_end - t_start; }
+};
+
+/// Aggregate statistics of one task-graph execution.
+struct ExecStats {
+  double wall_seconds = 0.0;
+  double useful_seconds = 0.0;    ///< sum of task durations
+  int n_workers = 0;
+  std::vector<TaskRecord> records;
+
+  /// Fraction of worker-time NOT spent inside tasks (scheduling overhead +
+  /// dependency stalls) — the red-vs-green ratio of the paper's Fig. 13.
+  [[nodiscard]] double overhead_fraction() const {
+    const double capacity = wall_seconds * n_workers;
+    return capacity > 0.0 ? 1.0 - useful_seconds / capacity : 0.0;
+  }
+};
+
+/// A one-shot dependency-counted task DAG (PaRSEC/StarPU substitute).
+///
+/// Tasks become ready when all their predecessors finish; ready tasks are
+/// executed by a ThreadPool. Execution records per-task spans so that the
+/// same DAG can afterwards be *replayed* on any number of simulated workers
+/// by the scheduling simulator — this is how the strong-scaling figures are
+/// produced on a single-core host.
+class TaskGraph {
+ public:
+  /// Register a task; returns its id. `label` classifies the task for traces
+  /// (e.g. "getrf", "trsm", "gemm").
+  TaskId add_task(std::function<void()> fn, std::string label = {});
+
+  /// `after` may not start until `before` has finished.
+  void add_dependency(TaskId before, TaskId after);
+
+  [[nodiscard]] int n_tasks() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] const std::vector<std::vector<TaskId>>& successors() const {
+    return successors_;
+  }
+  [[nodiscard]] const std::vector<int>& predecessor_counts() const {
+    return n_predecessors_;
+  }
+
+  /// Execute the whole DAG on `n_threads` workers (its own pool). Can only be
+  /// called once. Throws std::logic_error on dependency cycles (detected as
+  /// non-executed tasks).
+  ExecStats execute(int n_threads);
+
+  /// Write the trace as CSV (task id, label, worker, start, end).
+  static bool write_trace_csv(const ExecStats& stats, const std::string& path);
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::vector<int> n_predecessors_;
+  bool executed_ = false;
+};
+
+}  // namespace h2

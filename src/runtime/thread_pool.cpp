@@ -1,0 +1,110 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/env.hpp"
+
+namespace h2 {
+
+ThreadPool::ThreadPool(int n_threads) {
+  if (n_threads < 1) n_threads = 1;
+  workers_.reserve(n_threads);
+  for (int i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(static_cast<int>(
+      env::get_int("H2_THREADS",
+                   static_cast<long>(std::thread::hardware_concurrency()))));
+  return pool;
+}
+
+void parallel_for(int begin, int end, const std::function<void(int)>& fn,
+                  ThreadPool* pool) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (pool->size() <= 1 || n == 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Dynamic self-scheduling over indices. All state is shared-owned so that
+  // straggler workers stay valid after the caller has been released.
+  struct State {
+    std::function<void(int)> fn;
+    int end;
+    std::atomic<int> next;
+    std::atomic<int> remaining;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto st = std::make_shared<State>();
+  st->fn = fn;
+  st->end = end;
+  st->next.store(begin);
+  st->remaining.store(n);
+
+  const int n_tasks = std::min(pool->size(), n);
+  for (int t = 0; t < n_tasks; ++t) {
+    pool->submit([st] {
+      for (;;) {
+        const int i = st->next.fetch_add(1);
+        if (i >= st->end) break;
+        st->fn(i);
+        if (st->remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lk(st->mutex);
+          st->done = true;
+          st->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lk(st->mutex);
+  st->cv.wait(lk, [&] { return st->done; });
+}
+
+}  // namespace h2

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace h2 {
+
+/// Fixed-size worker pool with a shared FIFO queue. Deliberately simple:
+/// block-level tasks in this library are coarse (>= tens of microseconds),
+/// so queue contention is negligible and the behaviour easy to reason about.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is drained and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool sized by H2_THREADS (default: hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool (caller blocks).
+/// Falls back to a plain loop when the pool has a single worker or the
+/// range is tiny.
+void parallel_for(int begin, int end, const std::function<void(int)>& fn,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace h2

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+/// Environment-variable configuration helpers used by benches and examples
+/// (e.g. H2_BENCH_SCALE to enlarge problem sizes on bigger machines).
+namespace h2::env {
+
+/// Integer env var, or `fallback` when unset/unparsable.
+long get_int(const char* name, long fallback);
+
+/// Floating-point env var, or `fallback` when unset/unparsable.
+double get_double(const char* name, double fallback);
+
+/// String env var, or `fallback` when unset.
+std::string get_string(const char* name, const std::string& fallback);
+
+}  // namespace h2::env

@@ -1,0 +1,50 @@
+#include "util/flops.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace h2::flops {
+namespace {
+
+// Thread-local counter registered into a global registry so total()/reset()
+// can see every thread's contribution without per-add atomic traffic.
+struct Slot {
+  std::atomic<std::uint64_t> count{0};
+};
+
+std::mutex g_registry_mutex;
+std::vector<Slot*>& registry() {
+  static std::vector<Slot*> r;
+  return r;
+}
+
+Slot& local_slot() {
+  thread_local Slot* slot = [] {
+    auto* s = new Slot();  // intentionally leaked: lives for process lifetime
+    std::lock_guard<std::mutex> lk(g_registry_mutex);
+    registry().push_back(s);
+    return s;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+void add(std::uint64_t n) noexcept {
+  local_slot().count.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t total() noexcept {
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  std::uint64_t sum = 0;
+  for (const Slot* s : registry()) sum += s->count.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  for (Slot* s : registry()) s->count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace h2::flops

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+/// Exact floating-point-operation accounting.
+///
+/// Every dense kernel in `src/linalg` reports its analytic flop count here.
+/// This substitutes for the PAPI_FP_OPS hardware counters the paper uses in
+/// Fig. 10: it counts the same quantity, exactly and deterministically.
+///
+/// Counters are thread-local and flushed into a process-wide total, so they
+/// are cheap to update from parallel block-level code. A typical measurement:
+///
+///     h2::flops::reset();
+///     run_factorization();
+///     std::uint64_t n = h2::flops::total();
+namespace h2::flops {
+
+/// Add `n` floating-point operations to the calling thread's counter.
+void add(std::uint64_t n) noexcept;
+
+/// Sum of all threads' counters since the last reset().
+std::uint64_t total() noexcept;
+
+/// Zero all counters (all threads).
+void reset() noexcept;
+
+/// Analytic counts for the standard kernels (LAPACK working-note formulas).
+constexpr std::uint64_t gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k) noexcept {
+  return 2 * m * n * k;
+}
+constexpr std::uint64_t trsm_left(std::uint64_t m, std::uint64_t n) noexcept {
+  return m * m * n;  // triangular solve with m x m triangle, n right-hand sides
+}
+constexpr std::uint64_t trsm_right(std::uint64_t m, std::uint64_t n) noexcept {
+  return n * n * m;
+}
+constexpr std::uint64_t getrf(std::uint64_t m, std::uint64_t n) noexcept {
+  const std::uint64_t k = m < n ? m : n;
+  return 2 * m * n * k / 3 + k * k;  // ~ 2/3 n^3 for square
+}
+constexpr std::uint64_t potrf(std::uint64_t n) noexcept { return n * n * n / 3; }
+constexpr std::uint64_t geqrf(std::uint64_t m, std::uint64_t n) noexcept {
+  const std::uint64_t k = m < n ? m : n;
+  return 2 * m * n * k;  // Householder QR, counts reflector formation+apply
+}
+constexpr std::uint64_t kernel_eval(std::uint64_t n_entries, std::uint64_t per_entry) noexcept {
+  return n_entries * per_entry;
+}
+
+}  // namespace h2::flops

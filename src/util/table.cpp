@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace h2 {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << csv();
+  return static_cast<bool>(f);
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace h2

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2 {
+
+/// Accumulates rows and renders a GitHub-flavoured markdown table (the
+/// format every bench harness uses to print paper-figure reproductions),
+/// with optional CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells are pre-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as a markdown table.
+  [[nodiscard]] std::string markdown() const;
+
+  /// Render as CSV (header row + data rows).
+  [[nodiscard]] std::string csv() const;
+
+  /// Write CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t n_rows() const { return rows_.size(); }
+
+  /// printf-style float formatting helpers for cells.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_sci(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace h2

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "blr/blr_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+
+TEST(Blr, FactorizeAndSolveMatchesDense) {
+  const Problem p = make_problem(400, 32, Geometry::Cube, KernelKind::Laplace);
+  BlrOptions o;
+  o.tol = 1e-9;
+  BlrMatrix blr(*p.tree, *p.kernel, o);
+  blr.factorize();
+  Rng rng(1);
+  const Matrix b = Matrix::random(400, 2, rng);
+  Matrix x = b;
+  blr.solve(x);
+  const Matrix a = kernel_dense(*p.kernel, p.tree->points());
+  const Matrix x_ref = lu_solve(a, b);
+  EXPECT_LT(rel_error_fro(x, x_ref), 1e-5);
+}
+
+TEST(Blr, AdaptiveRanksAreSmallForFarTiles) {
+  const Problem p = make_problem(512, 64, Geometry::Cube, KernelKind::Laplace);
+  BlrOptions o;
+  o.tol = 1e-6;
+  BlrMatrix blr(*p.tree, *p.kernel, o);
+  EXPECT_GT(blr.max_rank_used(), 0);
+  EXPECT_LT(blr.max_rank_used(), 32);  // cap = tile/2 = 32; far tiles smaller
+  EXPECT_LT(blr.memory_bytes(), 8ull * 512 * 512);
+}
+
+TEST(Blr, LogDetMatchesDense) {
+  const Problem p = make_problem(300, 32, Geometry::Cube, KernelKind::Matern);
+  BlrOptions o;
+  o.tol = 1e-10;
+  BlrMatrix blr(*p.tree, *p.kernel, o);
+  blr.factorize();
+  Matrix a = kernel_dense(*p.kernel, p.tree->points());
+  std::vector<int> piv;
+  getrf(a, piv);
+  const double want = lu_logabsdet(a, piv);
+  EXPECT_NEAR(blr.logabsdet(), want, 1e-5 * std::abs(want));
+}
+
+TEST(Blr, TaskGraphHasTrailingDependencies) {
+  // The point of the comparison: BLR's DAG depth grows with the tile count
+  // (trailing sub-matrix dependencies), unlike the dependency-free ULV.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  BlrOptions o;
+  o.tol = 1e-6;
+  BlrMatrix blr(*p.tree, *p.kernel, o);
+  const ExecStats stats = blr.factorize();
+  const int nb = blr.n_tiles();
+  EXPECT_EQ(nb, 16);
+  // Tiled Cholesky task count: nb potrf + nb(nb-1)/2 trsm + sum_k k(k+1)/2.
+  const int expected =
+      nb + nb * (nb - 1) / 2 + nb * (nb - 1) * (nb + 1) / 6;
+  EXPECT_EQ(blr.graph().n_tasks(), expected);
+  EXPECT_EQ(static_cast<int>(stats.records.size()), expected);
+  // potrf(k) transitively depends on potrf(k-1): the DAG is deep.
+  EXPECT_GT(stats.useful_seconds, 0.0);
+}
+
+TEST(Blr, ParallelExecutionMatchesSerial) {
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  BlrOptions o1;
+  o1.tol = 1e-8;
+  BlrMatrix b1(*p.tree, *p.kernel, o1);
+  b1.factorize();
+  BlrOptions o4 = o1;
+  o4.n_threads = 4;
+  BlrMatrix b4(*p.tree, *p.kernel, o4);
+  b4.factorize();
+  Rng rng(2);
+  const Matrix rhs = Matrix::random(256, 1, rng);
+  Matrix x1 = rhs, x4 = rhs;
+  b1.solve(x1);
+  b4.solve(x4);
+  EXPECT_LT(rel_error_fro(x4, x1), 1e-8);
+}
+
+TEST(Blr, ToleranceControlsAccuracy) {
+  const Problem p = make_problem(300, 32, Geometry::Cube, KernelKind::Laplace);
+  double prev_err = 1.0;
+  int improvements = 0;
+  for (const double tol : {1e-3, 1e-6, 1e-9}) {
+    BlrOptions o;
+    o.tol = tol;
+    BlrMatrix blr(*p.tree, *p.kernel, o);
+    blr.factorize();
+    Rng rng(3);
+    const Matrix b = Matrix::random(300, 1, rng);
+    Matrix x = b;
+    blr.solve(x);
+    const Matrix a = kernel_dense(*p.kernel, p.tree->points());
+    const double err = rel_error_fro(x, lu_solve(a, b));
+    if (err < prev_err) ++improvements;
+    prev_err = err;
+  }
+  EXPECT_GE(improvements, 2);
+}
+
+}  // namespace
+}  // namespace h2

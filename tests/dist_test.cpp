@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "blr/blr_matrix.hpp"
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+
+ScheduleInput chain(int n, double dur) {
+  ScheduleInput in;
+  in.durations.assign(n, dur);
+  in.successors.resize(n);
+  for (int i = 0; i + 1 < n; ++i) in.successors[i].push_back(i + 1);
+  return in;
+}
+
+ScheduleInput independent(int n, double dur) {
+  ScheduleInput in;
+  in.durations.assign(n, dur);
+  in.successors.resize(n);
+  return in;
+}
+
+TEST(ScheduleSim, ChainIsSerialRegardlessOfWorkers) {
+  const ScheduleInput in = chain(10, 1.0);
+  const CommModel cm;
+  EXPECT_NEAR(list_schedule(in, 1, cm).makespan, 10.0, 1e-12);
+  EXPECT_NEAR(list_schedule(in, 8, cm).makespan, 10.0, 1e-12);
+  EXPECT_NEAR(critical_path(in), 10.0, 1e-12);
+}
+
+TEST(ScheduleSim, IndependentTasksScalePerfectly) {
+  const ScheduleInput in = independent(64, 1.0);
+  const CommModel cm;
+  EXPECT_NEAR(list_schedule(in, 1, cm).makespan, 64.0, 1e-12);
+  EXPECT_NEAR(list_schedule(in, 8, cm).makespan, 8.0, 1e-12);
+  EXPECT_NEAR(list_schedule(in, 64, cm).makespan, 1.0, 1e-12);
+  EXPECT_NEAR(list_schedule(in, 64, cm).efficiency(64), 1.0, 1e-9);
+}
+
+TEST(ScheduleSim, MakespanBounds) {
+  // Random-ish DAG: makespan must sit between critical path and serial time.
+  ScheduleInput in;
+  const int n = 50;
+  Rng rng(1);
+  in.durations.resize(n);
+  in.successors.resize(n);
+  for (int i = 0; i < n; ++i) {
+    in.durations[i] = rng.uniform(0.1, 1.0);
+    for (int j = i + 1; j < n; ++j)
+      if (rng.uniform() < 0.08) in.successors[i].push_back(j);
+  }
+  const CommModel cm;
+  const double serial = list_schedule(in, 1, cm).makespan;
+  const double p4 = list_schedule(in, 4, cm).makespan;
+  const double cp = critical_path(in);
+  EXPECT_LE(cp, p4 + 1e-9);
+  EXPECT_LE(p4, serial + 1e-9);
+  EXPECT_GE(p4, serial / 4 - 1e-9);
+}
+
+TEST(ScheduleSim, PerTaskOverheadHurtsSmallTasks) {
+  ScheduleInput in = independent(100, 1e-4);
+  in.per_task_overhead = 1e-4;  // overhead comparable to work: Fig. 13 regime
+  const CommModel cm;
+  const double t = list_schedule(in, 4, cm).makespan;
+  EXPECT_NEAR(t, 100.0 / 4 * 2e-4, 1e-9);
+  EXPECT_NEAR(list_schedule(in, 4, cm).efficiency(4), 0.5, 1e-6);
+}
+
+TEST(ScheduleSim, CommCostDelaysCrossWorkerEdges) {
+  // Two tasks in a chain with large output: pinning them to different
+  // workers pays the alpha-beta cost; same worker does not.
+  ScheduleInput in = chain(2, 1.0);
+  in.out_bytes = {1e9, 1e9};
+  CommModel cm;
+  cm.alpha = 0.0;
+  cm.beta = 1e-9;  // 1 GB/s -> 1 s transfer
+  in.owner = {0, 0};
+  EXPECT_NEAR(list_schedule(in, 2, cm).makespan, 2.0, 1e-9);
+  in.owner = {0, 1};
+  EXPECT_NEAR(list_schedule(in, 2, cm).makespan, 3.0, 1e-9);
+}
+
+TEST(ScheduleSim, PinnedOwnersSerializeSharedWorker) {
+  ScheduleInput in = independent(10, 1.0);
+  in.owner.assign(10, 3);  // all pinned to one worker
+  const CommModel cm;
+  EXPECT_NEAR(list_schedule(in, 8, cm).makespan, 10.0, 1e-12);
+}
+
+TEST(UlvDistModel, SharedMemoryModelScalesAndSaturates) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-8;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  u.record_tasks = true;
+  const UlvFactorization f(h, u);
+  UlvDistModel model{&f.stats(), &h.structure()};
+  const double t1 = model.shared_memory_time(1);
+  const double t4 = model.shared_memory_time(4);
+  const double t64 = model.shared_memory_time(64);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t4, t1);
+  EXPECT_GE(t1 / t4, 1.5);   // real speedup
+  EXPECT_LE(t1 / t4, 4.01);  // bounded by worker count
+  EXPECT_LE(t64, t4);
+}
+
+TEST(UlvDistModel, DistributedModelMonotoneAndCommBounded) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-8;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  u.record_tasks = true;
+  const UlvFactorization f(h, u);
+  UlvDistModel model{&f.stats(), &h.structure()};
+  const CommModel cm;
+  const double t1 = model.time(1, cm);
+  const double t4 = model.time(4, cm);
+  const double t16 = model.time(16, cm);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t4, t1);
+  EXPECT_LE(t16, t4 + 1e-6);
+}
+
+TEST(BlrDistReplay, DagReplayShowsLimitedScaling) {
+  // Replaying the measured BLR DAG: speedup exists but is capped by the
+  // trailing-dependency critical path.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  BlrOptions o;
+  o.tol = 1e-6;
+  BlrMatrix blr(*p.tree, *p.kernel, o);
+  const ExecStats stats = blr.factorize();
+  ScheduleInput in;
+  in.durations.resize(stats.records.size());
+  for (const auto& r : stats.records) in.durations[r.id] = r.duration();
+  in.successors = blr.graph().successors();
+  const CommModel cm;
+  const double t1 = list_schedule(in, 1, cm).makespan;
+  const double t16 = list_schedule(in, 16, cm).makespan;
+  const double cp = critical_path(in);
+  EXPECT_LT(t16, t1);
+  EXPECT_GE(t16, cp - 1e-12);
+  // Scaling is capped by the critical path fraction.
+  EXPECT_LT(t1 / t16, 17.0);
+}
+
+}  // namespace
+}  // namespace h2

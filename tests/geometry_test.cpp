@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geometry/cloud.hpp"
+#include "geometry/cluster_tree.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(Cloud, UniformCubeInUnitBox) {
+  Rng rng(1);
+  const PointCloud pts = uniform_cube(500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.z, 1.0);
+  }
+  EXPECT_GT(cloud_diameter(pts), 1.0);
+  EXPECT_LT(cloud_diameter(pts), 1.8);
+}
+
+TEST(Cloud, SphereSurfaceOnSphere) {
+  Rng rng(2);
+  const PointCloud pts = sphere_surface(300, rng, {1, 2, 3}, 2.0);
+  ASSERT_EQ(pts.size(), 300u);
+  for (const auto& p : pts)
+    EXPECT_NEAR(dist(p, Point{1, 2, 3}), 2.0, 1e-9);
+}
+
+TEST(Cloud, MoleculeSurfaceIsExposed) {
+  Rng rng(3);
+  const PointCloud pts = molecule_surface(400, rng);
+  ASSERT_EQ(pts.size(), 400u);
+  // Non-degenerate, blob-scaled geometry.
+  const double d = cloud_diameter(pts);
+  EXPECT_GT(d, 1.0);
+  EXPECT_LT(d, 30.0);
+}
+
+TEST(Cloud, CrowdedMoleculesCountAndSpread) {
+  Rng rng(4);
+  const PointCloud pts = crowded_molecules(800, rng, 8);
+  ASSERT_EQ(pts.size(), 800u);
+  EXPECT_GT(cloud_diameter(pts), 7.0);  // spans multiple grid cells
+}
+
+class TreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeTest, PartitionIsAPermutation) {
+  const int n = GetParam();
+  Rng rng(n);
+  const PointCloud pts = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  ASSERT_EQ(tree.n_points(), n);
+  std::set<int> seen(tree.perm().begin(), tree.perm().end());
+  EXPECT_EQ(static_cast<int>(seen.size()), n);
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(tree.points()[i].x, pts[tree.perm()[i]].x);
+}
+
+TEST_P(TreeTest, FullBinaryBalancedTree) {
+  const int n = GetParam();
+  Rng rng(n + 1);
+  const PointCloud pts = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  const int depth = tree.depth();
+  EXPECT_LE(1 << depth, n);
+  for (int l = 0; l <= depth; ++l) {
+    int total = 0;
+    int prev_end = 0;
+    for (int c = 0; c < tree.n_clusters(l); ++c) {
+      const ClusterNode& nd = tree.node(l, c);
+      EXPECT_EQ(nd.begin, prev_end);  // contiguous, ordered
+      prev_end = nd.end;
+      total += nd.size();
+      if (l == depth) {
+        EXPECT_LE(nd.size(), 32);
+        EXPECT_GE(nd.size(), 1);
+      }
+    }
+    EXPECT_EQ(total, n);
+  }
+  // Sibling sizes differ by at most one (median splits).
+  for (int c = 0; c + 1 < tree.n_clusters(depth); c += 2) {
+    EXPECT_LE(std::abs(tree.node(depth, c).size() -
+                       tree.node(depth, c + 1).size()),
+              1);
+  }
+}
+
+TEST_P(TreeTest, BoundingSpheresContainPoints) {
+  const int n = GetParam();
+  Rng rng(n + 2);
+  const PointCloud pts = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  for (int l = 0; l <= tree.depth(); ++l)
+    for (int c = 0; c < tree.n_clusters(l); ++c) {
+      const ClusterNode& nd = tree.node(l, c);
+      for (const auto& p : tree.cluster_points(l, c))
+        EXPECT_LE(dist(p, nd.center), nd.radius + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeTest, ::testing::Values(33, 64, 100, 257, 1024));
+
+TEST(Tree, SinglePointAndTinyClouds) {
+  Rng rng(5);
+  for (const int n : {1, 2, 3}) {
+    const PointCloud pts = uniform_cube(n, rng);
+    const ClusterTree tree = ClusterTree::build(pts, 8, rng);
+    EXPECT_EQ(tree.depth(), 0);
+    EXPECT_EQ(tree.node(0, 0).size(), n);
+  }
+}
+
+TEST(Tree, DuplicatePointsDoNotBreakPartitioning) {
+  Rng rng(6);
+  PointCloud pts(64, Point{0.5, 0.5, 0.5});  // all identical
+  const ClusterTree tree = ClusterTree::build(pts, 8, rng);
+  EXPECT_GE(tree.depth(), 3);
+  for (int c = 0; c < tree.n_clusters(tree.depth()); ++c)
+    EXPECT_EQ(tree.node(tree.depth(), c).size(), 64 / tree.n_clusters(tree.depth()));
+}
+
+TEST(Tree, KMeansSeparatesTwoBlobs) {
+  Rng rng(7);
+  PointCloud pts;
+  for (int i = 0; i < 64; ++i) {
+    const PointCloud a = sphere_surface(1, rng, {0, 0, 0}, 0.5);
+    const PointCloud b = sphere_surface(1, rng, {10, 0, 0}, 0.5);
+    pts.push_back(a[0]);
+    pts.push_back(b[0]);
+  }
+  const ClusterTree tree = ClusterTree::build(pts, 64, rng);
+  ASSERT_EQ(tree.depth(), 1);
+  // Each level-1 cluster should be one blob: radius << blob separation.
+  EXPECT_LT(tree.node(1, 0).radius, 2.0);
+  EXPECT_LT(tree.node(1, 1).radius, 2.0);
+  EXPECT_GT(dist(tree.node(1, 0).center, tree.node(1, 1).center), 8.0);
+}
+
+TEST(Tree, OrderRoundTrip) {
+  Rng rng(8);
+  const PointCloud pts = uniform_cube(100, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  std::vector<double> orig(100);
+  for (int i = 0; i < 100; ++i) orig[i] = i * 1.5;
+  const auto treeord = tree.to_tree_order(orig);
+  const auto back = tree.to_original_order(treeord);
+  EXPECT_EQ(back, orig);
+  EXPECT_EQ(treeord[0], 1.5 * tree.perm()[0]);
+}
+
+}  // namespace
+}  // namespace h2

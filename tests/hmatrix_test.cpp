@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geometry/cloud.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "hmatrix/h2_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "linalg/linalg.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(Admissibility, WeakAdmitsAllOffDiagonal) {
+  Rng rng(1);
+  const PointCloud pts = uniform_cube(128, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  const AdmissibilityConfig weak{Admissibility::Weak, 0.0};
+  for (int c = 1; c < tree.n_clusters(tree.depth()); ++c) {
+    EXPECT_TRUE(is_admissible(tree.node(tree.depth(), 0),
+                              tree.node(tree.depth(), c), weak));
+  }
+  EXPECT_FALSE(is_admissible(tree.node(2, 1), tree.node(2, 1), weak));
+}
+
+TEST(Admissibility, StrongRequiresSeparation) {
+  const AdmissibilityConfig strong{Admissibility::Strong, 1.0};
+  ClusterNode a, b;
+  a.level = b.level = 3;
+  a.lid = 0;
+  b.lid = 5;
+  a.center = {0, 0, 0};
+  b.center = {3, 0, 0};
+  a.radius = b.radius = 1.0;
+  EXPECT_TRUE(is_admissible(a, b, strong));
+  b.center = {1.5, 0, 0};
+  EXPECT_FALSE(is_admissible(a, b, strong));
+}
+
+class StructureTest
+    : public ::testing::TestWithParam<std::pair<Admissibility, int>> {};
+
+TEST_P(StructureTest, BlocksTileTheMatrixExactly) {
+  const auto [adm, n] = GetParam();
+  Rng rng(n);
+  const PointCloud pts = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  const BlockStructure s(tree, {adm, 0.75});
+
+  // Paint every (row, col) element covered by a stored block; each must be
+  // painted exactly once.
+  std::vector<int> paint(static_cast<std::size_t>(n) * n, 0);
+  auto mark = [&](int level, int i, int j) {
+    const ClusterNode& ri = tree.node(level, i);
+    const ClusterNode& cj = tree.node(level, j);
+    for (int r = ri.begin; r < ri.end; ++r)
+      for (int c = cj.begin; c < cj.end; ++c)
+        ++paint[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int l = 1; l <= s.depth(); ++l)
+    for (const auto& [i, j] : s.admissible_pairs(l)) mark(l, i, j);
+  for (const auto& [i, j] : s.inadmissible_pairs(s.depth())) mark(s.depth(), i, j);
+  for (const int p : paint) EXPECT_EQ(p, 1);
+}
+
+TEST_P(StructureTest, PairListsAreSymmetric) {
+  const auto [adm, n] = GetParam();
+  Rng rng(n + 1);
+  const PointCloud pts = uniform_cube(n, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  const BlockStructure s(tree, {adm, 0.75});
+  for (int l = 1; l <= s.depth(); ++l) {
+    for (const auto& [i, j] : s.admissible_pairs(l))
+      EXPECT_TRUE(s.is_admissible_at(l, j, i));
+    for (const auto& [i, j] : s.inadmissible_pairs(l))
+      EXPECT_TRUE(s.is_inadmissible_at(l, j, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StructureTest,
+    ::testing::Values(std::pair{Admissibility::Weak, 128},
+                      std::pair{Admissibility::Strong, 128},
+                      std::pair{Admissibility::Strong, 300},
+                      std::pair{Admissibility::Weak, 67}));
+
+TEST(Structure, WeakHasNoOffDiagonalDenseBlocks) {
+  Rng rng(9);
+  const PointCloud pts = uniform_cube(256, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 16, rng);
+  const BlockStructure s(tree, {Admissibility::Weak, 0.0});
+  for (const auto& [i, j] : s.inadmissible_pairs(s.depth())) EXPECT_EQ(i, j);
+  EXPECT_EQ(s.max_dense_row_size(), 1);
+}
+
+TEST(Structure, StrongHasBoundedDenseRow) {
+  Rng rng(10);
+  const PointCloud pts = uniform_cube(512, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  const BlockStructure s(tree, {Admissibility::Strong, 0.75});
+  EXPECT_GT(s.max_dense_row_size(), 1);   // 3-D: some near-field neighbors
+  EXPECT_LT(s.max_dense_row_size(), 17);  // but O(1), not O(N/m)
+}
+
+TEST(LowRankAca, MatchesDenseCompression) {
+  Rng rng(2);
+  const PointCloud pts = uniform_cube(200, rng);
+  // Two well-separated groups: a genuinely low-rank interaction.
+  PointCloud rows(pts.begin(), pts.begin() + 100);
+  PointCloud cols;
+  for (int i = 100; i < 200; ++i)
+    cols.push_back(pts[i] + Point{5.0, 0.0, 0.0});
+  const LaplaceKernel k;
+  const Matrix exact = kernel_block(k, rows, cols);
+  for (const double tol : {1e-4, 1e-8, 1e-10}) {
+    const LowRank lr = aca_compress(k, rows, cols, tol);
+    EXPECT_LT(rel_error_fro(lr.to_dense(), exact), 20 * tol) << "tol=" << tol;
+    EXPECT_LT(lr.rank(), 40);
+  }
+}
+
+TEST(LowRankAca, RankGrowsAsToleranceShrinks) {
+  Rng rng(3);
+  const PointCloud rows = sphere_surface(150, rng, {0, 0, 0}, 1.0);
+  const PointCloud cols = sphere_surface(150, rng, {4, 0, 0}, 1.0);
+  const LaplaceKernel k;
+  int prev = 0;
+  for (const double tol : {1e-2, 1e-5, 1e-9}) {
+    const LowRank lr = aca_compress(k, rows, cols, tol);
+    EXPECT_GE(lr.rank(), prev);
+    prev = lr.rank();
+  }
+  EXPECT_GT(prev, 3);
+}
+
+TEST(LowRankDense, CompressAndRecompress) {
+  Rng rng(4);
+  const Matrix u = Matrix::random(40, 6, rng);
+  const Matrix v = Matrix::random(30, 6, rng);
+  const Matrix a = matmul(u, v, Trans::No, Trans::Yes);
+  const LowRank lr = compress_dense(a, 1e-12);
+  EXPECT_EQ(lr.rank(), 6);
+  EXPECT_LT(rel_error_fro(lr.to_dense(), a), 1e-10);
+
+  // Concatenating a block with itself doubles rank; recompression restores it.
+  LowRank doubled;
+  doubled.u = hconcat({lr.u, lr.u});
+  doubled.v = hconcat({lr.v, lr.v});
+  const LowRank rec = recompress(doubled, 1e-10);
+  EXPECT_EQ(rec.rank(), 6);
+  Matrix twice = a;
+  scale(2.0, twice);
+  EXPECT_LT(rel_error_fro(rec.to_dense(), twice), 1e-9);
+}
+
+class H2BuildTest : public ::testing::TestWithParam<Admissibility> {};
+
+TEST_P(H2BuildTest, ConstructionErrorBounded) {
+  Rng rng(5);
+  const PointCloud pts = uniform_cube(400, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  const LaplaceKernel k;
+  H2BuildOptions opt;
+  opt.admissibility = {GetParam(), 0.75};
+  opt.tol = 1e-7;
+  const H2Matrix h(tree, k, opt);
+  const Matrix exact = kernel_dense(k, tree.points());
+  EXPECT_LT(rel_error_fro(h.to_dense(), exact), 1e-5);
+  EXPECT_GT(h.max_rank_used(), 0);
+  // At this small size the multi-level storage overhead dominates; real
+  // compression is asserted by the complexity benches at larger N.
+  EXPECT_LT(h.memory_bytes(), 2 * 8ull * 400 * 400);
+}
+
+TEST_P(H2BuildTest, MatvecMatchesDense) {
+  Rng rng(6);
+  const PointCloud pts = uniform_cube(300, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  const YukawaKernel k(0.8);
+  H2BuildOptions opt;
+  opt.admissibility = {GetParam(), 0.75};
+  opt.tol = 1e-8;
+  const H2Matrix h(tree, k, opt);
+  const Matrix x = Matrix::random(300, 3, rng);
+  Matrix y(300, 3);
+  h.matvec(x, y);
+  const Matrix want = matmul(kernel_dense(k, tree.points()), x);
+  EXPECT_LT(rel_error_fro(y, want), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, H2BuildTest,
+                         ::testing::Values(Admissibility::Weak,
+                                           Admissibility::Strong));
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/cloud.hpp"
+#include "kernels/assembly.hpp"
+#include "kernels/kernel.hpp"
+#include "linalg/linalg.hpp"
+#include "util/flops.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Kernels, LaplaceValues) {
+  const LaplaceKernel k(1e-3);
+  const Point a{0, 0, 0}, b{1, 0, 0};
+  EXPECT_NEAR(k.eval(a, b), 1.0 / (4.0 * kPi * 1.001), 1e-14);
+  // Regularized diagonal is finite.
+  EXPECT_NEAR(k.eval(a, a), 1.0 / (4.0 * kPi * 1e-3), 1e-9);
+}
+
+TEST(Kernels, YukawaDecaysFasterThanLaplace) {
+  const LaplaceKernel lap(1e-3);
+  const YukawaKernel yuk(2.0, 1e-3);
+  const Point a{0, 0, 0};
+  for (const double r : {0.5, 1.0, 2.0, 4.0}) {
+    const Point b{r, 0, 0};
+    EXPECT_LT(yuk.eval(a, b), lap.eval(a, b));
+  }
+  // Ratio matches exp(-alpha r).
+  const Point b{1.5, 0, 0};
+  EXPECT_NEAR(yuk.eval(a, b) / lap.eval(a, b), std::exp(-2.0 * 1.5), 1e-12);
+}
+
+TEST(Kernels, SymmetryOfAllKernels) {
+  Rng rng(1);
+  const LaplaceKernel k1;
+  const YukawaKernel k2(1.3);
+  const GaussianKernel k3(0.7, 1e-2);
+  const Matern32Kernel k4(0.7, 1e-2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point a{rng.uniform(), rng.uniform(), rng.uniform()};
+    const Point b{rng.uniform(), rng.uniform(), rng.uniform()};
+    for (const Kernel* k :
+         std::initializer_list<const Kernel*>{&k1, &k2, &k3, &k4})
+      EXPECT_DOUBLE_EQ(k->eval(a, b), k->eval(b, a)) << k->name();
+  }
+}
+
+TEST(Kernels, GaussianNuggetOnlyOnDiagonal) {
+  const GaussianKernel k(0.5, 0.25);
+  const Point a{0.1, 0.2, 0.3};
+  EXPECT_NEAR(k.eval(a, a), 1.25, 1e-14);
+  const Point b{0.1, 0.2, 0.300001};
+  EXPECT_LT(k.eval(a, b), 1.0 + 1e-9);
+}
+
+TEST(Assembly, BlockMatchesEval) {
+  Rng rng(2);
+  const PointCloud pts = uniform_cube(20, rng);
+  const LaplaceKernel k;
+  const Matrix a = kernel_block(k, {pts.data(), 8}, {pts.data() + 8, 12});
+  ASSERT_EQ(a.rows(), 8);
+  ASSERT_EQ(a.cols(), 12);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 12; ++j)
+      EXPECT_DOUBLE_EQ(a(i, j), k.eval(pts[i], pts[8 + j]));
+}
+
+TEST(Assembly, DenseMatrixIsSymmetric) {
+  Rng rng(3);
+  const PointCloud pts = uniform_cube(50, rng);
+  const YukawaKernel k(1.0);
+  const Matrix a = kernel_dense(k, pts);
+  EXPECT_LT(rel_error_fro(a.transposed(), a), 1e-15);
+}
+
+TEST(Assembly, KernelMatricesAreSpd) {
+  // Completely monotone radial kernels are SPD on distinct points; this is
+  // what justifies the Cholesky-based BLR baseline (LORAPO does Cholesky).
+  Rng rng(4);
+  const PointCloud pts = uniform_cube(80, rng);
+  for (const Kernel* k : std::initializer_list<const Kernel*>{
+           new LaplaceKernel(1e-3), new YukawaKernel(1.0, 1e-3),
+           new GaussianKernel(0.5, 1e-2), new Matern32Kernel(0.5, 1e-2)}) {
+    Matrix a = kernel_dense(*k, pts);
+    EXPECT_NO_THROW(potrf(a.view())) << k->name();
+    delete k;
+  }
+}
+
+TEST(Assembly, StreamedMatvecMatchesDense) {
+  Rng rng(5);
+  const PointCloud pts = uniform_cube(300, rng);
+  const LaplaceKernel k;
+  const Matrix a = kernel_dense(k, pts);
+  const Matrix x = Matrix::random(300, 2, rng);
+  const Matrix want = matmul(a, x);
+  Matrix got(300, 2);
+  kernel_matvec(k, pts, x, got);
+  EXPECT_LT(rel_error_fro(got, want), 1e-13);
+}
+
+TEST(Assembly, FlopAccountingNonzero) {
+  Rng rng(6);
+  const PointCloud pts = uniform_cube(32, rng);
+  const LaplaceKernel k;
+  flops::reset();
+  (void)kernel_dense(k, pts);
+  EXPECT_GE(flops::total(), 32u * 32u * k.flops_per_eval());
+  flops::reset();
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+/// Reference triple-loop GEMM.
+Matrix naive_gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+                  Trans tb, double beta, Matrix c) {
+  const int m = c.rows(), n = c.cols();
+  const int k = (ta == Trans::No) ? a.cols() : a.rows();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) {
+        const double av = (ta == Trans::No) ? a(i, l) : a(l, i);
+        const double bv = (tb == Trans::No) ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  return c;
+}
+
+struct GemmCase {
+  int m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const GemmCase p = GetParam();
+  Rng rng(99);
+  const Matrix a = (p.ta == Trans::No) ? Matrix::random(p.m, p.k, rng)
+                                       : Matrix::random(p.k, p.m, rng);
+  const Matrix b = (p.tb == Trans::No) ? Matrix::random(p.k, p.n, rng)
+                                       : Matrix::random(p.n, p.k, rng);
+  Matrix c0 = Matrix::random(p.m, p.n, rng);
+  const Matrix want = naive_gemm(p.alpha, a, p.ta, b, p.tb, p.beta, c0);
+  Matrix got = c0;
+  gemm(p.alpha, a, p.ta, b, p.tb, p.beta, got);
+  EXPECT_LT(rel_error_fro(got, want), 1e-13) << "m=" << p.m << " n=" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GemmTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{3, 4, 5, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{3, 4, 5, Trans::No, Trans::No, -2.0, 0.5},
+        GemmCase{7, 2, 9, Trans::Yes, Trans::No, 1.0, 1.0},
+        GemmCase{4, 6, 3, Trans::No, Trans::Yes, 0.5, -1.0},
+        GemmCase{5, 5, 5, Trans::Yes, Trans::Yes, 1.0, 0.0},
+        GemmCase{16, 16, 16, Trans::No, Trans::No, 1.0, 1.0},
+        GemmCase{33, 17, 25, Trans::No, Trans::No, 2.0, 0.0},
+        GemmCase{33, 17, 25, Trans::Yes, Trans::No, 1.0, 0.0},
+        GemmCase{33, 17, 25, Trans::No, Trans::Yes, 1.0, 0.0},
+        GemmCase{33, 17, 25, Trans::Yes, Trans::Yes, 1.0, 0.0},
+        GemmCase{64, 64, 1, Trans::No, Trans::No, 1.0, 0.0},
+        GemmCase{1, 64, 64, Trans::Yes, Trans::No, 1.0, 0.0}));
+
+TEST(Gemm, EmptyDimensionsAreNoOps) {
+  Matrix c(3, 3);
+  c(0, 0) = 5.0;
+  gemm(1.0, Matrix(3, 0), Trans::No, Matrix(0, 3), Trans::No, 1.0, c);
+  EXPECT_EQ(c(0, 0), 5.0);  // k = 0 with beta = 1: C unchanged
+  gemm(1.0, Matrix(3, 0), Trans::No, Matrix(0, 3), Trans::No, 0.0, c);
+  EXPECT_EQ(c(0, 0), 0.0);  // beta = 0 clears C even with k = 0
+}
+
+TEST(Gemm, MatmulConvenience) {
+  Rng rng(5);
+  const Matrix a = Matrix::random(3, 4, rng);
+  const Matrix b = Matrix::random(4, 2, rng);
+  const Matrix c = matmul(a, b);
+  const Matrix want = naive_gemm(1.0, a, Trans::No, b, Trans::No, 0.0, Matrix(3, 2));
+  EXPECT_LT(rel_error_fro(c, want), 1e-14);
+}
+
+struct TrsmCase {
+  Side side;
+  UpLo uplo;
+  Trans trans;
+  Diag diag;
+  int m, n;
+};
+
+class TrsmTest : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmTest, SolvesTriangularSystem) {
+  const TrsmCase p = GetParam();
+  Rng rng(7);
+  const int t = (p.side == Side::Left) ? p.m : p.n;
+  // Well-conditioned triangular matrix: random + dominant diagonal.
+  Matrix a = Matrix::random(t, t, rng);
+  for (int i = 0; i < t; ++i) a(i, i) = 4.0 + i * 0.1;
+  const Matrix b = Matrix::random(p.m, p.n, rng);
+  Matrix x = b;
+  trsm(p.side, p.uplo, p.trans, p.diag, 1.0, a, x);
+
+  // Check op(T) X = B (Left) or X op(T) = B (Right), with T the selected
+  // triangle of `a` (unit diagonal if requested).
+  Matrix tri(t, t);
+  for (int i = 0; i < t; ++i)
+    for (int j = 0; j < t; ++j) {
+      const bool in_tri = (p.uplo == UpLo::Lower) ? (i >= j) : (i <= j);
+      if (i == j)
+        tri(i, j) = (p.diag == Diag::Unit) ? 1.0 : a(i, j);
+      else if (in_tri)
+        tri(i, j) = a(i, j);
+    }
+  Matrix lhs(p.m, p.n);
+  if (p.side == Side::Left)
+    gemm(1.0, tri, p.trans, x, Trans::No, 0.0, lhs);
+  else
+    gemm(1.0, x, Trans::No, tri, p.trans, 0.0, lhs);
+  EXPECT_LT(rel_error_fro(lhs, b), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmTest,
+    ::testing::Values(
+        TrsmCase{Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 8, 5},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 8, 5},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 8, 5},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::Yes, Diag::NonUnit, 8, 5},
+        TrsmCase{Side::Left, UpLo::Upper, Trans::Yes, Diag::Unit, 8, 5},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::No, Diag::NonUnit, 5, 8},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 5, 8},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::No, Diag::Unit, 5, 8},
+        TrsmCase{Side::Right, UpLo::Lower, Trans::Yes, Diag::NonUnit, 5, 8},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::Yes, Diag::NonUnit, 5, 8},
+        TrsmCase{Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1, 1},
+        TrsmCase{Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 17, 33}));
+
+TEST(Blas, AxpyAndScale) {
+  Rng rng(8);
+  const Matrix x = Matrix::random(4, 3, rng);
+  Matrix y = Matrix::random(4, 3, rng);
+  const Matrix y0 = y;
+  axpy(2.0, x, y);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 4; ++i)
+      EXPECT_NEAR(y(i, j), y0(i, j) + 2.0 * x(i, j), 1e-14);
+  scale(0.5, y);
+  EXPECT_NEAR(y(0, 0), 0.5 * (y0(0, 0) + 2.0 * x(0, 0)), 1e-14);
+}
+
+TEST(Blas, AddIdentity) {
+  Matrix a(3, 3);
+  add_identity(a, 2.5);
+  EXPECT_EQ(a(0, 0), 2.5);
+  EXPECT_EQ(a(2, 2), 2.5);
+  EXPECT_EQ(a(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace h2

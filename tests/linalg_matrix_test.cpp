@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "linalg/norms.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(4);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, BlockViewsAliasStorage) {
+  Matrix m(4, 4);
+  MatrixView b = m.block(1, 2, 2, 2);
+  b(0, 0) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(b.ld(), 4);
+  EXPECT_EQ(b.rows(), 2);
+}
+
+TEST(Matrix, NestedBlocks) {
+  Matrix m(6, 6);
+  m(3, 4) = 5.0;
+  ConstMatrixView outer = m.block(2, 2, 4, 4);
+  ConstMatrixView inner = outer.block(1, 2, 2, 2);
+  EXPECT_EQ(inner(0, 0), 5.0);
+}
+
+TEST(Matrix, Transposed) {
+  Rng rng(1);
+  const Matrix a = Matrix::random(3, 5, rng);
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 5);
+  ASSERT_EQ(t.cols(), 3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 5; ++j) EXPECT_EQ(a(i, j), t(j, i));
+}
+
+TEST(Matrix, CopyFromView) {
+  Rng rng(2);
+  const Matrix a = Matrix::random(4, 4, rng);
+  const Matrix b = Matrix::from(a.block(1, 1, 2, 3));
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(b(i, j), a(1 + i, 1 + j));
+}
+
+TEST(Matrix, ResizeDiscardsContents) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, HconcatShapesAndValues) {
+  Rng rng(3);
+  const Matrix a = Matrix::random(3, 2, rng);
+  const Matrix b = Matrix::random(3, 4, rng);
+  const Matrix c = hconcat({a, b});
+  ASSERT_EQ(c.rows(), 3);
+  ASSERT_EQ(c.cols(), 6);
+  EXPECT_EQ(c(1, 1), a(1, 1));
+  EXPECT_EQ(c(2, 3), b(2, 1));
+}
+
+TEST(Matrix, VconcatShapesAndValues) {
+  Rng rng(4);
+  const Matrix a = Matrix::random(2, 3, rng);
+  const Matrix b = Matrix::random(4, 3, rng);
+  const Matrix c = vconcat({a, b});
+  ASSERT_EQ(c.rows(), 6);
+  ASSERT_EQ(c.cols(), 3);
+  EXPECT_EQ(c(0, 2), a(0, 2));
+  EXPECT_EQ(c(3, 0), b(1, 0));
+}
+
+TEST(Matrix, ConcatWithEmptyBlocks) {
+  const Matrix a(3, 0);
+  const Matrix b(3, 2);
+  const Matrix c = hconcat({a, b});
+  EXPECT_EQ(c.cols(), 2);
+  const Matrix d = vconcat({Matrix(0, 2), Matrix(3, 2)});
+  EXPECT_EQ(d.rows(), 3);
+}
+
+TEST(Norms, FrobeniusAndMax) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(norm_fro(m), 5.0);
+  EXPECT_DOUBLE_EQ(norm_max(m), 4.0);
+}
+
+TEST(Norms, RelativeError) {
+  Matrix a(1, 2), b(1, 2);
+  b(0, 0) = 3.0;
+  b(0, 1) = 4.0;
+  a(0, 0) = 3.0;
+  a(0, 1) = 4.5;
+  EXPECT_NEAR(rel_error_fro(a, b), 0.1, 1e-15);
+  EXPECT_NEAR(rel_error_fro(b, b), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace h2

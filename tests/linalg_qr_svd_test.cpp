@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+double orthogonality_error(ConstMatrixView q) {
+  const Matrix qtq = matmul(q, q, Trans::Yes, Trans::No);
+  return rel_error_fro(qtq, Matrix::identity(q.cols()));
+}
+
+/// Random m x n matrix of exact rank r with singular values ~ geometric decay.
+Matrix rank_deficient(int m, int n, int r, Rng& rng) {
+  const Matrix u = Matrix::random(m, r, rng);
+  Matrix v = Matrix::random(n, r, rng);
+  for (int k = 0; k < r; ++k) {
+    const double s = std::pow(0.5, k);
+    for (int i = 0; i < n; ++i) v(i, k) *= s;
+  }
+  return matmul(u, v, Trans::No, Trans::Yes);
+}
+
+struct QrShape {
+  int m, n;
+};
+class QrTest : public ::testing::TestWithParam<QrShape> {};
+
+TEST_P(QrTest, HouseholderReconstructs) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 100 + n);
+  const Matrix a = Matrix::random(m, n, rng);
+  Matrix qr = a;
+  std::vector<double> tau;
+  householder_qr(qr, tau);
+  const int k = std::min(m, n);
+  const Matrix q = form_q(qr, tau, k);
+  EXPECT_LT(orthogonality_error(q), 1e-13);
+  const Matrix r = extract_r(qr);
+  const Matrix rebuilt = matmul(q, r);
+  EXPECT_LT(rel_error_fro(rebuilt, a), 1e-13);
+}
+
+TEST_P(QrTest, FullQIsSquareOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(m + 7 * n);
+  const Matrix a = Matrix::random(m, n, rng);
+  Matrix qr = a;
+  std::vector<double> tau;
+  householder_qr(qr, tau);
+  const Matrix q = form_q(qr, tau, m);
+  ASSERT_EQ(q.rows(), m);
+  ASSERT_EQ(q.cols(), m);
+  EXPECT_LT(orthogonality_error(q), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrTest,
+                         ::testing::Values(QrShape{1, 1}, QrShape{5, 3},
+                                           QrShape{3, 5}, QrShape{16, 16},
+                                           QrShape{33, 8}, QrShape{8, 33},
+                                           QrShape{64, 17}));
+
+TEST(PivotedQr, FullRankReconstruction) {
+  Rng rng(10);
+  const Matrix a = Matrix::random(12, 9, rng);
+  const PivotedQr f = pivoted_qr(a, 0.0);
+  EXPECT_EQ(f.rank, 9);
+  EXPECT_LT(orthogonality_error(f.q), 1e-13);
+  // A(:, jpvt[k]) == (Q R)(:, k).
+  const Matrix qr = matmul(f.q.block(0, 0, 12, f.rank), f.r);
+  for (int k = 0; k < 9; ++k)
+    for (int i = 0; i < 12; ++i)
+      EXPECT_NEAR(qr(i, k), a(i, f.jpvt[k]), 1e-12);
+}
+
+TEST(PivotedQr, DetectsExactRank) {
+  Rng rng(11);
+  for (const int r : {0, 1, 3, 7}) {
+    const Matrix a = r == 0 ? Matrix(20, 15) : rank_deficient(20, 15, r, rng);
+    const PivotedQr f = pivoted_qr(a, 1e-10);
+    EXPECT_EQ(f.rank, r);
+  }
+}
+
+TEST(PivotedQr, ToleranceTruncationBoundsError) {
+  Rng rng(12);
+  const Matrix a = rank_deficient(30, 25, 20, rng);  // decaying spectrum
+  for (const double tol : {1e-2, 1e-4, 1e-6}) {
+    const PivotedQr f = pivoted_qr(a, tol);
+    const Matrix approx = [&] {
+      Matrix qr = matmul(f.q.block(0, 0, 30, f.rank), f.r);
+      // Undo pivoting: approx(:, jpvt[k]) = qr(:, k).
+      Matrix out(30, 25);
+      for (int k = 0; k < 25; ++k)
+        for (int i = 0; i < 30; ++i) out(i, f.jpvt[k]) = qr(i, k);
+      return out;
+    }();
+    // Column-pivoted QR truncation error is bounded by ~sqrt(n-r)*tol*|A|.
+    EXPECT_LT(rel_error_fro(approx, a), 50 * tol);
+    // And the rank should shrink as tol grows.
+    EXPECT_LE(f.rank, 20);
+  }
+}
+
+TEST(PivotedQr, MaxRankCap) {
+  Rng rng(13);
+  const Matrix a = Matrix::random(16, 16, rng);
+  const PivotedQr f = pivoted_qr(a, 0.0, 5);
+  EXPECT_EQ(f.rank, 5);
+  EXPECT_EQ(f.q.rows(), 16);
+  EXPECT_EQ(f.q.cols(), 16);
+  EXPECT_LT(orthogonality_error(f.q), 1e-13);
+}
+
+TEST(PivotedQr, ZeroMatrixHasRankZeroIdentityQ) {
+  const Matrix a(6, 4);
+  const PivotedQr f = pivoted_qr(a, 1e-12);
+  EXPECT_EQ(f.rank, 0);
+  EXPECT_LT(rel_error_fro(f.q, Matrix::identity(6)), 1e-15);
+}
+
+TEST(PivotedQr, EmptyConcatenation) {
+  const Matrix a(5, 0);
+  const PivotedQr f = pivoted_qr(a, 1e-8);
+  EXPECT_EQ(f.rank, 0);
+  ASSERT_EQ(f.q.rows(), 5);
+  ASSERT_EQ(f.q.cols(), 5);
+}
+
+TEST(Svd, ReconstructsAndOrders) {
+  Rng rng(20);
+  for (const auto [m, n] : {std::pair{10, 6}, {6, 10}, {8, 8}, {1, 5}}) {
+    const Matrix a = Matrix::random(m, n, rng);
+    const Svd svd = jacobi_svd(a);
+    const int k = std::min(m, n);
+    ASSERT_EQ(static_cast<int>(svd.sigma.size()), k);
+    for (int i = 1; i < k; ++i) EXPECT_LE(svd.sigma[i], svd.sigma[i - 1] + 1e-14);
+    Matrix us = svd.u;
+    for (int j = 0; j < k; ++j)
+      for (int i = 0; i < m; ++i) us(i, j) *= svd.sigma[j];
+    const Matrix rebuilt = matmul(us, svd.v, Trans::No, Trans::Yes);
+    EXPECT_LT(rel_error_fro(rebuilt, a), 1e-11);
+    EXPECT_LT(orthogonality_error(svd.u.block(0, 0, m, k)), 1e-10);
+    EXPECT_LT(orthogonality_error(svd.v.block(0, 0, n, k)), 1e-10);
+  }
+}
+
+TEST(Svd, SingularValuesOfKnownMatrix) {
+  // diag(3, 2) embedded in 3x2.
+  Matrix a(3, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  const Svd svd = jacobi_svd(a);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-13);
+  EXPECT_NEAR(svd.sigma[1], 2.0, 1e-13);
+}
+
+TEST(Svd, TruncationRank) {
+  std::vector<double> sigma{10.0, 1.0, 1e-3, 1e-9, 0.0};
+  EXPECT_EQ(svd_truncation_rank(sigma, 1e-2), 2);
+  EXPECT_EQ(svd_truncation_rank(sigma, 1e-6), 3);
+  EXPECT_EQ(svd_truncation_rank(sigma, 0.0), 4);
+  EXPECT_EQ(svd_truncation_rank(sigma, 1e-6, 1), 1);
+  EXPECT_EQ(svd_truncation_rank({}, 1e-2), 0);
+}
+
+}  // namespace
+}  // namespace h2

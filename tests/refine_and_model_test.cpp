@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/refine.hpp"
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+
+TEST(Refine, ConvergesMonotonically) {
+  const Problem p = make_problem(400, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-12;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-3;  // deliberately sloppy factorization
+  const UlvFactorization f(h, u);
+  Rng rng(1);
+  const Matrix b = Matrix::random(400, 1, rng);
+  double prev = 1e30;
+  for (const int iters : {0, 1, 2, 4}) {
+    Matrix x = b;
+    f.solve(x);
+    const double rel = ulv_refine(h, f, b, x, iters);
+    EXPECT_LE(rel, prev * 1.01) << "iters=" << iters;
+    prev = rel;
+  }
+  EXPECT_LT(prev, 1e-7);
+}
+
+TEST(Refine, TargetStopsEarly) {
+  const Problem p = make_problem(300, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-12;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  const UlvFactorization f(h, u);
+  Rng rng(2);
+  const Matrix b = Matrix::random(300, 1, rng);
+  Matrix x = b;
+  f.solve(x);
+  const double rel = ulv_refine(h, f, b, x, 10, 1e-3);
+  EXPECT_LE(rel, 1e-3);
+}
+
+TEST(Refine, MultipleRhs) {
+  const Problem p = make_problem(300, 32, Geometry::Cube, KernelKind::Yukawa);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-12;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-4;
+  const UlvFactorization f(h, u);
+  Rng rng(3);
+  const Matrix b = Matrix::random(300, 3, rng);
+  Matrix x = b;
+  f.solve(x);
+  const double rel = ulv_refine(h, f, b, x, 4);
+  EXPECT_LT(rel, 1e-8);
+}
+
+TEST(UlvDistModel, MoreRanksNeverSlower) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-8;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  u.record_tasks = true;
+  const UlvFactorization f(h, u);
+  UlvDistModel model{&f.stats(), &h.structure()};
+  CommModel zero_comm;
+  zero_comm.alpha = 0.0;
+  zero_comm.beta = 0.0;
+  double prev = 1e300;
+  for (const int pcount : {1, 2, 4, 8, 16, 32, 64}) {
+    const double t = model.time(pcount, zero_comm);
+    EXPECT_LE(t, prev + 1e-12) << "p=" << pcount;
+    prev = t;
+  }
+}
+
+TEST(UlvDistModel, CommunicationAddsCostAtScale) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-8;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  u.record_tasks = true;
+  const UlvFactorization f(h, u);
+  UlvDistModel model{&f.stats(), &h.structure()};
+  CommModel zero;
+  zero.alpha = 0.0;
+  zero.beta = 0.0;
+  CommModel slow;
+  slow.alpha = 1e-3;
+  slow.beta = 1e-6;
+  EXPECT_GT(model.time(16, slow), model.time(16, zero));
+  EXPECT_EQ(model.time(1, slow), model.time(1, zero));  // 1 rank: no comm
+}
+
+TEST(ScheduleSim, OutBytesIgnoredWhenColocated) {
+  ScheduleInput in;
+  in.durations = {1.0, 1.0};
+  in.successors = {{1}, {}};
+  in.owner = {2, 2};
+  in.out_bytes = {1e12, 1e12};
+  CommModel cm;
+  cm.alpha = 1.0;
+  cm.beta = 1.0;
+  EXPECT_NEAR(list_schedule(in, 4, cm).makespan, 2.0, 1e-12);
+}
+
+TEST(ScheduleSim, EmptyDagIsFree) {
+  ScheduleInput in;
+  EXPECT_EQ(list_schedule(in, 4, CommModel{}).makespan, 0.0);
+  EXPECT_EQ(critical_path(in), 0.0);
+}
+
+TEST(ScheduleSim, SingleWorkerMatchesSerialSum) {
+  Rng rng(4);
+  ScheduleInput in;
+  const int n = 30;
+  in.durations.resize(n);
+  in.successors.resize(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    in.durations[i] = rng.uniform(0.1, 1.0);
+    total += in.durations[i];
+    if (i > 0 && rng.uniform() < 0.3) in.successors[i - 1].push_back(i);
+  }
+  EXPECT_NEAR(list_schedule(in, 1, CommModel{}).makespan, total, 1e-9);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](int i) { ++hits[i]; }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  ThreadPool pool(3);
+  int calls = 0;
+  parallel_for(5, 5, [&](int) { ++calls; }, &pool);
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](int i) { EXPECT_EQ(i, 7); ++calls; }, &pool);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskGraph, RespectsDependencies) {
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex m;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lk(m);
+    order.push_back(v);
+  };
+  const TaskId a = g.add_task([&] { push(0); }, "a");
+  const TaskId b = g.add_task([&] { push(1); }, "b");
+  const TaskId c = g.add_task([&] { push(2); }, "c");
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  const ExecStats stats = g.execute(4);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(stats.records.size(), 3u);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  TaskGraph g;
+  std::atomic<int> stage{0};
+  const TaskId src = g.add_task([&] { stage = 1; });
+  std::vector<TaskId> mids;
+  std::atomic<int> mid_seen_src{0};
+  for (int i = 0; i < 8; ++i) {
+    mids.push_back(g.add_task([&] {
+      if (stage.load() >= 1) ++mid_seen_src;
+    }));
+    g.add_dependency(src, mids.back());
+  }
+  std::atomic<bool> sink_ok{false};
+  const TaskId sink = g.add_task([&] { sink_ok = (mid_seen_src.load() == 8); });
+  for (const TaskId m : mids) g.add_dependency(m, sink);
+  g.execute(4);
+  EXPECT_TRUE(sink_ok.load());
+}
+
+TEST(TaskGraph, TraceRecordsAreComplete) {
+  TaskGraph g;
+  for (int i = 0; i < 10; ++i) g.add_task([] {}, "work");
+  const ExecStats stats = g.execute(2);
+  for (const auto& r : stats.records) {
+    EXPECT_GE(r.worker, 0);
+    EXPECT_LE(r.t_start, r.t_end);
+    EXPECT_EQ(r.label, "work");
+  }
+  EXPECT_GE(stats.overhead_fraction(), 0.0);
+  EXPECT_LE(stats.overhead_fraction(), 1.0);
+}
+
+TEST(TaskGraph, ExecuteTwiceThrows) {
+  TaskGraph g;
+  g.add_task([] {});
+  g.execute(1);
+  EXPECT_THROW(g.execute(1), std::logic_error);
+}
+
+TEST(TaskGraph, EmptyGraphCompletes) {
+  TaskGraph g;
+  const ExecStats stats = g.execute(2);
+  EXPECT_EQ(stats.records.size(), 0u);
+}
+
+TEST(TaskGraph, ManyIndependentTasksAllRun) {
+  TaskGraph g;
+  std::vector<std::atomic<int>> hits(200);
+  for (int i = 0; i < 200; ++i)
+    g.add_task([&hits, i] { ++hits[i]; });
+  g.execute(8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskGraph, TraceCsvWritable) {
+  TaskGraph g;
+  g.add_task([] {}, "x");
+  const ExecStats stats = g.execute(1);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  EXPECT_TRUE(TaskGraph::write_trace_csv(stats, path));
+}
+
+}  // namespace
+}  // namespace h2

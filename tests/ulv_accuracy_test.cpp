@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+using testing_support::ulv_solution_error;
+
+/// Parameterized accuracy sweep: every kernel x geometry x admissibility
+/// combination must solve to (a modest multiple of) the compression
+/// tolerance, mirroring the paper's relative-L2-vs-dense-LU metric.
+struct AccCase {
+  Geometry geo;
+  KernelKind kernel;
+  Admissibility adm;
+  double tol;
+  double budget;  ///< acceptable error
+};
+
+class UlvAccuracyTest : public ::testing::TestWithParam<AccCase> {};
+
+TEST_P(UlvAccuracyTest, SolutionErrorWithinBudget) {
+  const AccCase c = GetParam();
+  const Problem p = make_problem(400, 32, c.geo, c.kernel);
+  H2BuildOptions ho;
+  ho.admissibility = {c.adm, 0.75};
+  ho.tol = 1e-2 * c.tol;
+  UlvOptions u;
+  u.tol = c.tol;
+  const double err = ulv_solution_error(p, ho, u);
+  EXPECT_LT(err, c.budget)
+      << "geometry=" << static_cast<int>(c.geo)
+      << " kernel=" << static_cast<int>(c.kernel)
+      << " adm=" << static_cast<int>(c.adm) << " tol=" << c.tol;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsGeometries, UlvAccuracyTest,
+    ::testing::Values(
+        AccCase{Geometry::Cube, KernelKind::Laplace, Admissibility::Strong, 1e-8, 1e-4},
+        AccCase{Geometry::Cube, KernelKind::Laplace, Admissibility::Weak, 1e-8, 1e-4},
+        AccCase{Geometry::Cube, KernelKind::Yukawa, Admissibility::Strong, 1e-8, 1e-4},
+        AccCase{Geometry::Sphere, KernelKind::Laplace, Admissibility::Strong, 1e-8, 1e-4},
+        AccCase{Geometry::Sphere, KernelKind::Yukawa, Admissibility::Weak, 1e-8, 1e-4},
+        AccCase{Geometry::Molecule, KernelKind::Yukawa, Admissibility::Strong, 1e-8, 1e-4},
+        AccCase{Geometry::Molecule, KernelKind::Laplace, Admissibility::Strong, 1e-8, 1e-4},
+        AccCase{Geometry::Crowded, KernelKind::Yukawa, Admissibility::Strong, 1e-8, 1e-4},
+        // Covariance kernels with a small nugget are worse-conditioned, so
+        // the dense-reference comparison amplifies the compression error.
+        AccCase{Geometry::Cube, KernelKind::Gaussian, Admissibility::Strong, 1e-8, 2e-3},
+        AccCase{Geometry::Cube, KernelKind::Matern, Admissibility::Strong, 1e-8, 2e-3}));
+
+/// Error must track the tolerance knob (the paper's accuracy-controllability
+/// claim).
+class UlvToleranceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UlvToleranceTest, ErrorScalesWithTolerance) {
+  const double tol = GetParam();
+  const Problem p = make_problem(400, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-2 * tol;
+  UlvOptions u;
+  u.tol = tol;
+  const double err = ulv_solution_error(p, ho, u);
+  // The kernel matrix's conditioning puts a floor under the achievable
+  // solution error regardless of the compression tolerance.
+  EXPECT_LT(err, std::max(1e3 * tol, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tols, UlvToleranceTest,
+                         ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10));
+
+TEST(UlvAccuracy, TighterToleranceIsMoreAccurate) {
+  const Problem p = make_problem(400, 32, Geometry::Cube, KernelKind::Laplace);
+  double prev = 1.0;
+  int improvements = 0;
+  for (const double tol : {1e-3, 1e-6, 1e-10}) {
+    H2BuildOptions ho;
+    ho.admissibility = {Admissibility::Strong, 0.75};
+    ho.tol = 1e-2 * tol;
+    UlvOptions u;
+    u.tol = tol;
+    const double err = ulv_solution_error(p, ho, u);
+    if (err < prev) ++improvements;
+    prev = err;
+  }
+  EXPECT_GE(improvements, 2);
+}
+
+/// Residual-based check at a size where a dense reference is still cheap,
+/// using the streamed matvec (the method benches use at large N).
+TEST(UlvAccuracy, ResidualSmallViaStreamedMatvec) {
+  const Problem p = make_problem(600, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-10;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  Rng rng(9);
+  const Matrix b = Matrix::random(600, 1, rng);
+  Matrix x = b;
+  f.solve(x);
+  Matrix ax(600, 1);
+  kernel_matvec(*p.kernel, p.tree->points(), x, ax);
+  EXPECT_LT(rel_error_fro(ax, b), 1e-4);
+}
+
+/// Different leaf sizes must all converge (Fig. 12's knob).
+class UlvLeafSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UlvLeafSizeTest, SolvesAtAnyLeafSize) {
+  const Problem p =
+      make_problem(512, GetParam(), Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-10;
+  UlvOptions u;
+  u.tol = 1e-8;
+  const double err = ulv_solution_error(p, ho, u);
+  EXPECT_LT(err, 1e-4) << "leaf=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Leaves, UlvLeafSizeTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace h2

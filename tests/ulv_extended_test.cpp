@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/refine.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+using testing_support::ulv_solution_error;
+
+H2BuildOptions build_opts(Admissibility adm, double tol) {
+  H2BuildOptions o;
+  o.admissibility = {adm, 0.75};
+  o.tol = 1e-2 * tol;
+  return o;
+}
+
+TEST(UlvExtended, NonPowerOfTwoSizes) {
+  for (const int n : {250, 301, 509}) {
+    const Problem p =
+        make_problem(n, 32, Geometry::Cube, KernelKind::Laplace, n);
+    UlvOptions u;
+    u.tol = 1e-9;
+    const double err =
+        ulv_solution_error(p, build_opts(Admissibility::Strong, 1e-9), u);
+    EXPECT_LT(err, 1e-4) << "n=" << n;
+  }
+}
+
+TEST(UlvExtended, TinyLeafDeepTree) {
+  const Problem p = make_problem(256, 8, Geometry::Cube, KernelKind::Laplace);
+  EXPECT_EQ(p.tree->depth(), 5);
+  UlvOptions u;
+  u.tol = 1e-9;
+  const double err =
+      ulv_solution_error(p, build_opts(Admissibility::Strong, 1e-9), u);
+  EXPECT_LT(err, 1e-4);
+}
+
+TEST(UlvExtended, SequentialEqualsParallelForWeakAdmissibility) {
+  // With weak admissibility there are no cross-block Schur terms, so the two
+  // modes compute the identical factorization.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Weak, 1e-8));
+  UlvOptions up;
+  up.tol = 1e-8;
+  UlvOptions us = up;
+  us.mode = UlvMode::Sequential;
+  const UlvFactorization fp(h, up);
+  const UlvFactorization fs(h, us);
+  Rng rng(5);
+  const Matrix b = Matrix::random(256, 1, rng);
+  Matrix xp = b, xs = b;
+  fp.solve(xp);
+  fs.solve(xs);
+  EXPECT_LT(rel_error_fro(xs, xp), 1e-12);
+  EXPECT_NEAR(fp.logabsdet(), fs.logabsdet(), 1e-10 * std::abs(fp.logabsdet()));
+}
+
+TEST(UlvExtended, SolveIsDeterministic) {
+  const Problem p = make_problem(300, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f1(h, u);
+  const UlvFactorization f2(h, u);
+  Rng rng(6);
+  const Matrix b = Matrix::random(300, 2, rng);
+  Matrix x1 = b, x2 = b;
+  f1.solve(x1);
+  f2.solve(x2);
+  EXPECT_LT(rel_error_fro(x1, x2), 1e-15);
+}
+
+TEST(UlvExtended, ZeroRhsGivesZeroSolution) {
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  Matrix b(256, 1);
+  f.solve(b);
+  EXPECT_EQ(norm_fro(b), 0.0);
+}
+
+TEST(UlvExtended, LinearityOfSolve) {
+  // F^-1(a b1 + b2) == a F^-1 b1 + F^-1 b2 — the factorization is a fixed
+  // linear operator.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  Rng rng(7);
+  const Matrix b1 = Matrix::random(256, 1, rng);
+  const Matrix b2 = Matrix::random(256, 1, rng);
+  Matrix combo(256, 1);
+  for (int i = 0; i < 256; ++i) combo(i, 0) = 2.5 * b1(i, 0) + b2(i, 0);
+  Matrix x1 = b1, x2 = b2, xc = combo;
+  f.solve(x1);
+  f.solve(x2);
+  f.solve(xc);
+  Matrix want(256, 1);
+  for (int i = 0; i < 256; ++i) want(i, 0) = 2.5 * x1(i, 0) + x2(i, 0);
+  EXPECT_LT(rel_error_fro(xc, want), 1e-12);
+}
+
+TEST(UlvExtended, IterativeRefinementRecoversDigits) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  // Accurate representation, sloppy factorization: refinement should recover
+  // the representation's accuracy.
+  H2BuildOptions ho = build_opts(Admissibility::Strong, 1e-10);
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-4;
+  const UlvFactorization f(h, u);
+  Rng rng(8);
+  const Matrix b = Matrix::random(512, 1, rng);
+
+  Matrix x0 = b;
+  f.solve(x0);
+  Matrix ax(512, 1);
+  h.matvec(x0, ax);
+  const double r0 = rel_error_fro(ax, b);
+
+  Matrix x = b;
+  f.solve(x);
+  const double r3 = ulv_refine(h, f, b, x, 3);
+  EXPECT_LT(r3, 1e-2 * r0);
+  EXPECT_LT(r3, 1e-8);
+}
+
+TEST(UlvExtended, RefinementIsANoOpOnExactSolves) {
+  const Problem p = make_problem(128, 64, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Weak, 1e-12));
+  UlvOptions u;
+  u.tol = 1e-12;
+  const UlvFactorization f(h, u);
+  Rng rng(9);
+  const Matrix b = Matrix::random(128, 1, rng);
+  Matrix x = b;
+  f.solve(x);
+  const double rel = ulv_refine(h, f, b, x, 2);
+  EXPECT_LT(rel, 1e-10);
+}
+
+TEST(UlvExtended, HssRankGrowsWithNButH2RankBounded) {
+  // The paper's motivating observation (Secs. I, III): weak admissibility in
+  // 3-D forces the off-diagonal block rank to grow with N; strong
+  // admissibility keeps it bounded.
+  int hss_prev = 0, h2_prev = 0, hss_last = 0, h2_last = 0;
+  for (const int n : {256, 512, 1024}) {
+    const Problem p =
+        make_problem(n, 32, Geometry::Cube, KernelKind::Laplace, 3);
+    UlvOptions u;
+    u.tol = 1e-8;
+    const H2Matrix hss(*p.tree, *p.kernel, build_opts(Admissibility::Weak, 1e-8));
+    const H2Matrix h2m(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+    const UlvFactorization f1(hss, u);
+    const UlvFactorization f2(h2m, u);
+    hss_prev = hss_last;
+    h2_prev = h2_last;
+    hss_last = f1.stats().max_rank;
+    h2_last = f2.stats().max_rank;
+  }
+  EXPECT_GT(hss_last, hss_prev * 1.2) << "HSS rank should keep growing";
+  EXPECT_GT(hss_last, h2_last) << "HSS rank should exceed H2's";
+}
+
+TEST(UlvExtended, StatsTimersAreConsistent) {
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  EXPECT_GT(f.stats().factor_seconds, 0.0);
+  EXPECT_GE(f.stats().factor_seconds, f.stats().setup_seconds);
+  EXPECT_GT(f.stats().factor_flops, 0u);
+}
+
+TEST(UlvExtended, CrowdedGeometryDeterminantFinite) {
+  const Problem p = make_problem(512, 64, Geometry::Crowded, KernelKind::Yukawa);
+  const H2Matrix h(*p.tree, *p.kernel, build_opts(Admissibility::Strong, 1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  const double ld = f.logabsdet();
+  EXPECT_TRUE(std::isfinite(ld));
+}
+
+}  // namespace
+}  // namespace h2

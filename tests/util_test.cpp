@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/flops.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(Flops, AccumulatesAndResets) {
+  flops::reset();
+  flops::add(100);
+  flops::add(23);
+  EXPECT_EQ(flops::total(), 123u);
+  flops::reset();
+  EXPECT_EQ(flops::total(), 0u);
+}
+
+TEST(Flops, SumsAcrossThreads) {
+  flops::reset();
+  std::thread a([] { flops::add(40); });
+  std::thread b([] { flops::add(2); });
+  a.join();
+  b.join();
+  flops::add(1);
+  EXPECT_EQ(flops::total(), 43u);
+  flops::reset();
+}
+
+TEST(Flops, AnalyticFormulas) {
+  EXPECT_EQ(flops::gemm(2, 3, 4), 48u);
+  EXPECT_EQ(flops::trsm_left(4, 2), 32u);
+  EXPECT_EQ(flops::trsm_right(4, 2), 16u);
+  EXPECT_EQ(flops::potrf(3), 9u);
+  EXPECT_GT(flops::getrf(8, 8), 0u);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Env, FallbacksAndParsing) {
+  EXPECT_EQ(env::get_int("H2_TEST_UNSET_VAR_XYZ", 5), 5);
+  EXPECT_DOUBLE_EQ(env::get_double("H2_TEST_UNSET_VAR_XYZ", 2.5), 2.5);
+  EXPECT_EQ(env::get_string("H2_TEST_UNSET_VAR_XYZ", "d"), "d");
+  setenv("H2_TEST_SET_VAR", "12", 1);
+  EXPECT_EQ(env::get_int("H2_TEST_SET_VAR", 5), 12);
+  setenv("H2_TEST_SET_VAR", "1.5e-3", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("H2_TEST_SET_VAR", 0.0), 1.5e-3);
+  setenv("H2_TEST_SET_VAR", "junk", 1);
+  EXPECT_EQ(env::get_int("H2_TEST_SET_VAR", 9), 9);
+  unsetenv("H2_TEST_SET_VAR");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Table, MarkdownAndCsv) {
+  Table t({"N", "time"});
+  t.add_row({"16", "1.5"});
+  t.add_row({"32", "3.0"});
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| N "), std::string::npos);
+  EXPECT_NE(md.find("| 32 |"), std::string::npos);
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("N,time"), std::string::npos);
+  EXPECT_NE(csv.find("32,3.0"), std::string::npos);
+  EXPECT_EQ(t.n_rows(), 2u);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace h2

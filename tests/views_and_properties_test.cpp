@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "blr/blr_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+using testing_support::ulv_solution_error;
+
+// ---------- strided-view paths of the linalg kernels ----------
+
+TEST(StridedViews, GemmOnSubBlocks) {
+  Rng rng(1);
+  Matrix big_a = Matrix::random(10, 10, rng);
+  Matrix big_b = Matrix::random(10, 10, rng);
+  Matrix big_c(10, 10);
+  // Operate on interior blocks (ld != rows).
+  ConstMatrixView a = big_a.block(2, 3, 5, 4);
+  ConstMatrixView b = big_b.block(1, 2, 4, 6);
+  MatrixView c = big_c.block(3, 1, 5, 6);
+  gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c);
+  const Matrix want = matmul(Matrix::from(a), Matrix::from(b));
+  EXPECT_LT(rel_error_fro(Matrix::from(c), want), 1e-14);
+  // Entries outside the C block must stay zero.
+  EXPECT_EQ(big_c(0, 0), 0.0);
+  EXPECT_EQ(big_c(9, 9), 0.0);
+}
+
+TEST(StridedViews, GetrfAndTrsmOnSubBlocks) {
+  Rng rng(2);
+  Matrix big = Matrix::random(12, 12, rng);
+  add_identity(big, 6.0);
+  MatrixView a = big.block(4, 4, 6, 6);
+  const Matrix a_copy = Matrix::from(a);
+  std::vector<int> piv;
+  getrf(a, piv);
+  Matrix rhs = Matrix::random(6, 2, rng);
+  Matrix x = rhs;
+  getrs(a, piv, x);
+  const Matrix ax = matmul(a_copy, x);
+  EXPECT_LT(rel_error_fro(ax, rhs), 1e-10);
+}
+
+TEST(StridedViews, PivotedQrOnSubBlock) {
+  Rng rng(3);
+  Matrix big = Matrix::random(20, 20, rng);
+  ConstMatrixView a = big.block(5, 5, 8, 10);
+  const PivotedQr f = pivoted_qr(a, 0.0);
+  EXPECT_EQ(f.rank, 8);
+  const Matrix qtq = matmul(f.q, f.q, Trans::Yes, Trans::No);
+  EXPECT_LT(rel_error_fro(qtq, Matrix::identity(8)), 1e-12);
+}
+
+TEST(StridedViews, LaswpOnSubBlock) {
+  Rng rng(4);
+  Matrix big = Matrix::random(8, 8, rng);
+  MatrixView b = big.block(2, 2, 4, 3);
+  const Matrix before = Matrix::from(b);
+  std::vector<int> piv{2, 3, 2};
+  laswp(b, piv, true);
+  laswp(b, piv, false);
+  EXPECT_LT(rel_error_fro(Matrix::from(b), before), 1e-15);
+}
+
+// ---------- admissibility / eta sweeps ----------
+
+class EtaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EtaSweepTest, UlvAccurateForAnyEta) {
+  const double eta = GetParam();
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, eta};
+  ho.tol = 1e-10;
+  UlvOptions u;
+  u.tol = 1e-8;
+  const double err = ulv_solution_error(p, ho, u);
+  EXPECT_LT(err, 1e-4) << "eta=" << eta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, EtaSweepTest,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.5, 2.0));
+
+TEST(EtaSweep, LargerEtaMeansFewerAdmissiblePairs) {
+  Rng rng(5);
+  const PointCloud pts = uniform_cube(512, rng);
+  const ClusterTree tree = ClusterTree::build(pts, 32, rng);
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (const double eta : {0.5, 1.0, 2.0}) {
+    const BlockStructure s(tree, {Admissibility::Strong, eta});
+    std::size_t total = 0;
+    for (int l = 1; l <= s.depth(); ++l) total += s.admissible_pairs(l).size();
+    EXPECT_LE(total, prev);
+    prev = total;
+  }
+}
+
+// ---------- ACA separation properties ----------
+
+TEST(AcaProperties, RankDecreasesWithSeparation) {
+  Rng rng(6);
+  const PointCloud rows = sphere_surface(128, rng, {0, 0, 0}, 1.0);
+  const LaplaceKernel k(1e-4);
+  int prev = 1 << 30;
+  for (const double sep : {3.0, 6.0, 12.0, 24.0}) {
+    const PointCloud cols = sphere_surface(128, rng, {sep, 0, 0}, 1.0);
+    const LowRank lr = aca_compress(k, rows, cols, 1e-8);
+    EXPECT_LE(lr.rank(), prev) << "sep=" << sep;
+    prev = lr.rank();
+  }
+  // Far apart: a handful of multipole-like directions (partial-pivot ACA
+  // slightly overshoots the optimal rank).
+  EXPECT_LE(prev, 12);
+}
+
+TEST(AcaProperties, ExactOnTinyBlocks) {
+  Rng rng(7);
+  const PointCloud rows = uniform_cube(3, rng);
+  PointCloud cols = uniform_cube(2, rng);
+  for (auto& c : cols) c.x += 4.0;
+  const LaplaceKernel k(1e-4);
+  const LowRank lr = aca_compress(k, rows, cols, 1e-14);
+  const Matrix exact = kernel_block(k, rows, cols);
+  EXPECT_LT(rel_error_fro(lr.to_dense(), exact), 1e-10);
+}
+
+TEST(AcaProperties, HandlesConstantBlock) {
+  // A rank-1 constant matrix must compress to rank 1, not stall.
+  class ConstKernel final : public Kernel {
+   public:
+    double eval(const Point&, const Point&) const override { return 3.5; }
+    std::string name() const override { return "const"; }
+  };
+  Rng rng(8);
+  const PointCloud rows = uniform_cube(20, rng);
+  const PointCloud cols = uniform_cube(15, rng);
+  const ConstKernel k;
+  const LowRank lr = aca_compress(k, rows, cols, 1e-10);
+  EXPECT_EQ(lr.rank(), 1);
+  EXPECT_NEAR(lr.to_dense()(4, 7), 3.5, 1e-12);
+}
+
+// ---------- solvers on alternate partitions/geometries ----------
+
+TEST(AltPartitions, BlrSolvesOnMortonTree) {
+  Rng rng(9);
+  const PointCloud pts = uniform_cube(400, rng);
+  const ClusterTree tree =
+      ClusterTree::build(pts, 64, rng, Partitioner::Morton);
+  const LaplaceKernel k(1e-2);
+  BlrOptions o;
+  o.tol = 1e-9;
+  BlrMatrix blr(tree, k, o);
+  blr.factorize();
+  const Matrix b = Matrix::random(400, 1, rng);
+  Matrix x = b;
+  blr.solve(x);
+  const Matrix a = kernel_dense(k, tree.points());
+  EXPECT_LT(rel_error_fro(x, lu_solve(a, b)), 1e-5);
+}
+
+TEST(AltPartitions, UlvOnSphereSurfaceWeakAdm) {
+  const Problem p = make_problem(384, 32, Geometry::Sphere, KernelKind::Gaussian);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Weak, 0.0};
+  ho.tol = 1e-10;
+  UlvOptions u;
+  u.tol = 1e-8;
+  EXPECT_LT(ulv_solution_error(p, ho, u), 1e-3);
+}
+
+TEST(AltPartitions, DeterministicAcrossIdenticalBuilds) {
+  // Same seed, same partitioner: identical trees and identical solves.
+  Rng rng_a(11), rng_b(11);
+  const PointCloud pts = molecule_surface(256, rng_a);
+  Rng rng_c(11);
+  const PointCloud pts2 = molecule_surface(256, rng_c);
+  ASSERT_EQ(pts.size(), pts2.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(pts[i].x, pts2[i].x);
+}
+
+// ---------- flop accounting sanity across solvers ----------
+
+TEST(FlopAccounting, UlvFlopsScaleWithTolerance) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  std::uint64_t loose = 0, tight = 0;
+  for (const double tol : {1e-3, 1e-10}) {
+    H2BuildOptions ho;
+    ho.admissibility = {Admissibility::Strong, 0.75};
+    ho.tol = 1e-2 * tol;
+    const H2Matrix h(*p.tree, *p.kernel, ho);
+    UlvOptions u;
+    u.tol = tol;
+    const UlvFactorization f(h, u);
+    (tol > 1e-6 ? loose : tight) = f.stats().factor_flops;
+  }
+  EXPECT_GT(tight, loose);  // tighter tolerance -> larger ranks -> more work
+}
+
+}  // namespace
+}  // namespace h2
