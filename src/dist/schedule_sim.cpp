@@ -1,0 +1,164 @@
+#include "dist/schedule_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace h2 {
+
+namespace {
+
+/// successors[i] for inputs whose successor list is shorter than the task
+/// count (trailing tasks without successors need no explicit entry).
+const std::vector<int>& successors_of(const ScheduleInput& in, int i) {
+  static const std::vector<int> kNone;
+  return static_cast<std::size_t>(i) < in.successors.size()
+             ? in.successors[static_cast<std::size_t>(i)]
+             : kNone;
+}
+
+void validate(const ScheduleInput& in) {
+  const int n = static_cast<int>(in.durations.size());
+  if (static_cast<int>(in.successors.size()) > n)
+    throw std::invalid_argument("schedule_sim: more successor lists than tasks");
+  for (int i = 0; i < n; ++i)
+    for (const int s : successors_of(in, i))
+      if (s < 0 || s >= n)
+        throw std::invalid_argument("schedule_sim: successor index out of range");
+}
+
+/// Kahn topological order; throws std::logic_error on cycles.
+std::vector<int> topo_order(const ScheduleInput& in) {
+  const int n = static_cast<int>(in.durations.size());
+  std::vector<int> indeg(n, 0);
+  for (int i = 0; i < n; ++i)
+    for (const int s : successors_of(in, i)) ++indeg[s];
+  std::vector<int> order;
+  order.reserve(n);
+  for (int i = 0; i < n; ++i)
+    if (indeg[i] == 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (const int s : successors_of(in, order[head]))
+      if (--indeg[s] == 0) order.push_back(s);
+  if (static_cast<int>(order.size()) != n)
+    throw std::logic_error("schedule_sim: dependency cycle");
+  return order;
+}
+
+/// bottom_level[i] = longest remaining occupancy (duration + overhead) path
+/// starting at i — the classic list-scheduling priority.
+std::vector<double> bottom_levels(const ScheduleInput& in,
+                                  const std::vector<int>& order) {
+  const int n = static_cast<int>(in.durations.size());
+  std::vector<double> bl(n, 0.0);
+  for (int k = n - 1; k >= 0; --k) {
+    const int i = order[k];
+    double tail = 0.0;
+    for (const int s : successors_of(in, i)) tail = std::max(tail, bl[s]);
+    bl[i] = in.durations[i] + in.per_task_overhead + tail;
+  }
+  return bl;
+}
+
+}  // namespace
+
+ScheduleResult list_schedule(const ScheduleInput& in, int workers,
+                             const CommModel& comm) {
+  if (workers < 1)
+    throw std::invalid_argument("schedule_sim: need at least one worker");
+  validate(in);
+  const int n = static_cast<int>(in.durations.size());
+
+  ScheduleResult res;
+  res.start.assign(n, 0.0);
+  res.finish.assign(n, 0.0);
+  res.worker.assign(n, -1);
+  for (const double d : in.durations) res.total_work += d;
+  if (n == 0) return res;
+
+  const std::vector<int> order = topo_order(in);
+  const std::vector<double> priority = bottom_levels(in, order);
+
+  std::vector<std::vector<int>> preds(n);
+  std::vector<int> n_unscheduled_preds(n, 0);
+  for (int i = 0; i < n; ++i)
+    for (const int s : successors_of(in, i)) {
+      preds[s].push_back(i);
+      ++n_unscheduled_preds[s];
+    }
+
+  // Ready tasks by (bottom level desc, id asc) — ties broken by submission
+  // order so replayed traces keep their recorded order.
+  const auto higher = [&](int a, int b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(higher)> ready(higher);
+  for (int i = 0; i < n; ++i)
+    if (n_unscheduled_preds[i] == 0) ready.push(i);
+
+  std::vector<double> worker_free(static_cast<std::size_t>(workers), 0.0);
+  const auto bytes_of = [&](int i) {
+    return static_cast<std::size_t>(i) < in.out_bytes.size()
+               ? in.out_bytes[static_cast<std::size_t>(i)]
+               : 0.0;
+  };
+  // Earliest start of task i on worker w: the worker must be free and every
+  // input must have arrived (cross-worker inputs pay the alpha-beta cost).
+  const auto earliest_start = [&](int i, int w) {
+    double t = worker_free[static_cast<std::size_t>(w)];
+    for (const int q : preds[i]) {
+      const double arrival =
+          res.finish[q] + (res.worker[q] == w ? 0.0 : comm.cost(bytes_of(q)));
+      t = std::max(t, arrival);
+    }
+    return t;
+  };
+
+  while (!ready.empty()) {
+    const int i = ready.top();
+    ready.pop();
+    int w = -1;
+    if (static_cast<std::size_t>(i) < in.owner.size() && in.owner[i] >= 0) {
+      // Pinned: out-of-range owners wrap around (block-cyclic placement).
+      w = in.owner[i] % workers;
+    } else {
+      double best = 0.0;
+      for (int c = 0; c < workers; ++c) {
+        const double t = earliest_start(i, c);
+        if (w < 0 || t < best) {
+          w = c;
+          best = t;
+        }
+      }
+    }
+    res.worker[i] = w;
+    res.start[i] = earliest_start(i, w);
+    res.finish[i] = res.start[i] + in.durations[i] + in.per_task_overhead;
+    worker_free[static_cast<std::size_t>(w)] = res.finish[i];
+    res.makespan = std::max(res.makespan, res.finish[i]);
+    for (const int s : successors_of(in, i))
+      if (--n_unscheduled_preds[s] == 0) ready.push(s);
+  }
+  return res;
+}
+
+double critical_path(const ScheduleInput& in) {
+  validate(in);
+  const int n = static_cast<int>(in.durations.size());
+  if (n == 0) return 0.0;
+  const std::vector<int> order = topo_order(in);
+  std::vector<double> bl(n, 0.0);
+  double best = 0.0;
+  for (int k = n - 1; k >= 0; --k) {
+    const int i = order[k];
+    double tail = 0.0;
+    for (const int s : successors_of(in, i)) tail = std::max(tail, bl[s]);
+    bl[i] = in.durations[i] + tail;
+    best = std::max(best, bl[i]);
+  }
+  return best;
+}
+
+}  // namespace h2

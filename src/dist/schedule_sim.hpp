@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+namespace h2 {
+
+/// Distributed / many-core scheduling simulator (src/dist).
+///
+/// The paper's scaling figures are produced on machines we do not have, so
+/// the repo replays *measured* task DAGs on simulated workers instead:
+///  - Fig. 11 (shared-memory strong scaling): the recorded ULV / BLR task
+///    durations are list-scheduled on P virtual cores;
+///  - Fig. 13 (trace / runtime overhead): `per_task_overhead` models the
+///    PaRSEC-like red tasks whose grain rivals the useful work;
+///  - Fig. 16 (distributed strong scaling): `owner` pins tasks to ranks
+///    (block-cyclic tiles for the BLR baseline) and the alpha-beta
+///    CommModel charges every cross-rank dependency edge.
+///
+/// The simulator is deliberately simple — classic list scheduling with
+/// bottom-level priorities — because the paper's argument is structural:
+/// a DAG without trailing sub-matrix dependencies has a short critical
+/// path and therefore keeps scaling where the tiled-Cholesky DAG stalls.
+
+/// Alpha-beta (latency-bandwidth) point-to-point communication model.
+/// Defaults approximate a modern HPC interconnect: 2 us latency, 10 GB/s.
+struct CommModel {
+  double alpha = 2e-6;   ///< per-message latency in seconds
+  double beta = 1e-10;   ///< seconds per byte (1e-10 = 10 GB/s)
+
+  /// Time to move `bytes` between two distinct workers.
+  [[nodiscard]] double cost(double bytes) const { return alpha + beta * bytes; }
+};
+
+/// A task DAG to be replayed on simulated workers.
+struct ScheduleInput {
+  /// Task execution times in seconds; the task count is durations.size().
+  std::vector<double> durations;
+  /// successors[i] = tasks that may not start before i finishes. May be
+  /// shorter than durations (missing entries mean "no successors").
+  std::vector<std::vector<int>> successors;
+  /// Output payload of each task in bytes (consumed by every successor on a
+  /// different worker). Empty means all-zero.
+  std::vector<double> out_bytes;
+  /// Optional pinning: task i must run on worker owner[i] % workers (e.g. a
+  /// 2-D block-cyclic tile owner). Empty or negative entries mean the
+  /// scheduler is free to place the task anywhere.
+  std::vector<int> owner;
+  /// Runtime overhead added to every task's occupancy (the paper's Fig. 13
+  /// "red tasks"); it extends the worker's busy time and the successors'
+  /// release time but does not count as useful work in efficiency().
+  double per_task_overhead = 0.0;
+};
+
+/// Result of one simulated execution.
+struct ScheduleResult {
+  double makespan = 0.0;
+  /// Sum of task durations, overhead excluded (the "green" time).
+  double total_work = 0.0;
+  std::vector<double> start;   ///< per-task start time
+  std::vector<double> finish;  ///< per-task finish time (incl. overhead)
+  std::vector<int> worker;     ///< per-task placement
+
+  /// Parallel efficiency on p workers: useful work over consumed capacity.
+  /// An empty schedule is perfectly efficient by convention.
+  [[nodiscard]] double efficiency(int p) const {
+    if (p <= 0) return 0.0;
+    if (makespan <= 0.0) return 1.0;
+    return total_work / (static_cast<double>(p) * makespan);
+  }
+};
+
+/// Replay the DAG on `workers` simulated workers with list scheduling
+/// (bottom-level priority, earliest-start placement, data-affinity aware:
+/// a successor prefers the worker already holding its inputs when that
+/// starts it sooner). Throws std::invalid_argument if workers < 1 or a
+/// successor index is out of range, std::logic_error on dependency cycles.
+ScheduleResult list_schedule(const ScheduleInput& in, int workers,
+                             const CommModel& comm);
+
+/// Length of the longest dependency path, counting task durations only (no
+/// communication, no per-task overhead): the makespan floor no worker count
+/// can beat.
+double critical_path(const ScheduleInput& in);
+
+}  // namespace h2

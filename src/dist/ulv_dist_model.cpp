@@ -1,0 +1,92 @@
+#include "dist/ulv_dist_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace h2 {
+
+ScheduleInput UlvDistModel::replay_input() const {
+  ScheduleInput in;
+  if (stats == nullptr || stats->tasks.empty()) return in;
+
+  const auto add_task = [&](double seconds) {
+    in.durations.push_back(seconds);
+    in.successors.emplace_back();
+    return static_cast<int>(in.durations.size()) - 1;
+  };
+
+  // Tasks are recorded in serial execution order; a change of (level, kind)
+  // marks a phase boundary. Tasks inside one phase are independent block-row
+  // work (the paper's point: no trailing sub-matrix dependencies), so they
+  // only chain through zero-duration barrier tasks between phases.
+  std::vector<int> group;
+  int last_barrier = -1;
+  int prev_level = 0;
+  const char* prev_kind = nullptr;
+  for (const UlvTaskRecord& rec : stats->tasks) {
+    const bool new_group =
+        prev_kind == nullptr ||
+        (rec.level != prev_level || std::strcmp(rec.kind, prev_kind) != 0);
+    if (new_group && !group.empty()) {
+      const int barrier = add_task(0.0);
+      for (const int t : group) in.successors[t].push_back(barrier);
+      group.clear();
+      last_barrier = barrier;
+    }
+    const int t = add_task(rec.seconds);
+    if (last_barrier >= 0) in.successors[last_barrier].push_back(t);
+    group.push_back(t);
+    prev_level = rec.level;
+    prev_kind = rec.kind;
+  }
+  return in;
+}
+
+double UlvDistModel::shared_memory_time(int p) const {
+  CommModel shared;  // one address space: no communication
+  shared.alpha = 0.0;
+  shared.beta = 0.0;
+  return list_schedule(replay_input(), std::max(1, p), shared).makespan;
+}
+
+double UlvDistModel::level_bytes(int level) const {
+  if (stats == nullptr || structure == nullptr) return 0.0;
+  if (level < 1 || level >= static_cast<int>(stats->ranks.size()) ||
+      level > structure->depth())
+    return 0.0;
+  const std::vector<int>& ranks = stats->ranks[level];
+  double bytes = 0.0;
+  for (int i = 0; i < static_cast<int>(ranks.size()); ++i) {
+    const double r = static_cast<double>(ranks[i]);
+    const double couplings =
+        1.0 +  // the diagonal S.S block
+        static_cast<double>(structure->dense_cols(level, i).size()) +
+        static_cast<double>(structure->admissible_cols(level, i).size());
+    bytes += 8.0 * r * r * couplings;
+  }
+  return bytes;
+}
+
+double UlvDistModel::comm_seconds(int p, const CommModel& comm) const {
+  if (p <= 1 || stats == nullptr || structure == nullptr) return 0.0;
+  double total = 0.0;
+  for (int level = 1; level < static_cast<int>(stats->ranks.size()); ++level) {
+    const int nb = static_cast<int>(stats->ranks[level].size());
+    // Split communicators: once p exceeds the cluster count the upper
+    // levels run redundantly and the gather group stops growing.
+    const int q = std::min(p, std::max(1, nb));
+    if (q <= 1) continue;
+    const double rounds = std::ceil(std::log2(static_cast<double>(q)));
+    const double payload =
+        level_bytes(level) * (static_cast<double>(q - 1) / q);
+    total += rounds * comm.alpha + comm.beta * payload;
+  }
+  return total;
+}
+
+double UlvDistModel::time(int p, const CommModel& comm) const {
+  return shared_memory_time(p) + comm_seconds(p, comm);
+}
+
+}  // namespace h2

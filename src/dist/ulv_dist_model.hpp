@@ -1,0 +1,61 @@
+#pragma once
+
+#include "core/ulv_options.hpp"
+#include "dist/schedule_sim.hpp"
+#include "hmatrix/block_structure.hpp"
+
+namespace h2 {
+
+/// Performance model of the dependency-free ULV factorization on p workers,
+/// built from one *measured* serial run (`UlvOptions::record_tasks`).
+///
+/// Mapping to the paper's figures:
+///  - Fig. 11 (shared-memory strong scaling): `shared_memory_time(p)`
+///    replays the recorded per-task durations through the ULV's true
+///    dependency structure — within a phase of a level (fill, basis,
+///    project, eliminate, merge) every block row is independent (the
+///    paper's Sec. III contribution), while consecutive phases are
+///    separated by a barrier. No task-runtime overhead is charged: the
+///    static structure needs no dynamic dependency tracking.
+///  - Fig. 12 (leaf size): smaller leaves mean more block rows per phase,
+///    i.e. wider phase groups in the replayed DAG.
+///  - Fig. 16 (distributed strong scaling): `time(p, comm)` adds the
+///    process-tree communication of the paper's distributed design — after
+///    each level's elimination the surviving skeleton blocks are
+///    all-gathered inside split communicators before the merged parent
+///    level proceeds (redundant upper levels). Each level transition costs
+///    ceil(log2(q)) alpha-latencies plus beta times the level's skeleton
+///    payload, where q = min(p, block rows at the level): above the level
+///    where p exceeds the cluster count the work is replicated and the
+///    communicator stops growing.
+///
+/// Aggregate-initializable: `UlvDistModel{&f.stats(), &h.structure()}`.
+struct UlvDistModel {
+  const UlvStats* stats = nullptr;            ///< must outlive the model
+  const BlockStructure* structure = nullptr;  ///< must outlive the model
+
+  /// The recorded task DAG as simulator input: one task per recorded block
+  /// task, consecutive (level, kind) runs forming independent phase groups
+  /// separated by zero-duration barrier tasks.
+  [[nodiscard]] ScheduleInput replay_input() const;
+
+  /// Predicted factorization time on p shared-memory cores (no
+  /// communication, no runtime overhead) — the Fig. 11 "OUR CODE" curve.
+  [[nodiscard]] double shared_memory_time(int p) const;
+
+  /// Predicted factorization time on p distributed ranks: the replayed
+  /// compute schedule plus the per-level split-communicator Allgathers —
+  /// the Fig. 16 ULV curve. With p = 1 no communication is charged.
+  [[nodiscard]] double time(int p, const CommModel& comm) const;
+
+  /// Communication seconds charged by time(p, comm) on top of the compute
+  /// schedule (0 for p <= 1).
+  [[nodiscard]] double comm_seconds(int p, const CommModel& comm) const;
+
+  /// Bytes of skeleton data surviving `level`'s elimination: for each
+  /// cluster, its rank^2 skeleton block replicated across the diagonal,
+  /// dense-neighbor, and admissible couplings that the merge re-assembles.
+  [[nodiscard]] double level_bytes(int level) const;
+};
+
+}  // namespace h2

@@ -1,0 +1,121 @@
+// Corner-case semantics of the scheduling simulator, beyond what the seed
+// dist_test locks down: degenerate DAGs, the owner-wrapping rule, error
+// reporting, and the regime where communication makes MORE workers SLOWER.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dist/schedule_sim.hpp"
+#include "dist/ulv_dist_model.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(ScheduleSimEdge, EmptyDagIsFreeAndPerfectlyEfficient) {
+  const ScheduleInput in;
+  const CommModel cm;
+  const ScheduleResult r = list_schedule(in, 4, cm);
+  EXPECT_EQ(r.makespan, 0.0);
+  EXPECT_EQ(r.total_work, 0.0);
+  EXPECT_EQ(r.efficiency(1), 1.0);  // by convention: no capacity wasted
+  EXPECT_EQ(r.efficiency(64), 1.0);
+  EXPECT_EQ(critical_path(in), 0.0);
+}
+
+TEST(ScheduleSimEdge, SingleTaskIgnoresWorkerCount) {
+  ScheduleInput in;
+  in.durations = {2.5};
+  const CommModel cm;
+  for (const int p : {1, 2, 64}) {
+    const ScheduleResult r = list_schedule(in, p, cm);
+    EXPECT_NEAR(r.makespan, 2.5, 1e-12) << "p=" << p;
+    EXPECT_EQ(r.worker[0], 0);
+  }
+  EXPECT_NEAR(list_schedule(in, 1, cm).efficiency(1), 1.0, 1e-12);
+}
+
+TEST(ScheduleSimEdge, ZeroDurationTasksAreInstantaneous) {
+  ScheduleInput in;
+  in.durations.assign(5, 0.0);
+  in.successors = {{1}, {2}, {3}, {4}, {}};
+  const CommModel zero{0.0, 0.0};
+  EXPECT_EQ(list_schedule(in, 2, zero).makespan, 0.0);
+  EXPECT_EQ(critical_path(in), 0.0);
+  // ... unless the runtime charges per-task overhead: a chain of five empty
+  // tasks still costs five overheads (the Fig. 13 pathology in the limit).
+  in.per_task_overhead = 1e-3;
+  EXPECT_NEAR(list_schedule(in, 2, zero).makespan, 5e-3, 1e-15);
+}
+
+TEST(ScheduleSimEdge, EfficiencyOnOneWorkerIsExactlyOne) {
+  // Any DAG without overhead keeps a single worker 100% busy.
+  ScheduleInput in;
+  in.durations = {0.3, 0.7, 0.5, 0.25};
+  in.successors = {{2}, {2}, {}, {}};
+  const CommModel cm;
+  const ScheduleResult r = list_schedule(in, 1, cm);
+  EXPECT_NEAR(r.makespan, 1.75, 1e-12);
+  EXPECT_NEAR(r.efficiency(1), 1.0, 1e-12);
+}
+
+TEST(ScheduleSimEdge, OwnerIndicesWrapAroundWorkerCount) {
+  // Block-cyclic semantics: owner ids larger than the worker count wrap,
+  // exactly like tile owners mapped onto a smaller rank grid (Fig. 16).
+  ScheduleInput in;
+  in.durations = {1.0, 1.0};
+  in.successors.resize(2);
+  const CommModel cm;
+  in.owner = {4, 9};  // 4 % 4 = 0, 9 % 4 = 1: distinct workers
+  EXPECT_NEAR(list_schedule(in, 4, cm).makespan, 1.0, 1e-12);
+  in.owner = {4, 8};  // both wrap to worker 0: serialized
+  EXPECT_NEAR(list_schedule(in, 4, cm).makespan, 2.0, 1e-12);
+  in.owner = {-1, -1};  // negative = unpinned: free placement
+  EXPECT_NEAR(list_schedule(in, 4, cm).makespan, 1.0, 1e-12);
+}
+
+TEST(ScheduleSimEdge, DiamondWhereCommunicationMakesFewerWorkersFaster) {
+  // Diamond 0 -> {1, 2} -> 3 with heavy outputs, pinned round-robin. On one
+  // worker every owner wraps to rank 0 and no byte moves (4 s); on four
+  // workers every edge crosses ranks and the transfers dominate. More
+  // hardware, worse time — the communication cliff of Fig. 16.
+  ScheduleInput in;
+  in.durations.assign(4, 1.0);
+  in.successors = {{1, 2}, {3}, {3}, {}};
+  in.owner = {0, 1, 2, 3};
+  in.out_bytes.assign(4, 1e10);
+  CommModel cm;
+  cm.alpha = 0.0;
+  cm.beta = 1e-9;  // 10 s per edge
+  const double t1 = list_schedule(in, 1, cm).makespan;
+  const double t4 = list_schedule(in, 4, cm).makespan;
+  EXPECT_NEAR(t1, 4.0, 1e-9);
+  EXPECT_NEAR(t4, 23.0, 1e-9);  // 1 + 10 + 1 + 10 + 1
+  EXPECT_LT(t1, t4);
+}
+
+TEST(ScheduleSimEdge, InvalidInputsThrow) {
+  ScheduleInput in;
+  in.durations = {1.0};
+  const CommModel cm;
+  EXPECT_THROW(list_schedule(in, 0, cm), std::invalid_argument);
+  in.successors = {{7}};  // successor index out of range
+  EXPECT_THROW(list_schedule(in, 2, cm), std::invalid_argument);
+  EXPECT_THROW(critical_path(in), std::invalid_argument);
+  ScheduleInput cyc;
+  cyc.durations = {1.0, 1.0};
+  cyc.successors = {{1}, {0}};
+  EXPECT_THROW(list_schedule(cyc, 2, cm), std::logic_error);
+  EXPECT_THROW(critical_path(cyc), std::logic_error);
+}
+
+TEST(UlvDistModelEdge, EmptyModelPredictsZero) {
+  const UlvDistModel model{};
+  const CommModel cm;
+  EXPECT_EQ(model.shared_memory_time(4), 0.0);
+  EXPECT_EQ(model.time(16, cm), 0.0);
+  EXPECT_EQ(model.comm_seconds(16, cm), 0.0);
+  EXPECT_EQ(model.level_bytes(1), 0.0);
+}
+
+}  // namespace
+}  // namespace h2

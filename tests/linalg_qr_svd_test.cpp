@@ -132,7 +132,7 @@ TEST(PivotedQr, EmptyConcatenation) {
 
 TEST(Svd, ReconstructsAndOrders) {
   Rng rng(20);
-  for (const auto [m, n] : {std::pair{10, 6}, {6, 10}, {8, 8}, {1, 5}}) {
+  for (const auto& [m, n] : {std::pair{10, 6}, {6, 10}, {8, 8}, {1, 5}}) {
     const Matrix a = Matrix::random(m, n, rng);
     const Svd svd = jacobi_svd(a);
     const int k = std::min(m, n);

@@ -152,7 +152,7 @@ TEST(UlvExtended, HssRankGrowsWithNButH2RankBounded) {
   // The paper's motivating observation (Secs. I, III): weak admissibility in
   // 3-D forces the off-diagonal block rank to grow with N; strong
   // admissibility keeps it bounded.
-  int hss_prev = 0, h2_prev = 0, hss_last = 0, h2_last = 0;
+  int hss_prev = 0, hss_last = 0, h2_last = 0;
   for (const int n : {256, 512, 1024}) {
     const Problem p =
         make_problem(n, 32, Geometry::Cube, KernelKind::Laplace, 3);
@@ -163,7 +163,6 @@ TEST(UlvExtended, HssRankGrowsWithNButH2RankBounded) {
     const UlvFactorization f1(hss, u);
     const UlvFactorization f2(h2m, u);
     hss_prev = hss_last;
-    h2_prev = h2_last;
     hss_last = f1.stats().max_rank;
     h2_last = f2.stats().max_rank;
   }
