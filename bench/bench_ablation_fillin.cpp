@@ -46,6 +46,9 @@ int main() {
     uo.mode = v.mode;
     uo.measure_dropped = true;
     uo.record_tasks = true;
+    // Durations feed the 64-core model: record contention-free on 1 worker
+    // so Parallel and Sequential variants are measured alike.
+    uo.n_workers = 1;
     Timer tf;
     const UlvFactorization f(a, uo);
     const double ft = tf.seconds();

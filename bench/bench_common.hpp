@@ -66,9 +66,14 @@ struct UlvRun {
 };
 
 /// Build + factorize + solve with the dependency-free H2-ULV ("OUR CODE" in
-/// the paper's figures); residual via streamed dense matvec.
+/// the paper's figures); residual via streamed dense matvec. The TaskDag
+/// executor runs on `n_workers` — the default of 1 keeps the recorded
+/// per-task durations contention-free, which is what the scheduling
+/// simulator replays (measure once serially, replay on P simulated cores);
+/// pass more workers to watch the DAG actually overlap (bench_fig13_trace).
 inline UlvRun run_ulv(const PointCloud& pts, const Kernel& kernel,
-                      const SolverConfig& cfg, bool record_tasks = false) {
+                      const SolverConfig& cfg, bool record_tasks = false,
+                      int n_workers = 1) {
   UlvRun out;
   Rng rng(42);
   const ClusterTree tree = ClusterTree::build(pts, cfg.leaf, rng);
@@ -86,6 +91,7 @@ inline UlvRun run_ulv(const PointCloud& pts, const Kernel& kernel,
   uo.tol = cfg.tol;
   uo.max_rank = cfg.max_rank;
   uo.record_tasks = record_tasks;
+  uo.n_workers = n_workers;
   flops::reset();
   Timer tf;
   const UlvFactorization f(a, uo);
@@ -141,7 +147,8 @@ inline BlrRun run_blr(const PointCloud& pts, const Kernel& kernel,
   out.factor_flops = flops::total();
   out.max_rank = blr.max_rank_used();
   out.successors = blr.graph().successors();
-  out.owner_rows = blr.task_owner_row();
+  out.owner_rows.reserve(blr.graph().meta().size());
+  for (const TaskMeta& m : blr.graph().meta()) out.owner_rows.push_back(m.owner);
   out.owner_cols = blr.task_owner_col();
   out.n_tiles = blr.n_tiles();
 

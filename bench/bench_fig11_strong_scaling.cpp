@@ -2,9 +2,12 @@
 /// fixed problem size. On this single-core host the curves are produced by
 /// the scheduling simulator: the REAL factorizations run serially with
 /// per-task timing, and the measured task durations are replayed through
-/// each method's true dependency structure — dependency-free level-parallel
-/// phases for the ULV, the trailing-dependency tiled-Cholesky DAG (plus
-/// PaRSEC-like per-task runtime overhead) for the BLR baseline.
+/// each method's true dependency structure. For the ULV that structure IS
+/// the executed TaskGraph (UlvStats::dag/exec — the same DAG the TaskDag
+/// executor ran and bench_fig13_trace plots), with fill→basis→project→
+/// eliminate chains per block row and merge→fill edges across levels; the
+/// BLR baseline replays its trailing-dependency tiled-Cholesky DAG plus
+/// PaRSEC-like per-task runtime overhead.
 #include "dist/schedule_sim.hpp"
 #include "dist/ulv_dist_model.hpp"
 
@@ -29,6 +32,10 @@ int main() {
   const BlrRun blr = run_blr(pts, kernel, bcfg);
 
   UlvDistModel ulv_model{&ulv.stats, &ulv.structure};
+  std::size_t ulv_edges = 0;
+  for (const auto& succ : ulv.stats.dag.successors) ulv_edges += succ.size();
+  std::printf("ULV replay input: the recorded execution DAG (%d tasks, %zu "
+              "edges)\n", ulv.stats.dag.n_tasks(), ulv_edges);
 
   ScheduleInput blr_in;
   blr_in.durations.resize(blr.exec.records.size());

@@ -113,8 +113,7 @@ ExecStats BlrMatrix::factorize() {
   std::map<Key, TaskId> last_writer;
   auto add = [&](std::function<void()> fn, const char* label, int row,
                  std::initializer_list<Key> reads, Key write) {
-    const TaskId id = graph_.add_task(std::move(fn), label);
-    task_owner_row_.push_back(row);
+    const TaskId id = graph_.add_task(std::move(fn), label, /*owner=*/row);
     task_owner_col_.push_back(write.second);
     for (const Key& r : reads) {
       auto it = last_writer.find(r);

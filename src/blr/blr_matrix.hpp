@@ -43,13 +43,11 @@ class BlrMatrix {
   ExecStats factorize();
 
   /// Expose the task DAG structure of the last factorize() for the
-  /// scheduling simulator (durations are in the ExecStats records).
+  /// scheduling simulator (durations are in the ExecStats records). The
+  /// owner tile ROW of each task is the graph's TaskMeta::owner.
   [[nodiscard]] const TaskGraph& graph() const { return graph_; }
-  /// Owner tile row of each task (for distributed ownership models).
-  [[nodiscard]] const std::vector<int>& task_owner_row() const {
-    return task_owner_row_;
-  }
-  /// Owner tile column of each task (2-D block-cyclic distributions).
+  /// Owner tile column of each task (2-D block-cyclic distributions; the
+  /// row lives in the graph metadata).
   [[nodiscard]] const std::vector<int>& task_owner_col() const {
     return task_owner_col_;
   }
@@ -85,7 +83,6 @@ class BlrMatrix {
   int nb_ = 0;
   std::map<Key, Tile> tiles_;  ///< lower triangle (i >= j)
   TaskGraph graph_;
-  std::vector<int> task_owner_row_;
   std::vector<int> task_owner_col_;
   bool factorized_ = false;
 };

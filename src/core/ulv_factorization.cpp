@@ -4,12 +4,30 @@
 #include <cassert>
 #include <cmath>
 #include <functional>
+#include <memory>
 
+#include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
 namespace h2 {
+
+/// Transient per-level storage of the factorization pipeline. Every map is
+/// fully keyed by prepare() before any body runs, so concurrent bodies only
+/// assign mapped values through stable node references — the map structure
+/// itself is never mutated during execution.
+struct UlvFactorization::Workspace {
+  const H2Matrix* a = nullptr;
+  /// cur[l]: stored blocks of level l in current (child-skeleton)
+  /// coordinates — leaf dense blocks at l = depth, merged skeletons above.
+  /// Freed row-by-row by body_project_row, their last consumer.
+  std::vector<std::map<Key, Matrix>> cur;
+  /// Admissible U/V factors of each level in current coordinates.
+  std::vector<std::map<Key, Matrix>> ucur, vcur;
+  /// Compressed fill-in column spaces per pivot row (Fig. 7).
+  std::vector<std::vector<Matrix>> fill_p;
+};
 
 UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
     : tree_(&a.tree()),
@@ -47,6 +65,12 @@ void UlvFactorization::for_indices(int n,
   }
 }
 
+bool UlvFactorization::task_dag_mode() const {
+  if (opt_.mode != UlvMode::Parallel) return false;
+  if (opt_.use_threads) return false;  // deprecated alias for PhaseLoops
+  return opt_.executor == UlvExecutor::TaskDag;
+}
+
 Matrix UlvFactorization::current_rows(int level, int lid,
                                       ConstMatrixView x_full) const {
   if (level == depth_) return Matrix::from(x_full);
@@ -69,237 +93,197 @@ Matrix UlvFactorization::current_rows(int level, int lid,
   return out;
 }
 
-void UlvFactorization::factorize(const H2Matrix& a) {
+void UlvFactorization::prepare(Workspace& w) {
   levels_.resize(depth_ + 1);
   skel_.resize(depth_ + 1);
   ry_.resize(depth_ + 1);
   stats_.ranks.resize(depth_ + 1);
-
-  if (depth_ == 0) {
-    // Degenerate single-cluster problem: plain dense LU.
-    const Timer t;
-    top_lu_ = a.dense_block(0, 0);
-    getrf(top_lu_, top_piv_);
-    record_task(0, "top", 0, t.seconds());
-    return;
+  w.cur.resize(depth_ + 1);
+  w.ucur.resize(depth_ + 1);
+  w.vcur.resize(depth_ + 1);
+  w.fill_p.resize(depth_ + 1);
+  for (int l = 0; l <= depth_; ++l)
+    for (const auto& [i, j] : structure_.inadmissible_pairs(l))
+      w.cur[l].emplace(Key{i, j}, Matrix());
+  for (int l = 1; l <= depth_; ++l) {
+    Level& ld = levels_[l];
+    const int nb = tree_->n_clusters(l);
+    ld.nb = nb;
+    ld.size.assign(nb, 0);
+    ld.rank.assign(nb, 0);
+    ld.q.assign(nb, Matrix());
+    ld.rr_piv.assign(nb, {});
+    stats_.ranks[l].assign(nb, 0);
+    w.fill_p[l].assign(nb, Matrix());
+    for (const auto& [i, j] : structure_.inadmissible_pairs(l))
+      ld.dense.emplace(Key{i, j}, Matrix());
+    for (const auto& [i, j] : structure_.admissible_pairs(l)) {
+      skel_[l].emplace(Key{i, j}, Matrix());
+      ry_[l].emplace(Key{i, j}, Matrix());
+      w.ucur[l].emplace(Key{i, j}, Matrix());
+      w.vcur[l].emplace(Key{i, j}, Matrix());
+    }
   }
+}
 
+// ---------------------------------------------------------------------------
+// Phase bodies — one (phase, cluster) unit of work each. Both executors call
+// exactly these, in the same per-body operation order, which is what makes
+// the results bitwise identical across executors and worker counts.
+// ---------------------------------------------------------------------------
+
+// assemble and ry are deliberately absent from the flat UlvTaskRecord log:
+// they are dependency-free roots the flat replay would wrongly wall off into
+// barrier-separated phases (and the pre-DAG model never counted them). They
+// still appear in the DAG trace (UlvStats::dag/exec) with their true,
+// unordered structure.
+
+void UlvFactorization::body_assemble(Workspace& w, int level, int i) {
+  w.cur[level].at({i, i}) = w.a->dense_block(i, i);
+  for (const int j : structure_.dense_cols(level, i))
+    w.cur[level].at({i, j}) = w.a->dense_block(i, j);
+}
+
+void UlvFactorization::body_ry(Workspace& w, int level, int i) {
   // R factors of the QR of every admissible block's V factor: the magnitude-
   // preserving right factor used when a block's column space enters a basis
   // concatenation (u * ry^T has the same Gram matrix as u * v^T).
-  for (int l = 1; l <= depth_; ++l) {
-    const auto& pairs = structure_.admissible_pairs(l);
-    for (const auto& [i, j] : pairs) ry_[l].emplace(Key{i, j}, Matrix());
-    for_indices(static_cast<int>(pairs.size()), [&](int p) {
-      const auto& [i, j] = pairs[p];
-      const LowRank& lr = a.lowrank_block(l, i, j);
-      if (lr.rank() == 0) return;
-      Matrix vq = lr.v;
-      std::vector<double> tau;
-      householder_qr(vq, tau);
-      ry_[l][{i, j}] = extract_r(vq);  // rank x rank upper triangle
-    });
+  for (const int j : structure_.admissible_cols(level, i)) {
+    const LowRank& lr = w.a->lowrank_block(level, i, j);
+    if (lr.rank() == 0) continue;
+    Matrix vq = lr.v;
+    std::vector<double> tau;
+    householder_qr(vq, tau);
+    ry_[level].at({i, j}) = extract_r(vq);  // rank x rank upper triangle
   }
-
-  std::map<Key, Matrix> cur;
-  for (const auto& [i, j] : structure_.inadmissible_pairs(depth_))
-    cur.emplace(Key{i, j}, a.dense_block(i, j));
-
-  for (int level = depth_; level >= 1; --level) {
-    std::map<Key, Matrix> parent;
-    process_level(a, level, cur, parent);
-    cur = std::move(parent);
-  }
-
-  const Timer t;
-  top_lu_ = std::move(cur.at({0, 0}));
-  getrf(top_lu_, top_piv_);
-  record_task(0, "top", 0, t.seconds());
 }
 
-void UlvFactorization::process_level(const H2Matrix& a, int level,
-                                     std::map<Key, Matrix>& cur,
-                                     std::map<Key, Matrix>& parent) {
-  Level& ld = levels_[level];
-  const int nb = tree_->n_clusters(level);
-  ld.nb = nb;
-  ld.size.resize(nb);
-  ld.rank.assign(nb, 0);
-  ld.q.resize(nb);
-  ld.rr_piv.resize(nb);
-  for (int c = 0; c < nb; ++c) {
-    ld.size[c] = (level == depth_)
-                     ? tree_->node(level, c).size()
-                     : levels_[level + 1].rank[2 * c] +
-                           levels_[level + 1].rank[2 * c + 1];
+void UlvFactorization::body_project_lr(Workspace& w, int level, int i) {
+  const Timer t;
+  for (const int j : structure_.admissible_cols(level, i)) {
+    const LowRank& lr = w.a->lowrank_block(level, i, j);
+    if (lr.rank() == 0) continue;
+    w.ucur[level].at({i, j}) = current_rows(level, i, lr.u);
+    w.vcur[level].at({i, j}) = current_rows(level, j, lr.v);
   }
+  record_task(level, "project_lr", i, t.seconds());
+}
 
-  const auto& adm = structure_.admissible_pairs(level);
-  const auto& inadm = structure_.inadmissible_pairs(level);
-  const Timer setup_timer;
-
-  // ---- Phase P0: admissible blocks of this level in current coordinates.
-  std::map<Key, Matrix> ucur, vcur;
-  for (const auto& [i, j] : adm) {
-    ucur.emplace(Key{i, j}, Matrix());
-    vcur.emplace(Key{i, j}, Matrix());
+void UlvFactorization::body_fill(Workspace& w, int level, int k) {
+  // Fig. 7: the column space that every fill-in F(i,j) = A(i,k) A(k,k)^-1
+  // A(k,j) through pivot k can occupy. We factor the concatenation
+  // [A(k,k)^-1 A(k,j)]_j once per k (the paper's "not redundantly computed"
+  // note) and compress it to P_k so that A(i,k) * P_k spans exactly the same
+  // space as [F(i,j)]_j with the same Gram matrix — equivalent to
+  // concatenating the fill-ins themselves.
+  const auto& dcols = structure_.dense_cols(level, k);
+  if (dcols.empty()) return;
+  const Timer t;
+  Matrix lu = w.cur[level].at({k, k});
+  const int nk = lu.rows();
+  std::vector<int> piv;
+  getrf(lu, piv);
+  std::vector<Matrix> tblocks;
+  tblocks.reserve(dcols.size());
+  for (const int j : dcols) {
+    Matrix tj = w.cur[level].at({k, j});
+    getrs(lu, piv, tj);
+    tblocks.push_back(std::move(tj));
   }
-  for_indices(static_cast<int>(adm.size()), [&](int p) {
-    const auto& [i, j] = adm[p];
-    const LowRank& lr = a.lowrank_block(level, i, j);
-    if (lr.rank() == 0) return;
-    const Timer t;
-    ucur[{i, j}] = current_rows(level, i, lr.u);
-    vcur[{i, j}] = current_rows(level, j, lr.v);
-    record_task(level, "project_lr", i, t.seconds());
-  });
+  std::vector<ConstMatrixView> views(tblocks.begin(), tblocks.end());
+  const Matrix tc = hconcat(views);
+  // Keep fill directions somewhat below the basis tolerance.
+  const PivotedQr qr = pivoted_qr(tc, opt_.fill_tol_factor * opt_.tol, -1);
+  if (qr.rank == 0) return;
+  Matrix rt = qr.r.transposed();
+  std::vector<double> tau;
+  householder_qr(rt, tau);
+  const Matrix rtr = extract_r(rt);  // r_T x r_T
+  w.fill_p[level][k] =
+      matmul(qr.q.block(0, 0, nk, qr.rank), rtr, Trans::No, Trans::Yes);
+  record_task(level, "fill", k, t.seconds());
+}
 
-  // ---- Phase B1 (Fig. 7): per block row k, the column space that every
-  // fill-in F(i,j) = A(i,k) A(k,k)^-1 A(k,j) through pivot k can occupy.
-  // We factor the concatenation [A(k,k)^-1 A(k,j)]_j once per k (the paper's
-  // "not redundantly computed" note) and compress it to P_k so that
-  // A(i,k) * P_k spans exactly the same space as [F(i,j)]_j with the same
-  // Gram matrix — equivalent to concatenating the fill-ins themselves.
-  std::vector<Matrix> fill_p(nb);
-  if (opt_.fillin_augmentation) {
-    for_indices(nb, [&](int k) {
-      const auto& dcols = structure_.dense_cols(level, k);
-      if (dcols.empty()) return;
-      const Timer t;
-      Matrix lu = cur.at({k, k});
-      std::vector<int> piv;
-      getrf(lu, piv);
-      std::vector<Matrix> tblocks;
-      tblocks.reserve(dcols.size());
-      for (const int j : dcols) {
-        Matrix tj = cur.at({k, j});
-        getrs(lu, piv, tj);
-        tblocks.push_back(std::move(tj));
-      }
-      std::vector<ConstMatrixView> views(tblocks.begin(), tblocks.end());
-      const Matrix tc = hconcat(views);
-      // Keep fill directions somewhat below the basis tolerance.
-      const PivotedQr qr = pivoted_qr(tc, opt_.fill_tol_factor * opt_.tol, -1);
-      if (qr.rank == 0) return;
-      Matrix rt = qr.r.transposed();
-      std::vector<double> tau;
-      householder_qr(rt, tau);
-      const Matrix rtr = extract_r(rt);  // r_T x r_T
-      fill_p[k] = matmul(qr.q.block(0, 0, ld.size[k], qr.rank), rtr, Trans::No,
-                         Trans::Yes);
-      record_task(level, "fill", k, t.seconds());
-    });
-  }
-
-  // ---- Phase B2 (Eqs. 27-28 + nestedness): shared basis per cluster from
+void UlvFactorization::body_basis(Workspace& w, int level, int i) {
+  // Eqs. 27-28 + nestedness: shared basis per cluster from
   // [fill-in spaces | this level's low-rank blocks | ancestor-block rows].
-  for_indices(nb, [&](int i) {
-    const Timer t;
-    std::vector<Matrix> parts;
-    if (opt_.fillin_augmentation) {
-      for (const int k : structure_.dense_cols(level, i))
-        if (!fill_p[k].empty()) parts.push_back(matmul(cur.at({i, k}), fill_p[k]));
+  const Timer t;
+  Level& ld = levels_[level];
+  ld.size[i] = (level == depth_) ? tree_->node(level, i).size()
+                                 : levels_[level + 1].rank[2 * i] +
+                                       levels_[level + 1].rank[2 * i + 1];
+  std::vector<Matrix> parts;
+  if (opt_.fillin_augmentation) {
+    for (const int k : structure_.dense_cols(level, i))
+      if (!w.fill_p[level][k].empty())
+        parts.push_back(matmul(w.cur[level].at({i, k}), w.fill_p[level][k]));
+  }
+  for (const int j : structure_.admissible_cols(level, i)) {
+    const Matrix& u = w.ucur[level].at({i, j});
+    if (!u.empty())
+      parts.push_back(matmul(u, ry_[level].at({i, j}), Trans::No, Trans::Yes));
+  }
+  for (int lambda = 1; lambda < level; ++lambda) {
+    const int anc = i >> (level - lambda);
+    const int row0 = tree_->node(level, i).begin;
+    const int anc0 = tree_->node(lambda, anc).begin;
+    const int npts = tree_->node(level, i).size();
+    for (const int j : structure_.admissible_cols(lambda, anc)) {
+      const LowRank& lr = w.a->lowrank_block(lambda, anc, j);
+      if (lr.rank() == 0) continue;
+      const Matrix xi =
+          current_rows(level, i, lr.u.block(row0 - anc0, 0, npts, lr.rank()));
+      parts.push_back(
+          matmul(xi, ry_[lambda].at({anc, j}), Trans::No, Trans::Yes));
     }
-    for (const int j : structure_.admissible_cols(level, i)) {
-      const Matrix& u = ucur.at({i, j});
-      if (!u.empty())
-        parts.push_back(matmul(u, ry_[level].at({i, j}), Trans::No, Trans::Yes));
-    }
-    for (int lambda = 1; lambda < level; ++lambda) {
-      const int anc = i >> (level - lambda);
-      const int row0 = tree_->node(level, i).begin;
-      const int anc0 = tree_->node(lambda, anc).begin;
-      const int npts = tree_->node(level, i).size();
-      for (const int j : structure_.admissible_cols(lambda, anc)) {
-        const LowRank& lr = a.lowrank_block(lambda, anc, j);
-        if (lr.rank() == 0) continue;
-        const Matrix xi = current_rows(
-            level, i, lr.u.block(row0 - anc0, 0, npts, lr.rank()));
-        parts.push_back(
-            matmul(xi, ry_[lambda].at({anc, j}), Trans::No, Trans::Yes));
-      }
-    }
-    if (parts.empty()) {
-      ld.q[i] = Matrix::identity(ld.size[i]);
-      ld.rank[i] = 0;
-    } else {
-      std::vector<ConstMatrixView> views(parts.begin(), parts.end());
-      const Matrix concat = hconcat(views);
-      PivotedQr qr = pivoted_qr(concat, opt_.tol, opt_.max_rank);
-      ld.q[i] = std::move(qr.q);
-      ld.rank[i] = qr.rank;
-    }
-    record_task(level, "basis", i, t.seconds());
-  });
-  stats_.ranks[level] = ld.rank;
+  }
+  if (parts.empty()) {
+    ld.q[i] = Matrix::identity(ld.size[i]);
+    ld.rank[i] = 0;
+  } else {
+    std::vector<ConstMatrixView> views(parts.begin(), parts.end());
+    const Matrix concat = hconcat(views);
+    PivotedQr qr = pivoted_qr(concat, opt_.tol, opt_.max_rank);
+    ld.q[i] = std::move(qr.q);
+    ld.rank[i] = qr.rank;
+  }
+  stats_.ranks[level][i] = ld.rank[i];
+  record_task(level, "basis", i, t.seconds());
+}
 
-  // ---- Phase P1 (Eqs. 8-9): project everything onto the bases.
-  for (const auto& [i, j] : inadm) ld.dense.emplace(Key{i, j}, Matrix());
-  for (const auto& [i, j] : adm) skel_[level].emplace(Key{i, j}, Matrix());
-  for_indices(static_cast<int>(inadm.size()), [&](int p) {
-    const auto& [i, j] = inadm[p];
-    const Timer t;
-    const Matrix tmp = matmul(ld.q[i], cur.at({i, j}), Trans::Yes, Trans::No);
-    ld.dense[{i, j}] = matmul(tmp, ld.q[j]);
-    record_task(level, "project", i, t.seconds());
-  });
-  for_indices(static_cast<int>(adm.size()), [&](int p) {
-    const auto& [i, j] = adm[p];
-    const Timer t;
+void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
+  // Eqs. 8-9: project row i's blocks onto the bases, then free the row's
+  // inputs — the projection is their last consumer (fill and basis of this
+  // row are ordered before it in both executors).
+  const Timer t;
+  Level& ld = levels_[level];
+  auto project_dense = [&](int j) {
+    const Matrix tmp =
+        matmul(ld.q[i], w.cur[level].at({i, j}), Trans::Yes, Trans::No);
+    ld.dense.at({i, j}) = matmul(tmp, ld.q[j]);
+  };
+  project_dense(i);
+  for (const int j : structure_.dense_cols(level, i)) project_dense(j);
+  for (const int j : structure_.admissible_cols(level, i)) {
     Matrix s(ld.rank[i], ld.rank[j]);
-    const Matrix& u = ucur.at({i, j});
+    const Matrix& u = w.ucur[level].at({i, j});
     if (!u.empty() && ld.rank[i] > 0 && ld.rank[j] > 0) {
       const Matrix su = matmul(ld.q[i].block(0, 0, ld.size[i], ld.rank[i]), u,
                                Trans::Yes, Trans::No);
       const Matrix sv = matmul(ld.q[j].block(0, 0, ld.size[j], ld.rank[j]),
-                               vcur.at({i, j}), Trans::Yes, Trans::No);
+                               w.vcur[level].at({i, j}), Trans::Yes, Trans::No);
       s = matmul(su, sv, Trans::No, Trans::Yes);
     }
-    skel_[level][{i, j}] = std::move(s);
-    record_task(level, "project", i, t.seconds());
-  });
-  cur.clear();
-  {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
-    stats_.setup_seconds += setup_timer.seconds();
+    skel_[level].at({i, j}) = std::move(s);
   }
-
-  // ---- Phase E: eliminate the redundant variables.
-  if (opt_.mode == UlvMode::Parallel) {
-    eliminate_parallel(level);
-  } else {
-    eliminate_sequential(level);
+  w.cur[level].at({i, i}) = Matrix();
+  for (const int j : structure_.dense_cols(level, i))
+    w.cur[level].at({i, j}) = Matrix();
+  for (const int j : structure_.admissible_cols(level, i)) {
+    w.ucur[level].at({i, j}) = Matrix();
+    w.vcur[level].at({i, j}) = Matrix();
   }
-
-  // ---- Phase M (Eq. 22): merge skeleton sub-blocks into the parent level.
-  const auto& parent_pairs = structure_.inadmissible_pairs(level - 1);
-  for (const auto& [pi, pj] : parent_pairs) parent.emplace(Key{pi, pj}, Matrix());
-  for_indices(static_cast<int>(parent_pairs.size()), [&](int p) {
-    const auto& [pi, pj] = parent_pairs[p];
-    const Timer t;
-    const int rows = ld.rank[2 * pi] + ld.rank[2 * pi + 1];
-    const int cols = ld.rank[2 * pj] + ld.rank[2 * pj + 1];
-    Matrix m(rows, cols);
-    int r0 = 0;
-    for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci) {
-      int c0 = 0;
-      for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj) {
-        const int ri = ld.rank[ci], rj = ld.rank[cj];
-        if (ri > 0 && rj > 0) {
-          if (structure_.is_admissible_at(level, ci, cj)) {
-            copy_into(skel_[level].at({ci, cj}), m.block(r0, c0, ri, rj));
-          } else {
-            copy_into(ld.dense.at({ci, cj}).block(0, 0, ri, rj),
-                      m.block(r0, c0, ri, rj));
-          }
-        }
-        c0 += rj;
-      }
-      r0 += ld.rank[ci];
-    }
-    parent[{pi, pj}] = std::move(m);
-    record_task(level - 1, "merge", pi, t.seconds());
-  });
+  record_task(level, "project", i, t.seconds());
 }
 
 void UlvFactorization::eliminate_block(int level, int k) {
@@ -324,6 +308,29 @@ void UlvFactorization::eliminate_block(int level, int k) {
   }
 }
 
+void UlvFactorization::body_eliminate(int level, int k) {
+  const Timer t;
+  eliminate_block(level, k);
+  record_task(level, "eliminate", k, t.seconds());
+}
+
+void UlvFactorization::body_col_solve(int level, int k) {
+  // Column strips of pivot k. Separated from body_eliminate so that no two
+  // elimination tasks touch one block: this is a same-block exclusion with
+  // the row tasks, NOT a trailing-sub-matrix data dependency — eliminate
+  // tasks themselves stay pairwise independent (the paper's property).
+  Level& ld = levels_[level];
+  const int n = ld.size[k], r = ld.rank[k], nr = n - r;
+  if (nr == 0) return;
+  const Timer t;
+  ConstMatrixView rr = ld.dense.at({k, k}).block(r, r, nr, nr);
+  for (const int i : structure_.dense_rows(level, k)) {
+    MatrixView strip = ld.dense.at({i, k}).block(0, r, ld.size[i], nr);
+    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr, strip);
+  }
+  record_task(level, "col_solve", k, t.seconds());
+}
+
 std::vector<int> UlvFactorization::schur_k_list(int level, int i, int j) const {
   // k qualifies when both (i,k) and (k,j) are stored dense blocks (the
   // diagonal counts), i.e. k in (dense partners of row i + {i}) intersected
@@ -341,89 +348,411 @@ std::vector<int> UlvFactorization::schur_k_list(int level, int i, int j) const {
   return ks;
 }
 
-void UlvFactorization::eliminate_parallel(int level) {
+void UlvFactorization::body_schur(int level, int i, int j, bool admissible) {
+  // Schur products organized by *target* so accumulation is race-free.
+  const Timer t;
   Level& ld = levels_[level];
-  const int nb = ld.nb;
+  const int ri = ld.rank[i], rj = ld.rank[j];
+  if (ri == 0 || rj == 0) return;
+  MatrixView tgt = admissible ? MatrixView(skel_[level].at({i, j}))
+                              : ld.dense.at({i, j}).block(0, 0, ri, rj);
+  for (const int k : schur_k_list(level, i, j)) {
+    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+    if (nrk == 0) continue;
+    ConstMatrixView left = ld.dense.at({i, k}).block(0, rk, ri, nrk);
+    ConstMatrixView right = ld.dense.at({k, j}).block(rk, 0, nrk, rj);
+    gemm(-1.0, left, Trans::No, right, Trans::No, 1.0, tgt);
+  }
+  record_task(level, "schur", i, t.seconds());
+}
 
-  // E1: pivots, diagonal strips and row strips — one independent task per
-  // block row (the paper's "no trailing sub-matrix dependencies").
-  for_indices(nb, [&](int k) {
-    const Timer t;
-    eliminate_block(level, k);
-    record_task(level, "eliminate", k, t.seconds());
-  });
-  // E2: column strips (separated from E1 so no two tasks touch one block).
-  for_indices(nb, [&](int k) {
-    const int n = ld.size[k], r = ld.rank[k], nr = n - r;
-    if (nr == 0) return;
-    const Timer t;
-    ConstMatrixView rr = ld.dense.at({k, k}).block(r, r, nr, nr);
-    for (const int i : structure_.dense_rows(level, k)) {
-      MatrixView strip = ld.dense.at({i, k}).block(0, r, ld.size[i], nr);
-      trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr, strip);
-    }
-    record_task(level, "eliminate", k, t.seconds());
-  });
-
-  // E3: Schur products, organized by *target* so accumulation is race-free.
-  auto apply_target = [&](int i, int j, bool admissible) {
-    const Timer t;
-    const int ri = ld.rank[i], rj = ld.rank[j];
-    if (ri == 0 || rj == 0) return;
-    MatrixView tgt = admissible ? MatrixView(skel_[level].at({i, j}))
-                                : ld.dense.at({i, j}).block(0, 0, ri, rj);
-    for (const int k : schur_k_list(level, i, j)) {
-      const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-      if (nrk == 0) continue;
-      ConstMatrixView left = ld.dense.at({i, k}).block(0, rk, ri, nrk);
-      ConstMatrixView right = ld.dense.at({k, j}).block(rk, 0, nrk, rj);
-      gemm(-1.0, left, Trans::No, right, Trans::No, 1.0, tgt);
-    }
-    record_task(level, "schur", i, t.seconds());
-  };
-  const auto& inadm = structure_.inadmissible_pairs(level);
-  const auto& adm = structure_.admissible_pairs(level);
-  for_indices(static_cast<int>(inadm.size()), [&](int p) {
-    apply_target(inadm[p].first, inadm[p].second, false);
-  });
-  for_indices(static_cast<int>(adm.size()), [&](int p) {
-    apply_target(adm[p].first, adm[p].second, true);
-  });
-
+void UlvFactorization::body_dropped(int level, int k) {
   // Diagnostics: Frobenius mass of everything the method *drops* — the
   // non-SS components of cross-block updates, which the fill-in-augmented
   // bases are supposed to annihilate (the paper's central claim).
-  if (opt_.measure_dropped) {
-    for (int k = 0; k < nb; ++k) {
-      const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-      if (nrk == 0) continue;
-      auto rows_of = [&](int i) {
-        return ld.dense.at({i, k}).block(0, rk, ld.size[i], nrk);
-      };
-      auto cols_of = [&](int j) {
-        return ld.dense.at({k, j}).block(rk, 0, nrk, ld.size[j]);
-      };
-      std::vector<int> is = structure_.dense_rows(level, k);
-      is.push_back(k);
-      std::vector<int> js = structure_.dense_cols(level, k);
-      js.push_back(k);
-      for (const int i : is) {
-        for (const int j : js) {
-          if (i == k && j == k) continue;
-          const Matrix full = matmul(rows_of(i), cols_of(j));
-          double applied2 = 0.0;
-          const int ri = ld.rank[i], rj = ld.rank[j];
-          const bool stored = structure_.is_admissible_at(level, i, j) ||
-                              structure_.is_inadmissible_at(level, i, j);
-          if (stored && ri > 0 && rj > 0) {
-            const double ss = norm_fro(full.block(0, 0, ri, rj));
-            applied2 = ss * ss;
-          }
-          const double all = norm_fro(full);
-          add_dropped(all * all - applied2);
+  Level& ld = levels_[level];
+  const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+  if (nrk == 0) return;
+  auto rows_of = [&](int i) {
+    return ld.dense.at({i, k}).block(0, rk, ld.size[i], nrk);
+  };
+  auto cols_of = [&](int j) {
+    return ld.dense.at({k, j}).block(rk, 0, nrk, ld.size[j]);
+  };
+  std::vector<int> is = structure_.dense_rows(level, k);
+  is.push_back(k);
+  std::vector<int> js = structure_.dense_cols(level, k);
+  js.push_back(k);
+  for (const int i : is) {
+    for (const int j : js) {
+      if (i == k && j == k) continue;
+      const Matrix full = matmul(rows_of(i), cols_of(j));
+      double applied2 = 0.0;
+      const int ri = ld.rank[i], rj = ld.rank[j];
+      const bool stored = structure_.is_admissible_at(level, i, j) ||
+                          structure_.is_inadmissible_at(level, i, j);
+      if (stored && ri > 0 && rj > 0) {
+        const double ss = norm_fro(full.block(0, 0, ri, rj));
+        applied2 = ss * ss;
+      }
+      const double all = norm_fro(full);
+      add_dropped(all * all - applied2);
+    }
+  }
+}
+
+void UlvFactorization::body_merge(Workspace& w, int level, int pi, int pj) {
+  // Eq. 22: merge the four children's skeleton sub-blocks into one parent
+  // block of level - 1.
+  const Timer t;
+  Level& ld = levels_[level];
+  const int rows = ld.rank[2 * pi] + ld.rank[2 * pi + 1];
+  const int cols = ld.rank[2 * pj] + ld.rank[2 * pj + 1];
+  Matrix m(rows, cols);
+  int r0 = 0;
+  for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci) {
+    int c0 = 0;
+    for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj) {
+      const int ri = ld.rank[ci], rj = ld.rank[cj];
+      if (ri > 0 && rj > 0) {
+        if (structure_.is_admissible_at(level, ci, cj)) {
+          copy_into(skel_[level].at({ci, cj}), m.block(r0, c0, ri, rj));
+        } else {
+          copy_into(ld.dense.at({ci, cj}).block(0, 0, ri, rj),
+                    m.block(r0, c0, ri, rj));
         }
       }
+      c0 += rj;
     }
+    r0 += ld.rank[ci];
+  }
+  w.cur[level - 1].at({pi, pj}) = std::move(m);
+  record_task(level - 1, "merge", pi, t.seconds());
+}
+
+void UlvFactorization::body_top(Workspace& w) {
+  const Timer t;
+  top_lu_ = std::move(w.cur[0].at({0, 0}));
+  getrf(top_lu_, top_piv_);
+  record_task(0, "top", 0, t.seconds());
+}
+
+// ---------------------------------------------------------------------------
+// Executors.
+// ---------------------------------------------------------------------------
+
+void UlvFactorization::factorize(const H2Matrix& a) {
+  if (depth_ == 0) {
+    // Degenerate single-cluster problem: plain dense LU.
+    levels_.resize(1);
+    skel_.resize(1);
+    ry_.resize(1);
+    stats_.ranks.resize(1);
+    const Timer t;
+    top_lu_ = a.dense_block(0, 0);
+    getrf(top_lu_, top_piv_);
+    record_task(0, "top", 0, t.seconds());
+    return;
+  }
+  if (task_dag_mode()) {
+    factorize_dag(a);
+  } else {
+    factorize_loops(a);
+  }
+}
+
+void UlvFactorization::factorize_loops(const H2Matrix& a) {
+  Workspace w;
+  w.a = &a;
+  prepare(w);
+  for (int l = 1; l <= depth_; ++l)
+    for_indices(tree_->n_clusters(l), [&](int i) { body_ry(w, l, i); });
+  for_indices(tree_->n_clusters(depth_),
+              [&](int i) { body_assemble(w, depth_, i); });
+  for (int level = depth_; level >= 1; --level) process_level(w, level);
+  body_top(w);
+}
+
+void UlvFactorization::process_level(Workspace& w, int level) {
+  const int nb = tree_->n_clusters(level);
+  const Timer setup_timer;
+
+  // ---- Phase P0: admissible blocks of this level in current coordinates.
+  for_indices(nb, [&](int i) { body_project_lr(w, level, i); });
+
+  // ---- Phase B1 (Fig. 7): fill-in column spaces per pivot row.
+  if (opt_.fillin_augmentation)
+    for_indices(nb, [&](int k) { body_fill(w, level, k); });
+
+  // ---- Phase B2 (Eqs. 27-28): shared basis per cluster.
+  for_indices(nb, [&](int i) { body_basis(w, level, i); });
+
+  // ---- Phase P1 (Eqs. 8-9): project everything onto the bases.
+  for_indices(nb, [&](int i) { body_project_row(w, level, i); });
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    stats_.setup_seconds += setup_timer.seconds();
+  }
+
+  // ---- Phase E: eliminate the redundant variables.
+  if (opt_.mode == UlvMode::Parallel) {
+    eliminate_parallel(level);
+  } else {
+    eliminate_sequential(level);
+  }
+
+  // ---- Phase M (Eq. 22): merge skeleton sub-blocks into the parent level.
+  const auto& parent_pairs = structure_.inadmissible_pairs(level - 1);
+  for_indices(static_cast<int>(parent_pairs.size()), [&](int p) {
+    body_merge(w, level, parent_pairs[p].first, parent_pairs[p].second);
+  });
+}
+
+void UlvFactorization::eliminate_parallel(int level) {
+  const int nb = levels_[level].nb;
+  // E1: pivots, diagonal strips and row strips — one independent task per
+  // block row (the paper's "no trailing sub-matrix dependencies").
+  for_indices(nb, [&](int k) { body_eliminate(level, k); });
+  // E2: column strips (separated from E1 so no two tasks touch one block).
+  for_indices(nb, [&](int k) { body_col_solve(level, k); });
+  // E3: Schur products by target.
+  const auto& inadm = structure_.inadmissible_pairs(level);
+  const auto& adm = structure_.admissible_pairs(level);
+  for_indices(static_cast<int>(inadm.size()), [&](int p) {
+    body_schur(level, inadm[p].first, inadm[p].second, false);
+  });
+  for_indices(static_cast<int>(adm.size()), [&](int p) {
+    body_schur(level, adm[p].first, adm[p].second, true);
+  });
+  if (opt_.measure_dropped)
+    for (int k = 0; k < nb; ++k) body_dropped(level, k);
+}
+
+void UlvFactorization::factorize_dag(const H2Matrix& a) {
+  Workspace w;
+  w.a = &a;
+  prepare(w);
+
+  // Build the DAG: one task per (phase, cluster), edges = the phase bodies'
+  // true read/write sets. Within a level: fill -> basis -> project ->
+  // eliminate -> col_solve -> schur per block row; NO eliminate -> eliminate
+  // edges (the paper's "no trailing sub-matrix dependencies"). Across
+  // levels: schur -> merge -> {fill, basis, project} of the parent level, so
+  // level L-1 starts while level L still drains.
+  TaskGraph g;
+  const int d = depth_;
+  std::vector<std::vector<TaskId>> t_ry(d + 1), t_fill(d + 1), t_basis(d + 1),
+      t_project(d + 1), t_elim(d + 1), t_col(d + 1);
+  // Producer of each cur[level] block: leaf assembly or a parent merge.
+  std::vector<std::map<Key, TaskId>> t_producer(d + 1), t_schur(d + 1);
+
+  auto dep = [&](TaskId before, TaskId after) {
+    if (before >= 0) g.add_dependency(before, after);
+  };
+
+  // ry factors have no predecessors; every level's basis phase may consume
+  // the ry of any ancestor level, so emit them all up front.
+  for (int l = 1; l <= d; ++l) {
+    const int nb = tree_->n_clusters(l);
+    t_ry[l].resize(nb);
+    for (int i = 0; i < nb; ++i)
+      t_ry[l][i] =
+          g.add_task([this, &w, l, i] { body_ry(w, l, i); }, "ry", i, l);
+  }
+
+  // Leaf assembly: the producers of cur[depth].
+  {
+    const int nb = tree_->n_clusters(d);
+    std::vector<TaskId> t_asm(nb);
+    for (int i = 0; i < nb; ++i)
+      t_asm[i] = g.add_task([this, &w, i] { body_assemble(w, depth_, i); },
+                            "assemble", i, d);
+    for (const auto& [i, j] : structure_.inadmissible_pairs(d))
+      t_producer[d][{i, j}] = t_asm[i];
+  }
+
+  for (int level = d; level >= 1; --level) {
+    const int nb = tree_->n_clusters(level);
+    const bool leaf = (level == d);
+    // basis(l+1, c) transitively orders all of c's subtree bases, so one
+    // child edge is enough wherever a task needs a whole subtree projected.
+    auto child_basis = [&](int c) { return leaf ? -1 : t_basis[level + 1][c]; };
+
+    // P0: needs the subtree bases of row i and of every admissible partner.
+    std::vector<TaskId> t_plr(nb);
+    for (int i = 0; i < nb; ++i) {
+      const TaskId t = g.add_task(
+          [this, &w, level, i] { body_project_lr(w, level, i); }, "project_lr",
+          i, level);
+      dep(child_basis(2 * i), t);
+      dep(child_basis(2 * i + 1), t);
+      for (const int j : structure_.admissible_cols(level, i)) {
+        dep(child_basis(2 * j), t);
+        dep(child_basis(2 * j + 1), t);
+      }
+      t_plr[i] = t;
+    }
+
+    // B1: needs row k's merged/assembled blocks.
+    t_fill[level].assign(nb, -1);
+    if (opt_.fillin_augmentation) {
+      for (int k = 0; k < nb; ++k) {
+        if (structure_.dense_cols(level, k).empty()) continue;
+        const TaskId t = g.add_task(
+            [this, &w, level, k] { body_fill(w, level, k); }, "fill", k, level);
+        dep(t_producer[level].at({k, k}), t);
+        for (const int j : structure_.dense_cols(level, k))
+          dep(t_producer[level].at({k, j}), t);
+        t_fill[level][k] = t;
+      }
+    }
+
+    // B2: needs row i's fill spaces + low-rank factors + subtree bases +
+    // the ry of this row and of every ancestor's row.
+    t_basis[level].resize(nb);
+    for (int i = 0; i < nb; ++i) {
+      const TaskId t = g.add_task(
+          [this, &w, level, i] { body_basis(w, level, i); }, "basis", i, level);
+      dep(t_plr[i], t);
+      dep(child_basis(2 * i), t);
+      dep(child_basis(2 * i + 1), t);
+      dep(t_ry[level][i], t);
+      for (int lambda = 1; lambda < level; ++lambda)
+        dep(t_ry[lambda][i >> (level - lambda)], t);
+      if (opt_.fillin_augmentation) {
+        for (const int k : structure_.dense_cols(level, i)) {
+          dep(t_fill[level][k], t);
+          dep(t_producer[level].at({i, k}), t);
+        }
+      }
+      t_basis[level][i] = t;
+    }
+
+    // P1: needs this row's basis and every partner's basis, plus the row's
+    // blocks (which it frees — hence the explicit fill(k) edge: the fill of
+    // pivot k reads row k before its projection recycles it).
+    t_project[level].resize(nb);
+    for (int i = 0; i < nb; ++i) {
+      const TaskId t = g.add_task(
+          [this, &w, level, i] { body_project_row(w, level, i); }, "project", i,
+          level);
+      dep(t_basis[level][i], t);
+      dep(t_fill[level][i], t);
+      dep(t_producer[level].at({i, i}), t);
+      for (const int j : structure_.dense_cols(level, i)) {
+        dep(t_basis[level][j], t);
+        dep(t_producer[level].at({i, j}), t);
+      }
+      for (const int j : structure_.admissible_cols(level, i))
+        dep(t_basis[level][j], t);
+      t_project[level][i] = t;
+    }
+
+    // E1: one independent task per block row — no edges among them.
+    t_elim[level].resize(nb);
+    for (int k = 0; k < nb; ++k) {
+      const TaskId t =
+          g.add_task([this, level, k] { body_eliminate(level, k); },
+                     "eliminate", k, level);
+      dep(t_project[level][k], t);
+      t_elim[level][k] = t;
+    }
+
+    // E2: column strips share blocks with the row tasks of their dense
+    // neighbors (same-block exclusion, not a data chain).
+    t_col[level].resize(nb);
+    for (int k = 0; k < nb; ++k) {
+      const TaskId t = g.add_task(
+          [this, level, k] { body_col_solve(level, k); }, "col_solve", k, level);
+      dep(t_elim[level][k], t);
+      for (const int i : structure_.dense_rows(level, k)) dep(t_elim[level][i], t);
+      t_col[level][k] = t;
+    }
+
+    // E3: per stored target; reads the solved strips of every qualifying
+    // pivot k, all final once col_solve(k) ran.
+    auto emit_schur = [&](int i, int j, bool admissible) {
+      const TaskId t = g.add_task(
+          [this, level, i, j, admissible] { body_schur(level, i, j, admissible); },
+          "schur", i, level);
+      dep(t_project[level][i], t);
+      for (const int k : schur_k_list(level, i, j)) dep(t_col[level][k], t);
+      t_schur[level][{i, j}] = t;
+    };
+    for (const auto& [i, j] : structure_.inadmissible_pairs(level))
+      emit_schur(i, j, false);
+    for (const auto& [i, j] : structure_.admissible_pairs(level))
+      emit_schur(i, j, true);
+
+    if (opt_.measure_dropped) {
+      for (int k = 0; k < nb; ++k) {
+        const TaskId t = g.add_task(
+            [this, level, k] { body_dropped(level, k); }, "dropped", k, level);
+        // Reads pivot k's solved strips FULL-width: col_solve(j) of every
+        // dense neighbor still writes the right columns of (k, j).
+        dep(t_col[level][k], t);
+        for (const int j : structure_.dense_cols(level, k))
+          dep(t_col[level][j], t);
+      }
+    }
+
+    // M: the four child targets feed one parent block; the merge is the
+    // producer the next level's fill/basis/project wait on — and the only
+    // cross-level synchronization there is.
+    for (const auto& [pi, pj] : structure_.inadmissible_pairs(level - 1)) {
+      const TaskId t = g.add_task(
+          [this, &w, level, pi, pj] { body_merge(w, level, pi, pj); }, "merge",
+          pi, level - 1);
+      for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci)
+        for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj)
+          dep(t_schur[level].at({ci, cj}), t);
+      t_producer[level - 1][{pi, pj}] = t;
+    }
+  }
+
+  const TaskId t_top =
+      g.add_task([this, &w] { body_top(w); }, "top", 0, 0);
+  dep(t_producer[0].at({0, 0}), t_top);
+
+  // Execute on the configured pool: the caller's, a private one of
+  // n_workers, or the process-wide pool — never one the graph spawns
+  // itself. Refuse a pool this thread is already a worker of (e.g. a
+  // factorization submitted onto the global pool): execute() blocks its
+  // caller, so feeding the DAG to our own pool could deadlock it.
+  ThreadPool* pool = opt_.pool;
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr && opt_.n_workers <= 0) pool = &ThreadPool::global();
+  if (pool == nullptr || pool == ThreadPool::current()) {
+    const int fallback = pool != nullptr ? pool->size() : opt_.n_workers;
+    owned = std::make_unique<ThreadPool>(std::max(1, fallback));
+    pool = owned.get();
+  }
+  ExecStats ex = g.execute(*pool);
+
+  {
+    // Setup time = wall clock during which basis-construction work was in
+    // flight: the interval union of the setup-phase task spans. Same phase
+    // set as the loops executor's per-level setup windows (P0..P1, ry and
+    // assemble excluded there too); on one worker the union degenerates to
+    // the same phase-duration sum, and on any worker count it stays within
+    // the execution wall time, so factor_seconds >= setup_seconds holds.
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& r : ex.records)
+      if (r.label == "project_lr" || r.label == "fill" || r.label == "basis" ||
+          r.label == "project")
+        spans.emplace_back(r.t_start, r.t_end);
+    std::sort(spans.begin(), spans.end());
+    double setup = 0.0, open_until = -1.0;
+    for (const auto& [t0, t1] : spans) {
+      setup += std::max(0.0, t1 - std::max(t0, open_until));
+      open_until = std::max(open_until, t1);
+    }
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    stats_.setup_seconds += setup;
+  }
+  if (opt_.record_tasks) {
+    stats_.dag = g.record();
+    stats_.exec = std::move(ex);
   }
 }
 

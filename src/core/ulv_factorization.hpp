@@ -27,6 +27,17 @@ namespace h2 {
 ///  5. merge the skeleton sub-blocks into the parent level (Eq. 22).
 /// The final merged block is LU-factorized densely.
 ///
+/// The numerics of each phase live in per-cluster `body_*` methods — one
+/// source of truth consumed by two executors. Parallel mode defaults to
+/// UlvExecutor::TaskDag: the factorization is built as a dependency-counted
+/// TaskGraph (one task per phase x cluster; fill→basis→project→eliminate
+/// within a block row, project→schur→merge toward the parent, merge→fill
+/// across levels so level L-1 starts while level L drains) and executed on a
+/// ThreadPool. The bulk-synchronous phase loops remain as the PhaseLoops
+/// ablation and as the Sequential baseline's only flow. Both executors and
+/// any worker count produce bitwise-identical factors: every task performs
+/// the same block operations in the same order.
+///
 /// The matrix must be symmetric (all built-in kernels are), which makes the
 /// shared row and column bases coincide; the factorization itself is a
 /// general LU (Eqs. 11-15), not a Cholesky, so SPD-ness is not required.
@@ -66,12 +77,43 @@ class UlvFactorization {
     std::vector<std::vector<int>> rr_piv;
   };
 
+  /// Transient per-level block storage consumed by the phase bodies: the
+  /// current-coordinate blocks entering each level plus the intermediates of
+  /// the basis pipeline. Defined in the .cpp; shared by both executors.
+  struct Workspace;
+
   void factorize(const H2Matrix& a);
-  /// Run phases 1-4 for `level`, leaving projected+solved blocks in
-  /// levels_[level] and merged parent blocks in `parent_dense`.
-  void process_level(const H2Matrix& a, int level,
-                     std::map<Key, Matrix>& cur_dense,
-                     std::map<Key, Matrix>& parent_dense);
+  /// Pre-size every level's containers and pre-insert every map key, so the
+  /// phase bodies only ever assign through stable references (required for
+  /// race-free concurrent execution; also what the loops did implicitly).
+  void prepare(Workspace& w);
+  /// Bulk-synchronous executor: phase loops with a barrier after every phase
+  /// and level (UlvExecutor::PhaseLoops, and all of Sequential mode).
+  void factorize_loops(const H2Matrix& a);
+  void process_level(Workspace& w, int level);
+  /// Dependency-driven executor: emit one task per (phase, cluster), wire
+  /// the true data dependencies, and run the DAG on a ThreadPool
+  /// (UlvExecutor::TaskDag, Parallel mode only).
+  void factorize_dag(const H2Matrix& a);
+  [[nodiscard]] bool task_dag_mode() const;
+
+  // Phase bodies (single source of truth for the numerics). All bodies are
+  // row-owned: a body with owner i writes only row-i state, so within a
+  // phase no two bodies touch the same block. See factorize_dag for the
+  // cross-phase write-set analysis behind the DAG's edges.
+  void body_assemble(Workspace& w, int level, int i);
+  void body_ry(Workspace& w, int level, int i);
+  void body_project_lr(Workspace& w, int level, int i);
+  void body_fill(Workspace& w, int level, int k);
+  void body_basis(Workspace& w, int level, int i);
+  void body_project_row(Workspace& w, int level, int i);
+  void body_eliminate(int level, int k);
+  void body_col_solve(int level, int k);
+  void body_schur(int level, int i, int j, bool admissible);
+  void body_dropped(int level, int k);
+  void body_merge(Workspace& w, int level, int pi, int pj);
+  void body_top(Workspace& w);
+
   /// Express rows of cluster (level, lid), given in full point coordinates,
   /// in the current (child-skeleton) coordinates of `level`.
   Matrix current_rows(int level, int lid, ConstMatrixView x_full) const;

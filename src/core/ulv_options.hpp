@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/task_graph.hpp"
+
 namespace h2 {
 
 class ThreadPool;
@@ -22,6 +24,22 @@ enum class UlvMode {
   Sequential,
 };
 
+/// How the Parallel-mode factorization is executed. (Sequential mode is an
+/// inherently ordered ablation and always runs as plain loops.)
+enum class UlvExecutor {
+  /// Build the factorization as a dependency-counted TaskGraph — one task
+  /// per (phase, cluster) with fill→basis→project→eliminate edges inside a
+  /// block row, project→schur→merge edges toward the parent, and merge→fill
+  /// edges that let level L-1 start while level L drains — and execute it on
+  /// a ThreadPool. This is the runtime realization of the paper's "no
+  /// trailing sub-matrix dependencies" claim, and the default.
+  TaskDag,
+  /// Bulk-synchronous phase loops with a barrier after every phase and every
+  /// level (serial, or pool-parallel via the deprecated `use_threads`). Kept
+  /// as an ablation: same arithmetic, no inter-phase/inter-level overlap.
+  PhaseLoops,
+};
+
 struct UlvOptions {
   /// Relative truncation tolerance of the shared-basis QR (and the skeleton
   /// rank it implies).
@@ -37,15 +55,31 @@ struct UlvOptions {
   /// reproduces the failure mode the paper fixes (see bench_ablation_fillin).
   bool fillin_augmentation = true;
   UlvMode mode = UlvMode::Parallel;
-  /// Execute block-level phases through a thread pool (Parallel mode only).
+  /// Execution policy for Parallel mode (see UlvExecutor). Results are
+  /// bitwise identical across executors and worker counts: every task
+  /// performs the same block operations in the same order.
+  UlvExecutor executor = UlvExecutor::TaskDag;
+  /// TaskDag worker count when no `pool` is given: a positive value spawns
+  /// a private pool of that size for this factorization; 0 uses the global
+  /// pool. Ignored when `pool` is set — an explicit pool always wins. Use
+  /// n_workers = 1 when recording task durations for the scheduling
+  /// simulator: replayed timings should be contention-free.
+  int n_workers = 0;
+  /// Pool for the TaskDag executor and pool-parallel phase loops
+  /// (nullptr: by n_workers / the global pool).
+  ThreadPool* pool = nullptr;
+  /// Deprecated alias (pre-Executor API): `true` selects pool-parallel
+  /// bulk-synchronous phase loops, i.e. executor = PhaseLoops with
+  /// parallel_for over each phase. Prefer `executor`/`n_workers`.
   bool use_threads = false;
-  ThreadPool* pool = nullptr;  ///< nullptr: the global pool
   /// Accumulate the Frobenius mass of all dropped (non-SS) Schur update
   /// components — the quantity the paper argues is negligible once the bases
   /// contain the fill-ins. Costs extra GEMMs; enable in tests/ablations.
   bool measure_dropped = false;
   /// Record a per-task timing log (level, kind, owner cluster, seconds) used
-  /// by the distributed-memory scheduling simulator.
+  /// by the distributed-memory scheduling simulator. Under the TaskDag
+  /// executor this additionally keeps the executed DAG (UlvStats::dag) and
+  /// its execution trace (UlvStats::exec).
   bool record_tasks = false;
 };
 
@@ -67,7 +101,17 @@ struct UlvStats {
   double factor_seconds = 0.0;
   double setup_seconds = 0.0;  ///< fills + bases + projections
   std::uint64_t factor_flops = 0;
-  std::vector<UlvTaskRecord> tasks;  ///< only when record_tasks
+  /// Flat per-task timing log (only when record_tasks). Under TaskDag the
+  /// same tasks also appear in `exec` with wall-clock spans and in `dag`
+  /// with their true edge structure — the flat list stays for consumers
+  /// that only need (level, kind, owner, seconds) aggregates.
+  std::vector<UlvTaskRecord> tasks;
+  /// The executed factorization DAG (TaskDag executor + record_tasks): the
+  /// one structure shared by the real execution, the Fig. 13 trace, and the
+  /// src/dist scheduling simulator.
+  DagRecord dag;
+  /// Execution trace of `dag` (worker lanes + spans).
+  ExecStats exec;
 };
 
 }  // namespace h2

@@ -8,7 +8,23 @@ namespace h2 {
 
 ScheduleInput UlvDistModel::replay_input() const {
   ScheduleInput in;
-  if (stats == nullptr || stats->tasks.empty()) return in;
+  if (stats == nullptr) return in;
+
+  // Preferred path: the factorization ran under the TaskDag executor and
+  // recorded its real DAG — replay the measured durations through the TRUE
+  // edge structure (fill→basis→project→eliminate per block row, schur→merge
+  // toward the parent, merge→fill across levels), so simulated schedules
+  // overlap phases and levels exactly where the real execution may.
+  if (!stats->dag.empty() &&
+      stats->exec.records.size() == stats->dag.meta.size()) {
+    const int n = stats->dag.n_tasks();
+    in.durations.assign(n, 0.0);
+    for (const TaskRecord& r : stats->exec.records)
+      if (r.id >= 0 && r.id < n) in.durations[r.id] = r.duration();
+    in.successors = stats->dag.successors;
+    return in;
+  }
+  if (stats->tasks.empty()) return in;
 
   const auto add_task = [&](double seconds) {
     in.durations.push_back(seconds);
@@ -16,10 +32,11 @@ ScheduleInput UlvDistModel::replay_input() const {
     return static_cast<int>(in.durations.size()) - 1;
   };
 
-  // Tasks are recorded in serial execution order; a change of (level, kind)
-  // marks a phase boundary. Tasks inside one phase are independent block-row
-  // work (the paper's point: no trailing sub-matrix dependencies), so they
-  // only chain through zero-duration barrier tasks between phases.
+  // Fallback (flat UlvTaskRecord log, e.g. the PhaseLoops executor): tasks
+  // are recorded in serial execution order; a change of (level, kind) marks
+  // a phase boundary. Tasks inside one phase are independent block-row work
+  // (the paper's point: no trailing sub-matrix dependencies), so they only
+  // chain through zero-duration barrier tasks between phases.
   std::vector<int> group;
   int last_barrier = -1;
   int prev_level = 0;

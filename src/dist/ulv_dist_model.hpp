@@ -34,9 +34,14 @@ struct UlvDistModel {
   const UlvStats* stats = nullptr;            ///< must outlive the model
   const BlockStructure* structure = nullptr;  ///< must outlive the model
 
-  /// The recorded task DAG as simulator input: one task per recorded block
-  /// task, consecutive (level, kind) runs forming independent phase groups
-  /// separated by zero-duration barrier tasks.
+  /// The recorded task DAG as simulator input. When the factorization ran
+  /// under the TaskDag executor (UlvStats::dag/exec populated), this is the
+  /// REAL executed DAG — measured durations on the true edge structure, so
+  /// simulated schedules respect (only) the actual dependencies and may
+  /// overlap phases and levels. Otherwise it falls back to the flat
+  /// UlvTaskRecord log: one task per recorded block task, consecutive
+  /// (level, kind) runs forming independent phase groups separated by
+  /// zero-duration barrier tasks.
   [[nodiscard]] ScheduleInput replay_input() const;
 
   /// Predicted factorization time on p shared-memory cores (no

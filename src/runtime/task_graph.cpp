@@ -1,21 +1,24 @@
 #include "runtime/task_graph.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/timer.hpp"
 
 namespace h2 {
 
-TaskId TaskGraph::add_task(std::function<void()> fn, std::string label) {
+TaskId TaskGraph::add_task(std::function<void()> fn, std::string label,
+                           int owner, int level) {
   assert(!executed_);
   const TaskId id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(std::move(fn));
-  labels_.push_back(std::move(label));
+  meta_.push_back({std::move(label), owner, level});
   successors_.emplace_back();
   n_predecessors_.push_back(0);
   return id;
@@ -27,13 +30,47 @@ void TaskGraph::add_dependency(TaskId before, TaskId after) {
   ++n_predecessors_[after];
 }
 
-ExecStats TaskGraph::execute(int n_threads) {
+void TaskGraph::throw_if_cyclic() const {
+  // Kahn's algorithm on the static structure: anything a topological sweep
+  // cannot reach sits on (or behind) a cycle and would deadlock execution.
+  const int n = n_tasks();
+  std::vector<int> degree = n_predecessors_;
+  std::vector<TaskId> order;
+  order.reserve(n);
+  for (TaskId i = 0; i < n; ++i)
+    if (degree[i] == 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (const TaskId succ : successors_[order[head]])
+      if (--degree[succ] == 0) order.push_back(succ);
+  if (static_cast<int>(order.size()) == n) return;
+
+  const int stuck = n - static_cast<int>(order.size());
+  std::ostringstream msg;
+  msg << "TaskGraph: dependency cycle — " << stuck << " of " << n
+      << " tasks unexecutable (stuck:";
+  int shown = 0;
+  for (TaskId i = 0; i < n && shown < 4; ++i) {
+    if (degree[i] <= 0) continue;
+    msg << (shown ? ", " : " ");
+    if (meta_[i].label.empty())
+      msg << '#' << i;
+    else
+      msg << '\'' << meta_[i].label << "' (#" << i << ')';
+    ++shown;
+  }
+  if (stuck > shown) msg << ", ...";
+  msg << ')';
+  throw std::logic_error(msg.str());
+}
+
+ExecStats TaskGraph::execute(ThreadPool& pool) {
   if (executed_) throw std::logic_error("TaskGraph::execute called twice");
   executed_ = true;
+  throw_if_cyclic();
   const int n = n_tasks();
 
   ExecStats stats;
-  stats.n_workers = n_threads;
+  stats.n_workers = pool.size();
   stats.records.resize(n);
 
   std::vector<std::atomic<int>> pending(n);
@@ -44,21 +81,17 @@ ExecStats TaskGraph::execute(int n_threads) {
   std::condition_variable done_cv;
   bool done = (n == 0);
 
-  // Worker ids handed out on first use so trace rows are per-worker lanes.
-  std::atomic<int> next_worker{0};
-
-  ThreadPool pool(n_threads);
   const Timer wall;
 
   // Declared before `run` so it can be captured by reference.
   std::function<void(TaskId)> schedule;
   auto run = [&](TaskId id) {
-    thread_local int worker_id = -1;
-    if (worker_id < 0) worker_id = next_worker.fetch_add(1);
     TaskRecord& rec = stats.records[id];
     rec.id = id;
-    rec.worker = worker_id;
-    rec.label = labels_[id];
+    rec.worker = std::max(0, ThreadPool::worker_index());
+    rec.owner = meta_[id].owner;
+    rec.level = meta_[id].level;
+    rec.label = meta_[id].label;
     rec.t_start = now_sec();
     tasks_[id]();
     rec.t_end = now_sec();
@@ -82,20 +115,25 @@ ExecStats TaskGraph::execute(int n_threads) {
   stats.wall_seconds = wall.seconds();
 
   if (remaining.load() != 0)
-    throw std::logic_error("TaskGraph: dependency cycle (unexecuted tasks)");
+    throw std::logic_error("TaskGraph: tasks left unexecuted after drain");
   for (const auto& rec : stats.records) stats.useful_seconds += rec.duration();
   return stats;
+}
+
+ExecStats TaskGraph::execute(int n_threads) {
+  ThreadPool pool(n_threads);
+  return execute(pool);
 }
 
 bool TaskGraph::write_trace_csv(const ExecStats& stats, const std::string& path) {
   std::ofstream f(path);
   if (!f) return false;
-  f << "task,label,worker,t_start,t_end\n";
+  f << "task,label,owner,level,worker,t_start,t_end\n";
   double t0 = stats.records.empty() ? 0.0 : stats.records.front().t_start;
   for (const auto& r : stats.records) t0 = std::min(t0, r.t_start);
   for (const auto& r : stats.records)
-    f << r.id << ',' << r.label << ',' << r.worker << ',' << (r.t_start - t0)
-      << ',' << (r.t_end - t0) << '\n';
+    f << r.id << ',' << r.label << ',' << r.owner << ',' << r.level << ','
+      << r.worker << ',' << (r.t_start - t0) << ',' << (r.t_end - t0) << '\n';
   return static_cast<bool>(f);
 }
 

@@ -10,11 +10,23 @@ namespace h2 {
 
 using TaskId = int;
 
+/// Static per-task classification carried by the graph: `label` names the
+/// task kind for traces ("getrf", "basis", ...), `owner` the block row /
+/// cluster / tile that owns the work (distributed ownership models), `level`
+/// the tree level the task belongs to (-1 when not level-structured).
+struct TaskMeta {
+  std::string label;
+  int owner = -1;
+  int level = -1;
+};
+
 /// One executed-task record; the trace is the Fig. 13 artifact and the input
 /// to the distributed scheduling simulator (src/dist).
 struct TaskRecord {
   TaskId id = -1;
   int worker = -1;
+  int owner = -1;     ///< owning cluster / tile row (from TaskMeta)
+  int level = -1;     ///< tree level (from TaskMeta)
   double t_start = 0.0;  ///< seconds, monotonic epoch
   double t_end = 0.0;
   std::string label;
@@ -37,6 +49,18 @@ struct ExecStats {
   }
 };
 
+/// The callable-free skeleton of a TaskGraph: per-task metadata plus the
+/// edge structure. Value-copyable, so a factorization can hand its recorded
+/// DAG to the scheduling simulator (src/dist) long after the graph — whose
+/// task closures reference factorization internals — is gone.
+struct DagRecord {
+  std::vector<TaskMeta> meta;
+  std::vector<std::vector<TaskId>> successors;
+
+  [[nodiscard]] int n_tasks() const { return static_cast<int>(meta.size()); }
+  [[nodiscard]] bool empty() const { return meta.empty(); }
+};
+
 /// A one-shot dependency-counted task DAG (PaRSEC/StarPU substitute).
 ///
 /// Tasks become ready when all their predecessors finish; ready tasks are
@@ -47,8 +71,10 @@ struct ExecStats {
 class TaskGraph {
  public:
   /// Register a task; returns its id. `label` classifies the task for traces
-  /// (e.g. "getrf", "trsm", "gemm").
-  TaskId add_task(std::function<void()> fn, std::string label = {});
+  /// (e.g. "getrf", "trsm", "gemm"); `owner`/`level` tag the owning block
+  /// row and tree level for ownership-aware replay (-1: untagged).
+  TaskId add_task(std::function<void()> fn, std::string label = {},
+                  int owner = -1, int level = -1);
 
   /// `after` may not start until `before` has finished.
   void add_dependency(TaskId before, TaskId after);
@@ -60,18 +86,32 @@ class TaskGraph {
   [[nodiscard]] const std::vector<int>& predecessor_counts() const {
     return n_predecessors_;
   }
+  [[nodiscard]] const std::vector<TaskMeta>& meta() const { return meta_; }
 
-  /// Execute the whole DAG on `n_threads` workers (its own pool). Can only be
-  /// called once. Throws std::logic_error on dependency cycles (detected as
-  /// non-executed tasks).
+  /// Copy out the callable-free structure (metadata + edges).
+  [[nodiscard]] DagRecord record() const { return {meta_, successors_}; }
+
+  /// Execute the whole DAG on `pool`'s workers — the pool is borrowed, not
+  /// owned, so callers can run many graphs through one process-wide pool.
+  /// Can only be called once. Throws std::logic_error (before running any
+  /// task) when dependency cycles make part of the graph unexecutable; the
+  /// message names the stuck tasks. Must not be called from a worker of
+  /// `pool` itself: execute() blocks the calling thread, so a pool draining
+  /// into itself can deadlock (check ThreadPool::current()).
+  ExecStats execute(ThreadPool& pool);
+
+  /// Convenience overload: execute on a freshly spawned pool of `n_threads`
+  /// workers that lives only for this call.
   ExecStats execute(int n_threads);
 
-  /// Write the trace as CSV (task id, label, worker, start, end).
+  /// Write the trace as CSV (task id, label, owner, level, worker, span).
   static bool write_trace_csv(const ExecStats& stats, const std::string& path);
 
  private:
+  void throw_if_cyclic() const;
+
   std::vector<std::function<void()>> tasks_;
-  std::vector<std::string> labels_;
+  std::vector<TaskMeta> meta_;
   std::vector<std::vector<TaskId>> successors_;
   std::vector<int> n_predecessors_;
   bool executed_ = false;

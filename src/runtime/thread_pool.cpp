@@ -1,16 +1,22 @@
 #include "runtime/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/env.hpp"
 
 namespace h2 {
 
+namespace {
+thread_local int tl_worker_index = -1;
+thread_local ThreadPool* tl_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int n_threads) {
   if (n_threads < 1) n_threads = 1;
   workers_.reserve(n_threads);
   for (int i = 0; i < n_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -35,7 +41,9 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  tl_worker_index = index;
+  tl_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -55,10 +63,19 @@ void ThreadPool::worker_loop() {
   }
 }
 
+int ThreadPool::worker_index() { return tl_worker_index; }
+
+ThreadPool* ThreadPool::current() { return tl_pool; }
+
+int ThreadPool::env_threads() {
+  const long hw =
+      std::max(1L, static_cast<long>(std::thread::hardware_concurrency()));
+  const long v = env::get_int("H2_THREADS", hw);
+  return static_cast<int>(std::clamp(v, 1L, 1024L));
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(static_cast<int>(
-      env::get_int("H2_THREADS",
-                   static_cast<long>(std::thread::hardware_concurrency()))));
+  static ThreadPool pool(env_threads());
   return pool;
 }
 

@@ -28,11 +28,29 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Process-wide pool sized by H2_THREADS (default: hardware concurrency).
+  /// Index of the calling thread within its owning pool ([0, size)), or -1
+  /// when called from a thread no pool owns. Lets executors (TaskGraph) tag
+  /// trace records with a stable per-worker lane without handing out ad-hoc
+  /// ids.
+  static int worker_index();
+
+  /// The pool that owns the calling thread, or nullptr for non-pool threads.
+  /// Executors use this to refuse a pool they are already running on — a
+  /// worker that submits work to its own pool and then blocks on it
+  /// deadlocks once all workers do the same.
+  static ThreadPool* current();
+
+  /// Worker count implied by the environment: H2_THREADS when set to a
+  /// positive integer, hardware concurrency otherwise; always >= 1 (garbage,
+  /// zero and negative values fall back / clamp). Factored out of global()
+  /// so the parsing is testable — global() is initialized only once.
+  static int env_threads();
+
+  /// Process-wide pool sized by env_threads().
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::mutex mutex_;
   std::condition_variable cv_work_;

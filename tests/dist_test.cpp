@@ -105,6 +105,7 @@ TEST(UlvDistModel, SharedMemoryModelScalesAndSaturates) {
   UlvOptions u;
   u.tol = 1e-6;
   u.record_tasks = true;
+  u.n_workers = 1;  // contention-free durations for the replay model
   const UlvFactorization f(h, u);
   UlvDistModel model{&f.stats(), &h.structure()};
   const double t1 = model.shared_memory_time(1);
@@ -126,6 +127,7 @@ TEST(UlvDistModel, DistributedModelMonotoneAndCommBounded) {
   UlvOptions u;
   u.tol = 1e-6;
   u.record_tasks = true;
+  u.n_workers = 1;  // contention-free durations for the replay model
   const UlvFactorization f(h, u);
   UlvDistModel model{&f.stats(), &h.structure()};
   const CommModel cm;

@@ -78,6 +78,7 @@ TEST(UlvDistModel, MoreRanksNeverSlower) {
   UlvOptions u;
   u.tol = 1e-6;
   u.record_tasks = true;
+  u.n_workers = 1;  // contention-free durations for the replay model
   const UlvFactorization f(h, u);
   UlvDistModel model{&f.stats(), &h.structure()};
   CommModel zero_comm;
@@ -100,6 +101,7 @@ TEST(UlvDistModel, CommunicationAddsCostAtScale) {
   UlvOptions u;
   u.tol = 1e-6;
   u.record_tasks = true;
+  u.n_workers = 1;  // contention-free durations for the replay model
   const UlvFactorization f(h, u);
   UlvDistModel model{&f.stats(), &h.structure()};
   CommModel zero;

@@ -1,13 +1,42 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <sstream>
+#include <thread>
 
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace h2 {
 namespace {
+
+/// Scoped H2_THREADS override (restores the previous value on destruction).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = (old != nullptr);
+    if (value == nullptr)
+      unsetenv(name);
+    else
+      setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      setenv(name_, saved_.c_str(), 1);
+    else
+      unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
 
 TEST(ThreadPool, ExecutesSubmittedTasks) {
   ThreadPool pool(4);
@@ -119,6 +148,152 @@ TEST(TaskGraph, TraceCsvWritable) {
   const ExecStats stats = g.execute(1);
   const std::string path = ::testing::TempDir() + "/trace_test.csv";
   EXPECT_TRUE(TaskGraph::write_trace_csv(stats, path));
+}
+
+TEST(TaskGraph, CycleErrorNamesStuckTasks) {
+  TaskGraph g;
+  const TaskId a = g.add_task([] {}, "alpha");
+  const TaskId b = g.add_task([] {}, "beta");
+  g.add_task([] {}, "free");
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  try {
+    g.execute(2);
+    FAIL() << "cycle not detected";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 of 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("beta"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("free"), std::string::npos) << msg;
+  }
+}
+
+TEST(TaskGraph, CycleDetectedBeforeAnyTaskRuns) {
+  TaskGraph g;
+  std::atomic<int> ran{0};
+  const TaskId a = g.add_task([&] { ++ran; }, "a");
+  const TaskId b = g.add_task([&] { ++ran; }, "b");
+  g.add_task([&] { ++ran; }, "independent");
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(g.execute(2), std::logic_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGraph, ExecutesOnBorrowedPool) {
+  // The pool-backed executor must not spawn its own workers: two graphs run
+  // back-to-back through one pool, and worker lanes stay inside [0, size).
+  ThreadPool pool(3);
+  for (int round = 0; round < 2; ++round) {
+    TaskGraph g;
+    std::atomic<int> sum{0};
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 20; ++i)
+      ids.push_back(g.add_task([&sum, i] { sum += i; }, "add"));
+    for (int i = 1; i < 20; i += 2) g.add_dependency(ids[i - 1], ids[i]);
+    const ExecStats stats = g.execute(pool);
+    EXPECT_EQ(sum.load(), 190);
+    EXPECT_EQ(stats.n_workers, 3);
+    for (const auto& r : stats.records) {
+      EXPECT_GE(r.worker, 0);
+      EXPECT_LT(r.worker, 3);
+    }
+  }
+  pool.wait_idle();
+}
+
+TEST(TaskGraph, MetadataReachesRecordsAndCsv) {
+  TaskGraph g;
+  g.add_task([] {}, "basis", /*owner=*/7, /*level=*/2);
+  g.add_task([] {}, "merge", /*owner=*/3, /*level=*/1);
+  const ExecStats stats = g.execute(1);
+  ASSERT_EQ(stats.records.size(), 2u);
+  EXPECT_EQ(stats.records[0].owner, 7);
+  EXPECT_EQ(stats.records[0].level, 2);
+  EXPECT_EQ(stats.records[1].owner, 3);
+  EXPECT_EQ(stats.records[1].level, 1);
+
+  const std::string path = ::testing::TempDir() + "/trace_meta_test.csv";
+  ASSERT_TRUE(TaskGraph::write_trace_csv(stats, path));
+  std::ifstream f(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(f, header));
+  EXPECT_EQ(header, "task,label,owner,level,worker,t_start,t_end");
+  ASSERT_TRUE(std::getline(f, row));
+  EXPECT_EQ(row.rfind("0,basis,7,2,", 0), 0u) << row;
+}
+
+TEST(TaskGraph, RecordExportsMetaAndEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task([] {}, "fill", 0, 3);
+  const TaskId b = g.add_task([] {}, "basis", 0, 3);
+  g.add_dependency(a, b);
+  const DagRecord rec = g.record();
+  ASSERT_EQ(rec.n_tasks(), 2);
+  EXPECT_EQ(rec.meta[a].label, "fill");
+  EXPECT_EQ(rec.meta[b].level, 3);
+  ASSERT_EQ(rec.successors[a].size(), 1u);
+  EXPECT_EQ(rec.successors[a][0], b);
+}
+
+TEST(ThreadPool, CurrentIdentifiesOwningPool) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      if (ThreadPool::current() == &pool) ++hits;
+    });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 8);
+  EXPECT_EQ(ThreadPool::current(), nullptr);  // still not a pool thread
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndScoped) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);  // caller owns no pool
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<int> seen;
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lk(m);
+      seen.push_back(ThreadPool::worker_index());
+    });
+  pool.wait_idle();
+  ASSERT_EQ(seen.size(), 64u);
+  for (const int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+}
+
+TEST(ThreadPool, EnvThreadsUnsetFallsBackToHardware) {
+  const ScopedEnv guard("H2_THREADS", nullptr);
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(ThreadPool::env_threads(), hw);
+}
+
+TEST(ThreadPool, EnvThreadsParsesValidValue) {
+  const ScopedEnv guard("H2_THREADS", "3");
+  EXPECT_EQ(ThreadPool::env_threads(), 3);
+}
+
+TEST(ThreadPool, EnvThreadsGarbageFallsBack) {
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const char* garbage : {"abc", "3cows", ""}) {
+    const ScopedEnv guard("H2_THREADS", garbage);
+    EXPECT_EQ(ThreadPool::env_threads(), hw) << '"' << garbage << '"';
+  }
+}
+
+TEST(ThreadPool, EnvThreadsZeroAndNegativeClampToOne) {
+  for (const char* bad : {"0", "-1", "-32"}) {
+    const ScopedEnv guard("H2_THREADS", bad);
+    EXPECT_EQ(ThreadPool::env_threads(), 1) << '"' << bad << '"';
+  }
 }
 
 }  // namespace

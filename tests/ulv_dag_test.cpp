@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+
+H2BuildOptions strong_opts(double tol) {
+  H2BuildOptions o;
+  o.admissibility = {Admissibility::Strong, 0.75};
+  o.tol = tol * 1e-2;
+  return o;
+}
+
+/// Factor + solve one fixed system; returns everything the comparisons need.
+struct RunResult {
+  Matrix x;
+  double logabsdet = 0.0;
+  double residual = 0.0;  ///< relative ||Ax - b|| against the dense kernel
+  UlvStats stats;
+};
+
+RunResult run(const Problem& p, const H2Matrix& h, UlvOptions u) {
+  const int n = p.tree->n_points();
+  const UlvFactorization f(h, u);
+  Rng rng(7);
+  Matrix b = Matrix::random(n, 1, rng);
+  RunResult r;
+  r.x = b;
+  f.solve(r.x);
+  r.logabsdet = f.logabsdet();
+  const Matrix a = kernel_dense(*p.kernel, p.tree->points());
+  Matrix ax(n, 1);
+  gemm(1.0, a, Trans::No, r.x, Trans::No, 0.0, ax);
+  r.residual = rel_error_fro(ax, b);
+  r.stats = f.stats();
+  return r;
+}
+
+TEST(UlvDag, NoIntraLevelEliminateEliminateEdges) {
+  // The acceptance property of the whole design: the built DAG realizes the
+  // paper's "no trailing sub-matrix dependencies" — block-row eliminations
+  // of one level are pairwise independent tasks.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.record_tasks = true;
+  u.n_workers = 2;
+  const UlvFactorization f(h, u);
+  const DagRecord& dag = f.stats().dag;
+  ASSERT_FALSE(dag.empty());
+  ASSERT_EQ(f.stats().exec.records.size(), dag.meta.size());
+
+  int n_eliminate = 0, eliminate_out_edges = 0;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t) {
+    if (dag.meta[t].label != "eliminate") continue;
+    ++n_eliminate;
+    for (const TaskId s : dag.successors[t]) {
+      ++eliminate_out_edges;
+      EXPECT_FALSE(dag.meta[s].label == "eliminate" &&
+                   dag.meta[s].level == dag.meta[t].level)
+          << "trailing dependency: eliminate #" << t << " -> eliminate #" << s
+          << " at level " << dag.meta[t].level;
+    }
+  }
+  // Sanity: the property is vacuous without eliminate tasks and their edges.
+  EXPECT_GT(n_eliminate, 0);
+  EXPECT_GT(eliminate_out_edges, 0);
+}
+
+TEST(UlvDag, MergeToFillEdgesLinkAdjacentLevels) {
+  // Cross-level overlap hinges on merge -> {fill, basis, project} edges:
+  // a parent block row may start its pipeline as soon as ITS four child
+  // merges are done, not when the whole child level is.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.record_tasks = true;
+  u.n_workers = 1;
+  const UlvFactorization f(h, u);
+  const DagRecord& dag = f.stats().dag;
+  ASSERT_FALSE(dag.empty());
+
+  int merge_to_fill = 0, barrier_like = 0;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t) {
+    if (dag.meta[t].label != "merge") continue;
+    for (const TaskId s : dag.successors[t]) {
+      if (dag.meta[s].label == "fill") ++merge_to_fill;
+      // A bulk-synchronous encoding would route levels through one hub task.
+      if (dag.meta[s].label == "barrier") ++barrier_like;
+    }
+  }
+  EXPECT_GT(merge_to_fill, 0);
+  EXPECT_EQ(barrier_like, 0);
+}
+
+TEST(UlvDag, WorkerCountDoesNotChangeTheAnswer) {
+  // Every task performs the same block operations in the same order, so the
+  // factorization is bitwise reproducible across worker counts — scheduling
+  // only changes WHEN a task runs, never what it computes.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-9));
+  UlvOptions u;
+  u.tol = 1e-9;
+  u.n_workers = 1;
+  const RunResult r1 = run(p, h, u);
+  EXPECT_LT(r1.residual, 1e-5);
+  for (const int workers : {2, 4}) {
+    UlvOptions uk = u;
+    uk.n_workers = workers;
+    const RunResult rk = run(p, h, uk);
+    EXPECT_LE(rel_error_fro(rk.x, r1.x), 1e-14) << workers << " workers";
+    EXPECT_EQ(rk.logabsdet, r1.logabsdet) << workers << " workers";
+  }
+}
+
+TEST(UlvDag, AgreesWithSequentialBaseline) {
+  // The DAG executor must reproduce the Sequential (Sec. II.D) ablation's
+  // numbers to within the factorization tolerance: same logabsdet to ~1e-8
+  // relative, and a solve residual at the tolerance the bases admit.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-9));
+  UlvOptions dag;
+  dag.tol = 1e-9;
+  dag.n_workers = 4;
+  UlvOptions seq = dag;
+  seq.mode = UlvMode::Sequential;
+  const RunResult rd = run(p, h, dag);
+  const RunResult rs = run(p, h, seq);
+  EXPECT_LT(rd.residual, 1e-5);
+  EXPECT_LT(rs.residual, 1e-5);
+  EXPECT_NEAR(rd.logabsdet, rs.logabsdet, 1e-8 * std::abs(rs.logabsdet));
+  EXPECT_LE(rel_error_fro(rd.x, rs.x), 1e-4);
+}
+
+TEST(UlvDag, MatchesPhaseLoopsAblationBitwise) {
+  // TaskDag and the bulk-synchronous PhaseLoops ablation share the same
+  // phase bodies; the executors must be indistinguishable in the output.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-9));
+  UlvOptions dag;
+  dag.tol = 1e-9;
+  dag.n_workers = 2;
+  UlvOptions loops = dag;
+  loops.executor = UlvExecutor::PhaseLoops;
+  const RunResult rd = run(p, h, dag);
+  const RunResult rl = run(p, h, loops);
+  EXPECT_EQ(rd.logabsdet, rl.logabsdet);
+  EXPECT_LE(rel_error_fro(rd.x, rl.x), 1e-14);
+}
+
+TEST(UlvDag, DroppedMassDiagnosticsMatchPhaseLoops) {
+  // measure_dropped reads the solved strips full-width, so its DAG tasks
+  // need col_solve edges to every dense neighbor; with those in place the
+  // accumulated mass matches the bulk-synchronous ablation up to the
+  // mutex-ordered floating-point summation.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions dag;
+  dag.tol = 1e-8;
+  dag.measure_dropped = true;
+  dag.n_workers = 4;
+  UlvOptions loops = dag;
+  loops.executor = UlvExecutor::PhaseLoops;
+  const UlvFactorization fd(h, dag);
+  const UlvFactorization fl(h, loops);
+  EXPECT_GT(fl.stats().dropped_mass, 0.0);
+  EXPECT_NEAR(fd.stats().dropped_mass, fl.stats().dropped_mass,
+              1e-10 * fl.stats().dropped_mass);
+}
+
+TEST(UlvDag, DeprecatedUseThreadsStillWorks) {
+  // The pre-Executor API: use_threads selects pool-parallel phase loops.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.use_threads = true;
+  ThreadPool pool(3);
+  u.pool = &pool;
+  const RunResult r = run(p, h, u);
+  EXPECT_LT(r.residual, 1e-4);
+  EXPECT_TRUE(r.stats.dag.empty());  // bulk-synchronous: no DAG recorded
+}
+
+TEST(UlvDag, FactorizingFromAPoolWorkerDoesNotDeadlock) {
+  // A factorization submitted onto the very pool the DAG would execute on
+  // must fall back to a private pool — a worker blocking on work queued
+  // behind itself would hang forever.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  ThreadPool pool(1);
+  std::atomic<bool> solved{false};
+  pool.submit([&] {
+    UlvOptions u;
+    u.tol = 1e-8;
+    u.pool = &pool;  // deliberately the pool this task runs on
+    const UlvFactorization f(h, u);
+    solved = std::isfinite(f.logabsdet());
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(solved.load());
+}
+
+TEST(UlvDag, RecordedDagCoversEveryPhaseAndLevel) {
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.record_tasks = true;
+  u.n_workers = 2;
+  const UlvFactorization f(h, u);
+  const DagRecord& dag = f.stats().dag;
+  ASSERT_FALSE(dag.empty());
+  for (const std::string kind :
+       {"assemble", "ry", "project_lr", "fill", "basis", "project",
+        "eliminate", "col_solve", "schur", "merge", "top"}) {
+    int count = 0;
+    for (const TaskMeta& m : dag.meta) count += (m.label == kind);
+    EXPECT_GT(count, 0) << kind;
+  }
+  for (int level = 1; level <= f.depth(); ++level) {
+    int count = 0;
+    for (const TaskMeta& m : dag.meta) count += (m.level == level);
+    EXPECT_GT(count, 0) << "level " << level;
+  }
+  // The trace carries the same metadata per record.
+  for (const TaskRecord& r : f.stats().exec.records) {
+    ASSERT_GE(r.id, 0);
+    EXPECT_EQ(r.label, dag.meta[r.id].label);
+    EXPECT_EQ(r.owner, dag.meta[r.id].owner);
+    EXPECT_EQ(r.level, dag.meta[r.id].level);
+    EXPECT_LE(r.t_start, r.t_end);
+  }
+}
+
+}  // namespace
+}  // namespace h2
