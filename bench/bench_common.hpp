@@ -5,7 +5,8 @@
 /// Every bench prints a markdown table with the same rows/series as the
 /// paper's figure and writes a CSV next to it. Problem sizes default to what
 /// a single scalar core handles in seconds-to-minutes; set H2_BENCH_SCALE=2
-/// (4, 8, ...) to double (quadruple, ...) them on bigger machines.
+/// (4, 8, ...) to double (quadruple, ...) them on bigger machines, or a
+/// fraction (0.5) to shrink them — the CI bench-smoke job runs at 0.5.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -25,7 +26,10 @@
 
 namespace h2::bench {
 
-inline long scale() { return env::get_int("H2_BENCH_SCALE", 1); }
+inline double scale() {
+  const double s = env::get_double("H2_BENCH_SCALE", 1.0);
+  return s > 0.0 ? s : 1.0;
+}
 
 /// PaRSEC-like per-task runtime overhead used when replaying the BLR task
 /// DAG. The paper's Fig. 13 trace shows overhead tasks "almost similar" in

@@ -8,6 +8,7 @@
 /// merge→fill edges at work: no level barrier exists), and quantify
 /// overhead-vs-useful both measured and modeled.
 #include <algorithm>
+#include <cinttypes>
 
 #include "dist/schedule_sim.hpp"
 
@@ -60,20 +61,48 @@ int main() {
   auto pipeline_task = [](const TaskRecord& r) {
     return r.level >= 0 && r.label != "ry" && r.label != "assemble";
   };
-  int overlap_pairs = 0;
+  // Bucket the pipeline tasks by level, then count overlapping (span, span)
+  // pairs between ADJACENT buckets with two sorted arrays and binary
+  // searches — near-linear, where the naive all-pairs scan grows
+  // quadratically with H2_BENCH_SCALE. A span [s_a, e_a) overlaps
+  // [s_b, e_b) iff s_b < e_a and e_b > s_a, so against a sorted bucket the
+  // count is #(starts < e_a) - #(ends <= s_a).
+  int max_level = -1;
+  for (const auto& r : uex.records)
+    if (pipeline_task(r)) max_level = std::max(max_level, r.level);
+  std::vector<std::vector<int>> by_level(max_level + 1);
+  for (std::size_t i = 0; i < uex.records.size(); ++i)
+    if (pipeline_task(uex.records[i]))
+      by_level[uex.records[i].level].push_back(static_cast<int>(i));
+  long overlap_pairs = 0;
   int example_a = -1, example_b = -1;
-  for (std::size_t a = 0; a < uex.records.size(); ++a) {
-    const auto& ra = uex.records[a];
-    if (!pipeline_task(ra)) continue;
-    for (std::size_t b = a + 1; b < uex.records.size(); ++b) {
-      const auto& rb = uex.records[b];
-      if (!pipeline_task(rb) || std::abs(ra.level - rb.level) != 1) continue;
-      if (ra.t_start < rb.t_end && rb.t_start < ra.t_end) {
-        if (overlap_pairs == 0) {
-          example_a = static_cast<int>(a);
-          example_b = static_cast<int>(b);
+  for (int lvl = 0; lvl + 1 <= max_level; ++lvl) {
+    const std::vector<int>& upper = by_level[lvl + 1];
+    std::vector<double> starts, ends;
+    for (const int b : upper) {
+      starts.push_back(uex.records[b].t_start);
+      ends.push_back(uex.records[b].t_end);
+    }
+    std::sort(starts.begin(), starts.end());
+    std::sort(ends.begin(), ends.end());
+    for (const int a : by_level[lvl]) {
+      const auto& ra = uex.records[a];
+      const long n_started =
+          std::lower_bound(starts.begin(), starts.end(), ra.t_end) -
+          starts.begin();
+      const long n_finished =
+          std::upper_bound(ends.begin(), ends.end(), ra.t_start) - ends.begin();
+      const long c = n_started - n_finished;
+      overlap_pairs += c;
+      if (c > 0 && example_a < 0) {
+        example_a = a;
+        for (const int b : upper) {
+          const auto& rb = uex.records[b];
+          if (ra.t_start < rb.t_end && rb.t_start < ra.t_end) {
+            example_b = b;
+            break;
+          }
         }
-        ++overlap_pairs;
       }
     }
   }
@@ -81,7 +110,14 @@ int main() {
               "%.4f s, overhead+idle %.1f %%)\n",
               uex.records.size(), uex.n_workers, uex.wall_seconds,
               uex.useful_seconds, 100.0 * uex.overhead_fraction());
-  std::printf("adjacent-level overlapping task pairs: %d  (bulk-synchronous "
+  std::printf("scheduler            : %s + %s; per-worker executed/stolen:",
+              uex.schedule_policy, uex.priority_policy);
+  for (std::size_t wi = 0; wi < uex.worker_counters.size(); ++wi)
+    std::printf(" w%zu=%" PRIu64 "/%" PRIu64, wi,
+                uex.worker_counters[wi].executed,
+                uex.worker_counters[wi].stolen);
+  std::printf("\n");
+  std::printf("adjacent-level overlapping task pairs: %ld  (bulk-synchronous "
               "phase loops would give 0)\n", overlap_pairs);
   if (overlap_pairs > 0) {
     const auto& ra = uex.records[example_a];

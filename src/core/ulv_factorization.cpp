@@ -714,17 +714,39 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
       g.add_task([this, &w] { body_top(w); }, "top", 0, 0);
   dep(t_producer[0].at({0, 0}), t_top);
 
+  // Bottom-level priorities: the same ranking the scheduling simulator
+  // list-schedules by, now driving the real executor.
+  if (opt_.priority == UlvPriority::CriticalPath)
+    g.set_critical_path_priorities();
+
   // Execute on the configured pool: the caller's, a private one of
   // n_workers, or the process-wide pool — never one the graph spawns
-  // itself. Refuse a pool this thread is already a worker of (e.g. a
-  // factorization submitted onto the global pool): execute() blocks its
-  // caller, so feeding the DAG to our own pool could deadlock it.
+  // itself. An explicit pool brings its own queue policy; otherwise the
+  // pool must match opt_.schedule, so a Fifo ablation never silently runs
+  // on the work-stealing global pool (or vice versa). Refuse a pool this
+  // thread is already a worker of (e.g. a factorization submitted onto the
+  // global pool): execute() blocks its caller, so feeding the DAG to our
+  // own pool could deadlock it.
+  const ThreadPool::QueuePolicy want = opt_.schedule == UlvSchedule::Fifo
+                                           ? ThreadPool::QueuePolicy::Fifo
+                                           : ThreadPool::QueuePolicy::WorkSteal;
   ThreadPool* pool = opt_.pool;
   std::unique_ptr<ThreadPool> owned;
-  if (pool == nullptr && opt_.n_workers <= 0) pool = &ThreadPool::global();
+  // global() is always WorkSteal, so test `want` directly rather than
+  // global().policy(): a Fifo ablation must not lazily instantiate (and
+  // keep, for the process lifetime) a hardware-wide pool it will never use.
+  if (pool == nullptr && opt_.n_workers <= 0 &&
+      want == ThreadPool::QueuePolicy::WorkSteal)
+    pool = &ThreadPool::global();
   if (pool == nullptr || pool == ThreadPool::current()) {
-    const int fallback = pool != nullptr ? pool->size() : opt_.n_workers;
-    owned = std::make_unique<ThreadPool>(std::max(1, fallback));
+    // The deadlock fallback mirrors the refused pool: same size, same
+    // policy (an explicit pool's policy wins even here — a Fifo ablation
+    // must not silently turn into a work-stealing run).
+    const int fallback = pool != nullptr      ? pool->size()
+                         : opt_.n_workers > 0 ? opt_.n_workers
+                                              : ThreadPool::env_threads();
+    owned = std::make_unique<ThreadPool>(
+        std::max(1, fallback), pool != nullptr ? pool->policy() : want);
     pool = owned.get();
   }
   ExecStats ex = g.execute(*pool);

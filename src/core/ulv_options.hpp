@@ -40,6 +40,31 @@ enum class UlvExecutor {
   PhaseLoops,
 };
 
+/// Ready-queue discipline of the pool the TaskDag executor runs on.
+enum class UlvSchedule {
+  /// One shared queue (highest priority first, submission order on ties):
+  /// the pre-work-stealing behaviour, kept as the contention ablation — at
+  /// high worker counts every ready task crosses one lock.
+  Fifo,
+  /// Per-worker deques with randomized stealing (the default): LIFO-local
+  /// pops keep a block row's fill→basis→project chain on the worker whose
+  /// cache holds it; idle workers steal the oldest task from a random
+  /// victim, spreading breadth instead of leaves.
+  WorkSteal,
+};
+
+/// Ready-task ordering of the TaskDag executor.
+enum class UlvPriority {
+  /// Submission order only.
+  None,
+  /// Bottom-level (critical-path) priorities on the real DAG (the default),
+  /// computed by the same bottom_levels() the scheduling simulator ranks
+  /// by: tasks on the cross-level schur→merge→fill spine run before
+  /// same-level stragglers, so a level's drain no longer tails behind
+  /// width-1 readiness.
+  CriticalPath,
+};
+
 struct UlvOptions {
   /// Relative truncation tolerance of the shared-basis QR (and the skeleton
   /// rank it implies).
@@ -59,6 +84,13 @@ struct UlvOptions {
   /// bitwise identical across executors and worker counts: every task
   /// performs the same block operations in the same order.
   UlvExecutor executor = UlvExecutor::TaskDag;
+  /// Ready-queue discipline for the TaskDag pool. Applies to the pool the
+  /// factorization creates (n_workers > 0, or a policy-mismatched global
+  /// pool); an explicit `pool` brings its own policy, which wins. Scheduling
+  /// never changes results — only when each task runs.
+  UlvSchedule schedule = UlvSchedule::WorkSteal;
+  /// Ready-task ordering for the TaskDag executor (see UlvPriority).
+  UlvPriority priority = UlvPriority::CriticalPath;
   /// TaskDag worker count when no `pool` is given: a positive value spawns
   /// a private pool of that size for this factorization; 0 uses the global
   /// pool. Ignored when `pool` is set — an explicit pool always wins. Use

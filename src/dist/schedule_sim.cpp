@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/task_graph.hpp"
+
 namespace h2 {
 
 namespace {
@@ -28,40 +30,15 @@ void validate(const ScheduleInput& in) {
         throw std::invalid_argument("schedule_sim: successor index out of range");
 }
 
-/// Kahn topological order; throws std::logic_error on cycles.
-std::vector<int> topo_order(const ScheduleInput& in) {
-  const int n = static_cast<int>(in.durations.size());
-  std::vector<int> indeg(n, 0);
-  for (int i = 0; i < n; ++i)
-    for (const int s : successors_of(in, i)) ++indeg[s];
-  std::vector<int> order;
-  order.reserve(n);
-  for (int i = 0; i < n; ++i)
-    if (indeg[i] == 0) order.push_back(i);
-  for (std::size_t head = 0; head < order.size(); ++head)
-    for (const int s : successors_of(in, order[head]))
-      if (--indeg[s] == 0) order.push_back(s);
-  if (static_cast<int>(order.size()) != n)
-    throw std::logic_error("schedule_sim: dependency cycle");
-  return order;
-}
-
-/// bottom_level[i] = longest remaining occupancy (duration + overhead) path
-/// starting at i — the classic list-scheduling priority.
-std::vector<double> bottom_levels(const ScheduleInput& in,
-                                  const std::vector<int>& order) {
-  const int n = static_cast<int>(in.durations.size());
-  std::vector<double> bl(n, 0.0);
-  for (int k = n - 1; k >= 0; --k) {
-    const int i = order[k];
-    double tail = 0.0;
-    for (const int s : successors_of(in, i)) tail = std::max(tail, bl[s]);
-    bl[i] = in.durations[i] + in.per_task_overhead + tail;
-  }
-  return bl;
-}
-
 }  // namespace
+
+std::vector<double> bottom_levels(const ScheduleInput& in) {
+  // Delegates to the runtime-layer primitive so the simulator and the real
+  // executor (TaskGraph::set_critical_path_priorities) share one policy.
+  validate(in);
+  return bottom_levels(static_cast<int>(in.durations.size()), in.successors,
+                       in.durations, in.per_task_overhead);
+}
 
 ScheduleResult list_schedule(const ScheduleInput& in, int workers,
                              const CommModel& comm) {
@@ -77,8 +54,7 @@ ScheduleResult list_schedule(const ScheduleInput& in, int workers,
   for (const double d : in.durations) res.total_work += d;
   if (n == 0) return res;
 
-  const std::vector<int> order = topo_order(in);
-  const std::vector<double> priority = bottom_levels(in, order);
+  const std::vector<double> priority = bottom_levels(in);
 
   std::vector<std::vector<int>> preds(n);
   std::vector<int> n_unscheduled_preds(n, 0);
@@ -148,17 +124,10 @@ double critical_path(const ScheduleInput& in) {
   validate(in);
   const int n = static_cast<int>(in.durations.size());
   if (n == 0) return 0.0;
-  const std::vector<int> order = topo_order(in);
-  std::vector<double> bl(n, 0.0);
-  double best = 0.0;
-  for (int k = n - 1; k >= 0; --k) {
-    const int i = order[k];
-    double tail = 0.0;
-    for (const int s : successors_of(in, i)) tail = std::max(tail, bl[s]);
-    bl[i] = in.durations[i] + tail;
-    best = std::max(best, bl[i]);
-  }
-  return best;
+  // Bottom levels without the per-task overhead: durations only.
+  const std::vector<double> bl =
+      bottom_levels(n, in.successors, in.durations, 0.0);
+  return *std::max_element(bl.begin(), bl.end());
 }
 
 }  // namespace h2

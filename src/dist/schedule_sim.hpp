@@ -69,6 +69,15 @@ struct ScheduleResult {
   }
 };
 
+/// bottom_level[i] = longest remaining occupancy (duration + per-task
+/// overhead) path starting at task i — the classic list-scheduling priority.
+/// A ScheduleInput-shaped convenience over the runtime-layer primitive
+/// (runtime/task_graph.hpp), which is the one implementation both the
+/// simulator and the real executor's critical-path priorities rank by.
+/// Throws std::invalid_argument on out-of-range successors, std::logic_error
+/// on dependency cycles.
+std::vector<double> bottom_levels(const ScheduleInput& in);
+
 /// Replay the DAG on `workers` simulated workers with list scheduling
 /// (bottom-level priority, earliest-start placement, data-affinity aware:
 /// a successor prefers the worker already holding its inputs when that

@@ -13,6 +13,46 @@
 
 namespace h2 {
 
+std::vector<double> bottom_levels(
+    int n_tasks, const std::vector<std::vector<TaskId>>& successors,
+    const std::vector<double>& durations, double per_task_overhead) {
+  const auto succs_of = [&](int i) -> const std::vector<TaskId>& {
+    static const std::vector<TaskId> kNone;
+    return static_cast<std::size_t>(i) < successors.size()
+               ? successors[static_cast<std::size_t>(i)]
+               : kNone;
+  };
+  if (static_cast<int>(successors.size()) > n_tasks)
+    throw std::invalid_argument("bottom_levels: more successor lists than tasks");
+  std::vector<int> indeg(n_tasks, 0);
+  for (int i = 0; i < n_tasks; ++i)
+    for (const TaskId s : succs_of(i)) {
+      if (s < 0 || s >= n_tasks)
+        throw std::invalid_argument("bottom_levels: successor index out of range");
+      ++indeg[s];
+    }
+  std::vector<int> order;
+  order.reserve(n_tasks);
+  for (int i = 0; i < n_tasks; ++i)
+    if (indeg[i] == 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (const TaskId s : succs_of(order[head]))
+      if (--indeg[s] == 0) order.push_back(s);
+  if (static_cast<int>(order.size()) != n_tasks)
+    throw std::logic_error("bottom_levels: dependency cycle");
+
+  std::vector<double> bl(n_tasks, 0.0);
+  for (int k = n_tasks - 1; k >= 0; --k) {
+    const int i = order[k];
+    double tail = 0.0;
+    for (const TaskId s : succs_of(i)) tail = std::max(tail, bl[s]);
+    const double dur =
+        static_cast<std::size_t>(i) < durations.size() ? durations[i] : 1.0;
+    bl[i] = dur + per_task_overhead + tail;
+  }
+  return bl;
+}
+
 TaskId TaskGraph::add_task(std::function<void()> fn, std::string label,
                            int owner, int level) {
   assert(!executed_);
@@ -21,7 +61,23 @@ TaskId TaskGraph::add_task(std::function<void()> fn, std::string label,
   meta_.push_back({std::move(label), owner, level});
   successors_.emplace_back();
   n_predecessors_.push_back(0);
+  priority_.push_back(0.0);
   return id;
+}
+
+void TaskGraph::set_priority(TaskId id, double priority) {
+  assert(id >= 0 && id < n_tasks());
+  priority_[id] = priority;
+  priority_policy_ = "custom";
+}
+
+void TaskGraph::set_critical_path_priorities() {
+  // Bottom levels on unit durations: priority = number of tasks on the
+  // longest chain from here to the DAG's end. Task durations are unknown
+  // before execution, and hop counts already give schur/merge drains their
+  // head start (they sit on the cross-level spine).
+  priority_ = bottom_levels(n_tasks(), successors_);
+  priority_policy_ = "critical-path";
 }
 
 void TaskGraph::add_dependency(TaskId before, TaskId after) {
@@ -65,6 +121,11 @@ void TaskGraph::throw_if_cyclic() const {
 
 ExecStats TaskGraph::execute(ThreadPool& pool) {
   if (executed_) throw std::logic_error("TaskGraph::execute called twice");
+  if (ThreadPool::current() == &pool)
+    throw std::logic_error(
+        "TaskGraph::execute called from a worker of the target pool — the "
+        "caller would block on work queued behind itself (use a different "
+        "pool, as UlvFactorization's fallback does)");
   executed_ = true;
   throw_if_cyclic();
   const int n = n_tasks();
@@ -72,6 +133,10 @@ ExecStats TaskGraph::execute(ThreadPool& pool) {
   ExecStats stats;
   stats.n_workers = pool.size();
   stats.records.resize(n);
+  stats.schedule_policy = pool.policy_name();
+  stats.priority_policy = priority_policy_;
+  const std::vector<ThreadPool::WorkerCounters> counters0 =
+      pool.worker_counters();
 
   std::vector<std::atomic<int>> pending(n);
   for (int i = 0; i < n; ++i) pending[i].store(n_predecessors_[i]);
@@ -95,15 +160,28 @@ ExecStats TaskGraph::execute(ThreadPool& pool) {
     rec.t_start = now_sec();
     tasks_[id]();
     rec.t_end = now_sec();
+    // Release the newly ready successors lowest priority FIRST: on a
+    // work-stealing pool each push lands on this worker's LIFO deque, so the
+    // last push — the highest bottom level — is the task it pops next, while
+    // thieves take the breadth end. On a Fifo pool the shared priority queue
+    // orders them anyway (stable sort keeps submission order on ties, which
+    // without priorities is the exact pre-priority behaviour).
+    std::vector<TaskId> ready;
     for (const TaskId succ : successors_[id])
-      if (pending[succ].fetch_sub(1) == 1) schedule(succ);
+      if (pending[succ].fetch_sub(1) == 1) ready.push_back(succ);
+    std::stable_sort(ready.begin(), ready.end(), [this](TaskId a, TaskId b) {
+      return priority_[a] < priority_[b];
+    });
+    for (const TaskId succ : ready) schedule(succ);
     if (remaining.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lk(done_mutex);
       done = true;
       done_cv.notify_all();
     }
   };
-  schedule = [&](TaskId id) { pool.submit([&run, id] { run(id); }); };
+  schedule = [&](TaskId id) {
+    pool.submit([&run, id] { run(id); }, priority_[id]);
+  };
 
   for (TaskId i = 0; i < n; ++i)
     if (n_predecessors_[i] == 0) schedule(i);
@@ -117,6 +195,13 @@ ExecStats TaskGraph::execute(ThreadPool& pool) {
   if (remaining.load() != 0)
     throw std::logic_error("TaskGraph: tasks left unexecuted after drain");
   for (const auto& rec : stats.records) stats.useful_seconds += rec.duration();
+
+  const std::vector<ThreadPool::WorkerCounters> counters1 =
+      pool.worker_counters();
+  stats.worker_counters.resize(counters1.size());
+  for (std::size_t w = 0; w < counters1.size(); ++w)
+    stats.worker_counters[w] = {counters1[w].executed - counters0[w].executed,
+                                counters1[w].stolen - counters0[w].stolen};
   return stats;
 }
 
@@ -128,6 +213,14 @@ ExecStats TaskGraph::execute(int n_threads) {
 bool TaskGraph::write_trace_csv(const ExecStats& stats, const std::string& path) {
   std::ofstream f(path);
   if (!f) return false;
+  if (*stats.schedule_policy != '\0')
+    f << "# schedule=" << stats.schedule_policy
+      << " priority=" << stats.priority_policy
+      << " workers=" << stats.n_workers << '\n';
+  for (std::size_t w = 0; w < stats.worker_counters.size(); ++w)
+    f << "# worker=" << w
+      << " executed=" << stats.worker_counters[w].executed
+      << " stolen=" << stats.worker_counters[w].stolen << '\n';
   f << "task,label,owner,level,worker,t_start,t_end\n";
   double t0 = stats.records.empty() ? 0.0 : stats.records.front().t_start;
   for (const auto& r : stats.records) t0 = std::min(t0, r.t_start);

@@ -40,6 +40,22 @@ struct ExecStats {
   double useful_seconds = 0.0;    ///< sum of task durations
   int n_workers = 0;
   std::vector<TaskRecord> records;
+  /// Ready-queue discipline of the executing pool ("fifo" / "worksteal").
+  const char* schedule_policy = "";
+  /// Task-ordering policy in effect ("none" / "critical-path").
+  const char* priority_policy = "";
+  /// Per-worker-lane executed/stolen counts of THIS execution (deltas of the
+  /// pool's cumulative counters; meaningful when the pool runs one graph at
+  /// a time, which is how every executor in this repo uses it).
+  std::vector<ThreadPool::WorkerCounters> worker_counters;
+
+  /// Tasks that arrived at their worker by stealing (0 under Fifo or with a
+  /// single worker — a worker cannot steal from itself).
+  [[nodiscard]] std::uint64_t total_steals() const {
+    std::uint64_t s = 0;
+    for (const auto& w : worker_counters) s += w.stolen;
+    return s;
+  }
 
   /// Fraction of worker-time NOT spent inside tasks (scheduling overhead +
   /// dependency stalls) — the red-vs-green ratio of the paper's Fig. 13.
@@ -56,10 +72,26 @@ struct ExecStats {
 struct DagRecord {
   std::vector<TaskMeta> meta;
   std::vector<std::vector<TaskId>> successors;
+  /// Per-task scheduling priorities at execution time (empty when none were
+  /// set). Replayers can hand these straight back to a scheduler.
+  std::vector<double> priority;
 
   [[nodiscard]] int n_tasks() const { return static_cast<int>(meta.size()); }
   [[nodiscard]] bool empty() const { return meta.empty(); }
 };
+
+/// bottom_level[i] = longest remaining occupancy (duration + per-task
+/// overhead) path starting at task i — the classic list-scheduling priority.
+/// `successors` may have fewer entries than `n_tasks` (missing = none);
+/// empty `durations` means unit durations (the bottom level is then the
+/// longest chain length in tasks). The one shared priority policy: both
+/// TaskGraph::set_critical_path_priorities() and the dist scheduling
+/// simulator rank tasks through this function. Throws std::invalid_argument
+/// on out-of-range successor indices, std::logic_error on cycles.
+std::vector<double> bottom_levels(int n_tasks,
+                                  const std::vector<std::vector<TaskId>>& successors,
+                                  const std::vector<double>& durations = {},
+                                  double per_task_overhead = 0.0);
 
 /// A one-shot dependency-counted task DAG (PaRSEC/StarPU substitute).
 ///
@@ -79,6 +111,24 @@ class TaskGraph {
   /// `after` may not start until `before` has finished.
   void add_dependency(TaskId before, TaskId after);
 
+  /// Scheduling priority of one task (higher runs earlier once ready;
+  /// default 0). Under a Fifo pool the shared queue is a priority queue;
+  /// under WorkSteal the executor releases a task's ready successors lowest
+  /// priority first, so the highest sits on top of the worker's LIFO deque.
+  void set_priority(TaskId id, double priority);
+
+  /// Set every task's priority to its bottom level — the length (in tasks)
+  /// of the longest dependency chain hanging off it, i.e. the critical-path
+  /// distance to the DAG's end. Computed by bottom_levels() on unit
+  /// durations — the same function the dist scheduling simulator ranks by,
+  /// so executor and simulator share one policy. Call after all edges are
+  /// added.
+  void set_critical_path_priorities();
+
+  [[nodiscard]] const std::vector<double>& priorities() const {
+    return priority_;
+  }
+
   [[nodiscard]] int n_tasks() const { return static_cast<int>(tasks_.size()); }
   [[nodiscard]] const std::vector<std::vector<TaskId>>& successors() const {
     return successors_;
@@ -88,16 +138,18 @@ class TaskGraph {
   }
   [[nodiscard]] const std::vector<TaskMeta>& meta() const { return meta_; }
 
-  /// Copy out the callable-free structure (metadata + edges).
-  [[nodiscard]] DagRecord record() const { return {meta_, successors_}; }
+  /// Copy out the callable-free structure (metadata + edges + priorities).
+  [[nodiscard]] DagRecord record() const {
+    return {meta_, successors_, priority_};
+  }
 
   /// Execute the whole DAG on `pool`'s workers — the pool is borrowed, not
   /// owned, so callers can run many graphs through one process-wide pool.
   /// Can only be called once. Throws std::logic_error (before running any
-  /// task) when dependency cycles make part of the graph unexecutable; the
-  /// message names the stuck tasks. Must not be called from a worker of
-  /// `pool` itself: execute() blocks the calling thread, so a pool draining
-  /// into itself can deadlock (check ThreadPool::current()).
+  /// task) when dependency cycles make part of the graph unexecutable (the
+  /// message names the stuck tasks), or when called from a worker of `pool`
+  /// itself: execute() blocks the calling thread, so a pool draining into
+  /// itself can deadlock silently — the guard turns that into an error.
   ExecStats execute(ThreadPool& pool);
 
   /// Convenience overload: execute on a freshly spawned pool of `n_threads`
@@ -105,6 +157,8 @@ class TaskGraph {
   ExecStats execute(int n_threads);
 
   /// Write the trace as CSV (task id, label, owner, level, worker, span).
+  /// `#`-prefixed comment lines ahead of the header carry the scheduling
+  /// policy and the per-worker executed/stolen counters.
   static bool write_trace_csv(const ExecStats& stats, const std::string& path);
 
  private:
@@ -114,6 +168,8 @@ class TaskGraph {
   std::vector<TaskMeta> meta_;
   std::vector<std::vector<TaskId>> successors_;
   std::vector<int> n_predecessors_;
+  std::vector<double> priority_;
+  const char* priority_policy_ = "none";  // "none" / "custom" / "critical-path"
   bool executed_ = false;
 };
 

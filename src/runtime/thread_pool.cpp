@@ -1,7 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "util/env.hpp"
 
@@ -12,8 +11,10 @@ thread_local int tl_worker_index = -1;
 thread_local ThreadPool* tl_pool = nullptr;
 }  // namespace
 
-ThreadPool::ThreadPool(int n_threads) {
+ThreadPool::ThreadPool(int n_threads, QueuePolicy policy) : policy_(policy) {
   if (n_threads < 1) n_threads = 1;
+  lanes_.reserve(n_threads);
+  for (int i = 0; i < n_threads; ++i) lanes_.push_back(std::make_unique<Lane>());
   workers_.reserve(n_threads);
   for (int i = 0; i < n_threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -28,39 +29,130 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
+bool ThreadPool::heap_less(const Item& a, const Item& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  return a.seq > b.seq;  // equal priority: earlier submission pops first
+}
+
+void ThreadPool::submit(std::function<void()> task, double priority) {
+  Item item{std::move(task), priority,
+            seq_.fetch_add(1, std::memory_order_relaxed)};
+  if (policy_ == QueuePolicy::WorkSteal && tl_pool == this) {
+    // LIFO-local: a worker's freshly made-ready task goes on top of its own
+    // deque, where its next pop (not a thief's) finds it.
+    Lane& self = *lanes_[tl_worker_index];
+    {
+      std::lock_guard<std::mutex> lk(self.m);
+      self.deque.push_back(std::move(item));
+    }
+    pending_.fetch_add(1);
+    // Empty critical section: serializes this publication against any
+    // worker between its predicate check and its wait(), closing the
+    // missed-wakeup window without putting the fast path under the lock.
+    { std::lock_guard<std::mutex> lk(mutex_); }
+  } else {
     std::lock_guard<std::mutex> lk(mutex_);
-    queue_.push_back(std::move(task));
+    heap_.push_back(std::move(item));
+    std::push_heap(heap_.begin(), heap_.end(), heap_less);
+    pending_.fetch_add(1);
   }
   cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mutex_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lk,
+                [this] { return pending_.load() == 0 && active_.load() == 0; });
+}
+
+bool ThreadPool::try_pop_local(int index, Item& out) {
+  Lane& self = *lanes_[index];
+  std::lock_guard<std::mutex> lk(self.m);
+  if (self.deque.empty()) return false;
+  out = std::move(self.deque.back());
+  self.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_pop_shared(Item& out) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(int index, std::uint32_t& rng, Item& out) {
+  const int n = static_cast<int>(lanes_.size());
+  if (n <= 1) return false;
+  // Randomized start, then a full sweep: a task sitting in some deque cannot
+  // be missed by an idle worker, only raced for.
+  rng ^= rng << 13;
+  rng ^= rng >> 17;
+  rng ^= rng << 5;
+  const int start = static_cast<int>(rng % static_cast<std::uint32_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int v = (start + k) % n;
+    if (v == index) continue;
+    Lane& victim = *lanes_[v];
+    std::lock_guard<std::mutex> lk(victim.m);
+    if (victim.deque.empty()) continue;
+    // FIFO-steal: the victim's OLDEST task — the breadth end of its deque.
+    out = std::move(victim.deque.front());
+    victim.deque.pop_front();
+    return true;
+  }
+  return false;
 }
 
 void ThreadPool::worker_loop(int index) {
   tl_worker_index = index;
   tl_pool = this;
+  Lane& self = *lanes_[index];
+  std::uint32_t rng = 0x9e3779b9u * static_cast<std::uint32_t>(index + 1) | 1u;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    Item item;
+    bool stolen = false;
+    bool got = (policy_ == QueuePolicy::WorkSteal && try_pop_local(index, item)) ||
+               try_pop_shared(item);
+    if (!got && policy_ == QueuePolicy::WorkSteal) {
+      got = stolen = try_steal(index, rng, item);
     }
-    task();
-    {
+    if (!got) {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_work_.wait(lk, [this] { return stop_ || pending_.load() > 0; });
+      if (stop_ && pending_.load() == 0) return;
+      continue;  // re-scan the queues; pending_ > 0 means work exists somewhere
+    }
+    // active_ up BEFORE pending_ down: wait_idle must never observe the
+    // popped-but-not-yet-running task as (no queue, no worker) idle.
+    active_.fetch_add(1);
+    pending_.fetch_sub(1);
+    self.executed.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) self.stolen.fetch_add(1, std::memory_order_relaxed);
+    item.fn();
+    if (active_.fetch_sub(1) == 1 && pending_.load() == 0) {
+      // Possibly the last task out: hand the idle edge to wait_idle through
+      // the cv's mutex (the empty-section pattern again — the waiter either
+      // re-checks after us or is already parked). A false positive (another
+      // pop raced in) just re-checks the predicate and keeps waiting.
       std::lock_guard<std::mutex> lk(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      cv_idle_.notify_all();
     }
   }
+}
+
+const char* ThreadPool::policy_name() const {
+  return policy_ == QueuePolicy::Fifo ? "fifo" : "worksteal";
+}
+
+std::vector<ThreadPool::WorkerCounters> ThreadPool::worker_counters() const {
+  std::vector<WorkerCounters> out(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i)
+    out[i] = {lanes_[i]->executed.load(std::memory_order_acquire),
+              lanes_[i]->stolen.load(std::memory_order_acquire)};
+  return out;
 }
 
 int ThreadPool::worker_index() { return tl_worker_index; }
@@ -68,10 +160,13 @@ int ThreadPool::worker_index() { return tl_worker_index; }
 ThreadPool* ThreadPool::current() { return tl_pool; }
 
 int ThreadPool::env_threads() {
-  const long hw =
-      std::max(1L, static_cast<long>(std::thread::hardware_concurrency()));
-  const long v = env::get_int("H2_THREADS", hw);
-  return static_cast<int>(std::clamp(v, 1L, 1024L));
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // 0 doubles as the "unset" sentinel: zero, negative and garbage values are
+  // all invalid, and all of them fall back to the hardware count.
+  const long v = env::get_int("H2_THREADS", 0);
+  if (v < 1) return hw;
+  return static_cast<int>(std::min(v, 1024L));
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,32 +1,73 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace h2 {
 
-/// Fixed-size worker pool with a shared FIFO queue. Deliberately simple:
-/// block-level tasks in this library are coarse (>= tens of microseconds),
-/// so queue contention is negligible and the behaviour easy to reason about.
+/// Fixed-size worker pool. Two ready-queue disciplines:
+///
+///  - WorkSteal (default): one deque per worker. A worker pushes and pops its
+///    own deque at the BACK (LIFO — the task it just made ready is the one
+///    whose inputs are still hot, so a block row's fill→basis→project chain
+///    tends to stay on one worker), while idle workers steal from a random
+///    victim's FRONT (FIFO — the oldest task is the root of the largest
+///    untouched subtree, so steals spread breadth, not leaves). Submissions
+///    from non-worker threads land in a shared priority heap that every
+///    worker also drains.
+///  - Fifo: the pre-work-stealing behaviour, kept as the contention
+///    ablation — every task goes through one shared queue ordered by
+///    (priority desc, submission order asc); with no priorities this is the
+///    plain FIFO the library used before.
+///
+/// The `priority` argument of submit() orders the shared queue only; a
+/// worker's own deque is ordered by push order (callers that care — the
+/// TaskGraph executor — push ascending so the highest priority pops first).
 class ThreadPool {
  public:
-  explicit ThreadPool(int n_threads);
+  /// Ready-queue discipline (see class comment).
+  enum class QueuePolicy { Fifo, WorkSteal };
+
+  /// Per-worker execution counters since pool construction. `stolen` counts
+  /// the subset of `executed` that was taken from another worker's deque —
+  /// the direct measure of how much the stealing path actually runs.
+  struct WorkerCounters {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+
+  explicit ThreadPool(int n_threads,
+                      QueuePolicy policy = QueuePolicy::WorkSteal);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue one task.
-  void submit(std::function<void()> task);
+  /// Enqueue one task. `priority` (higher runs earlier) orders the shared
+  /// queue; ties keep submission order. Calls from a worker of this pool
+  /// under the WorkSteal policy push to that worker's own deque instead
+  /// (LIFO-local; `priority` is then only a hint for thieves' victims).
+  void submit(std::function<void()> task, double priority = 0.0);
 
-  /// Block until the queue is drained and every worker is idle.
+  /// Block until every queue is drained and every worker is idle.
   void wait_idle();
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] QueuePolicy policy() const { return policy_; }
+  /// "fifo" or "worksteal" — the trace/CSV spelling of policy().
+  [[nodiscard]] const char* policy_name() const;
+
+  /// Snapshot of the per-worker counters (index = worker lane). Counters are
+  /// cumulative over the pool's lifetime; executors that need per-run values
+  /// (TaskGraph) difference two snapshots.
+  [[nodiscard]] std::vector<WorkerCounters> worker_counters() const;
 
   /// Index of the calling thread within its owning pool ([0, size)), or -1
   /// when called from a thread no pool owns. Lets executors (TaskGraph) tag
@@ -41,24 +82,61 @@ class ThreadPool {
   static ThreadPool* current();
 
   /// Worker count implied by the environment: H2_THREADS when set to a
-  /// positive integer, hardware concurrency otherwise; always >= 1 (garbage,
-  /// zero and negative values fall back / clamp). Factored out of global()
-  /// so the parsing is testable — global() is initialized only once.
+  /// positive integer (clamped to 1024), hardware concurrency otherwise.
+  /// Invalid values — zero, negative, or not a plain integer — are all
+  /// rejected the same way: the variable is ignored and the hardware
+  /// fallback applies. Factored out of global() so the parsing is
+  /// testable — global() is initialized only once.
   static int env_threads();
 
-  /// Process-wide pool sized by env_threads().
+  /// Process-wide pool sized by env_threads() (WorkSteal policy).
   static ThreadPool& global();
 
  private:
-  void worker_loop(int index);
+  /// A queued task. `seq` breaks priority ties in submission order so the
+  /// Fifo policy without priorities stays exactly FIFO.
+  struct Item {
+    std::function<void()> fn;
+    double priority = 0.0;
+    std::uint64_t seq = 0;
+  };
 
-  std::mutex mutex_;
+  /// One worker's deque + counters. Heap-allocated so lane addresses stay
+  /// stable while thieves hold references.
+  struct Lane {
+    std::mutex m;
+    std::deque<Item> deque;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
+  static bool heap_less(const Item& a, const Item& b);
+  void worker_loop(int index);
+  bool try_pop_local(int index, Item& out);
+  bool try_pop_shared(Item& out);
+  bool try_steal(int index, std::uint32_t& rng, Item& out);
+
+  const QueuePolicy policy_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::mutex mutex_;  ///< guards heap_ and stop_; anchors both cvs
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
+  std::vector<Item> heap_;  ///< shared queue as a binary max-heap
+  std::atomic<std::uint64_t> seq_{0};
+  /// Tasks in any queue (shared heap or worker deques) / currently
+  /// executing. Atomics, not mutex-guarded: under WorkSteal the local-deque
+  /// fast path must not cross the pool-global lock per task — submitters
+  /// and sleepers hand off through the empty-critical-section pattern
+  /// (state change, then lock/unlock mutex_, then notify), so a waiter
+  /// either sees the new value or is already inside wait() when the notify
+  /// lands. During a pop, active_ is incremented BEFORE pending_ is
+  /// decremented so the pair never transits through (0, 0) mid-handoff.
+  std::atomic<int> pending_{0};
+  std::atomic<int> active_{0};
   bool stop_ = false;
+
+  std::vector<std::thread> workers_;
 };
 
 /// Run fn(i) for i in [begin, end) across the pool (caller blocks).

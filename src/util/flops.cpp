@@ -1,5 +1,6 @@
 #include "util/flops.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <vector>
@@ -8,25 +9,48 @@ namespace h2::flops {
 namespace {
 
 // Thread-local counter registered into a global registry so total()/reset()
-// can see every thread's contribution without per-add atomic traffic.
+// can see every thread's contribution without per-add atomic traffic. Slots
+// are reclaimed when their thread exits (short-lived worker pools would
+// otherwise leak one slot per worker, which the ASan CI job rejects): the
+// exiting thread folds its count into `retired` and unregisters.
 struct Slot {
   std::atomic<std::uint64_t> count{0};
 };
 
-std::mutex g_registry_mutex;
+// The registry and its mutex are immortal (never destroyed): worker-thread
+// exit — and with it ~LocalSlot — can run during static destruction, after
+// any non-leaked static here would already be gone.
+std::mutex& registry_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
 std::vector<Slot*>& registry() {
-  static std::vector<Slot*> r;
-  return r;
+  static auto* r = new std::vector<Slot*>();
+  return *r;
+}
+std::uint64_t& retired() {  // guarded by registry_mutex()
+  static auto* c = new std::uint64_t(0);
+  return *c;
 }
 
+struct LocalSlot {
+  Slot* slot = new Slot();
+  LocalSlot() {
+    std::lock_guard<std::mutex> lk(registry_mutex());
+    registry().push_back(slot);
+  }
+  ~LocalSlot() {
+    std::lock_guard<std::mutex> lk(registry_mutex());
+    retired() += slot->count.load(std::memory_order_relaxed);
+    auto& r = registry();
+    r.erase(std::find(r.begin(), r.end(), slot));
+    delete slot;
+  }
+};
+
 Slot& local_slot() {
-  thread_local Slot* slot = [] {
-    auto* s = new Slot();  // intentionally leaked: lives for process lifetime
-    std::lock_guard<std::mutex> lk(g_registry_mutex);
-    registry().push_back(s);
-    return s;
-  }();
-  return *slot;
+  thread_local LocalSlot ls;
+  return *ls.slot;
 }
 
 }  // namespace
@@ -36,14 +60,15 @@ void add(std::uint64_t n) noexcept {
 }
 
 std::uint64_t total() noexcept {
-  std::lock_guard<std::mutex> lk(g_registry_mutex);
-  std::uint64_t sum = 0;
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  std::uint64_t sum = retired();
   for (const Slot* s : registry()) sum += s->count.load(std::memory_order_relaxed);
   return sum;
 }
 
 void reset() noexcept {
-  std::lock_guard<std::mutex> lk(g_registry_mutex);
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  retired() = 0;
   for (Slot* s : registry()) s->count.store(0, std::memory_order_relaxed);
 }
 

@@ -93,6 +93,34 @@ TEST(ScheduleSimEdge, DiamondWhereCommunicationMakesFewerWorkersFaster) {
   EXPECT_LT(t1, t4);
 }
 
+TEST(ScheduleSimEdge, BottomLevelsMatchCriticalPathAndValidate) {
+  // The now-public priority computation (shared with TaskGraph's
+  // critical-path mode): max over roots equals the critical path, and the
+  // per-task overhead is charged per hop.
+  ScheduleInput in;
+  in.durations = {1.0, 2.0, 4.0, 0.5};  // 0 -> 1 -> 2, 3 isolated
+  in.successors = {{1}, {2}};
+  const std::vector<double> bl = bottom_levels(in);
+  ASSERT_EQ(bl.size(), 4u);
+  EXPECT_DOUBLE_EQ(bl[0], 7.0);
+  EXPECT_DOUBLE_EQ(bl[1], 6.0);
+  EXPECT_DOUBLE_EQ(bl[2], 4.0);
+  EXPECT_DOUBLE_EQ(bl[3], 0.5);
+  EXPECT_DOUBLE_EQ(bl[0], critical_path(in));
+
+  in.per_task_overhead = 0.25;
+  EXPECT_DOUBLE_EQ(bottom_levels(in)[0], 7.75);  // three hops on the chain
+
+  ScheduleInput bad;
+  bad.durations = {1.0};
+  bad.successors = {{7}};
+  EXPECT_THROW(bottom_levels(bad), std::invalid_argument);
+  ScheduleInput cyclic;
+  cyclic.durations = {1.0, 1.0};
+  cyclic.successors = {{1}, {0}};
+  EXPECT_THROW(bottom_levels(cyclic), std::logic_error);
+}
+
 TEST(ScheduleSimEdge, InvalidInputsThrow) {
   ScheduleInput in;
   in.durations = {1.0};

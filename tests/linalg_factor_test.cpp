@@ -72,7 +72,8 @@ TEST(Lu, PivotingHandlesZeroLeadingEntry) {
   Matrix a(2, 2);
   a(0, 1) = 1.0;
   a(1, 0) = 1.0;  // antidiagonal: needs the row swap
-  const Matrix x_true = Matrix::random(2, 1, *new Rng(1));
+  Rng rng(1);
+  const Matrix x_true = Matrix::random(2, 1, rng);
   const Matrix b = matmul(a, x_true);
   const Matrix x = lu_solve(a, b);
   EXPECT_LT(rel_error_fro(x, x_true), 1e-13);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <numeric>
 #include <sstream>
 #include <thread>
@@ -217,9 +219,19 @@ TEST(TaskGraph, MetadataReachesRecordsAndCsv) {
   const std::string path = ::testing::TempDir() + "/trace_meta_test.csv";
   ASSERT_TRUE(TaskGraph::write_trace_csv(stats, path));
   std::ifstream f(path);
-  std::string header, row;
-  ASSERT_TRUE(std::getline(f, header));
-  EXPECT_EQ(header, "task,label,owner,level,worker,t_start,t_end");
+  // `#` comment lines carry the scheduling policy and per-worker counters
+  // ahead of the column header.
+  std::string line;
+  int comments = 0;
+  bool policy_comment = false;
+  while (std::getline(f, line) && line.rfind("#", 0) == 0) {
+    ++comments;
+    if (line.find("schedule=") != std::string::npos) policy_comment = true;
+  }
+  EXPECT_GE(comments, 2);  // policy line + one worker-counter line
+  EXPECT_TRUE(policy_comment);
+  EXPECT_EQ(line, "task,label,owner,level,worker,t_start,t_end");
+  std::string row;
   ASSERT_TRUE(std::getline(f, row));
   EXPECT_EQ(row.rfind("0,basis,7,2,", 0), 0u) << row;
 }
@@ -280,20 +292,181 @@ TEST(ThreadPool, EnvThreadsParsesValidValue) {
   EXPECT_EQ(ThreadPool::env_threads(), 3);
 }
 
-TEST(ThreadPool, EnvThreadsGarbageFallsBack) {
+TEST(ThreadPool, EnvThreadsInvalidValuesAllFallBackToHardware) {
+  // Garbage, partial parses, zero and negative values are rejected the same
+  // way: the variable is ignored and the hardware fallback applies.
   const int hw =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  for (const char* garbage : {"abc", "3cows", ""}) {
-    const ScopedEnv guard("H2_THREADS", garbage);
-    EXPECT_EQ(ThreadPool::env_threads(), hw) << '"' << garbage << '"';
+  for (const char* bad : {"abc", "3cows", "", "1.5", "0", "-1", "-32"}) {
+    const ScopedEnv guard("H2_THREADS", bad);
+    EXPECT_EQ(ThreadPool::env_threads(), hw) << '"' << bad << '"';
   }
 }
 
-TEST(ThreadPool, EnvThreadsZeroAndNegativeClampToOne) {
-  for (const char* bad : {"0", "-1", "-32"}) {
-    const ScopedEnv guard("H2_THREADS", bad);
-    EXPECT_EQ(ThreadPool::env_threads(), 1) << '"' << bad << '"';
+TEST(ThreadPool, EnvThreadsHugeValuesClampToCap) {
+  // Including values past LONG_MAX, which strtol saturates.
+  for (const char* huge : {"4097", "999999", "99999999999999999999999"}) {
+    const ScopedEnv guard("H2_THREADS", huge);
+    EXPECT_EQ(ThreadPool::env_threads(), 1024) << '"' << huge << '"';
   }
+}
+
+TEST(ThreadPool, EnvThreadsExplicitSignAccepted) {
+  const ScopedEnv guard("H2_THREADS", "+6");
+  EXPECT_EQ(ThreadPool::env_threads(), 6);
+}
+
+TEST(ThreadPool, DefaultsToWorkStealing) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.policy(), ThreadPool::QueuePolicy::WorkSteal);
+  EXPECT_STREQ(pool.policy_name(), "worksteal");
+  ThreadPool fifo(2, ThreadPool::QueuePolicy::Fifo);
+  EXPECT_STREQ(fifo.policy_name(), "fifo");
+}
+
+TEST(ThreadPool, SingleWorkerNeverSteals) {
+  // A worker cannot steal from itself: with one lane every task is local.
+  ThreadPool pool(1, ThreadPool::QueuePolicy::WorkSteal);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+  const auto counters = pool.worker_counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].executed, 50u);
+  EXPECT_EQ(counters[0].stolen, 0u);
+}
+
+TEST(ThreadPool, StarvedWorkerActuallySteals) {
+  // All sub-tasks are pushed onto ONE worker's local deque (the root task
+  // submits them from inside the pool); the other worker has nothing and
+  // must steal from the loaded deque's FIFO end to participate at all.
+  ThreadPool pool(2, ThreadPool::QueuePolicy::WorkSteal);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        ++count;
+      });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+  const auto counters = pool.worker_counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].executed + counters[1].executed, 65u);
+  EXPECT_GE(counters[0].stolen + counters[1].stolen, 1u);
+}
+
+TEST(ThreadPool, FifoPolicyRunsHighestPriorityFirst) {
+  // One worker, a gate task blocking it, three prioritized tasks queued
+  // behind: the shared queue must release them highest priority first.
+  // (If the worker has not yet claimed the gate, the gate's priority 10
+  // still sorts it first, so the observed order is identical.)
+  ThreadPool pool(1, ThreadPool::QueuePolicy::Fifo);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); }, /*priority=*/10.0);
+  std::vector<int> order;
+  for (const int p : {1, 3, 2})
+    pool.submit([&order, p] { order.push_back(p); },
+                static_cast<double>(p));
+  gate.set_value();
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(ThreadPool, FifoPolicyKeepsSubmissionOrderOnEqualPriority) {
+  ThreadPool pool(1, ThreadPool::QueuePolicy::Fifo);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); }, /*priority=*/10.0);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  gate.set_value();
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskGraph, ExecuteFromOwnPoolWorkerThrows) {
+  // A worker feeding a graph to its own pool would block on work queued
+  // behind itself; the guard turns the silent deadlock into an error.
+  ThreadPool pool(1);
+  std::atomic<bool> threw{false};
+  pool.submit([&] {
+    TaskGraph g;
+    g.add_task([] {});
+    try {
+      g.execute(pool);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(TaskGraph, CriticalPathPrioritiesAreBottomLevels) {
+  // a -> b -> c chain plus an isolated d: the bottom level (in tasks) of a
+  // node is the longest chain hanging off it, itself included.
+  TaskGraph g;
+  const TaskId a = g.add_task([] {}, "a");
+  const TaskId b = g.add_task([] {}, "b");
+  const TaskId c = g.add_task([] {}, "c");
+  const TaskId d = g.add_task([] {}, "d");
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  g.set_critical_path_priorities();
+  const std::vector<double>& p = g.priorities();
+  EXPECT_DOUBLE_EQ(p[a], 3.0);
+  EXPECT_DOUBLE_EQ(p[b], 2.0);
+  EXPECT_DOUBLE_EQ(p[c], 1.0);
+  EXPECT_DOUBLE_EQ(p[d], 1.0);
+  // Priorities travel with the callable-free record.
+  const DagRecord rec = g.record();
+  ASSERT_EQ(rec.priority.size(), 4u);
+  EXPECT_DOUBLE_EQ(rec.priority[a], 3.0);
+}
+
+TEST(TaskGraph, ExecStatsCarryPolicyAndPerRunCounters) {
+  ThreadPool pool(1);  // WorkSteal by default
+  for (int round = 0; round < 2; ++round) {
+    TaskGraph g;
+    const int n = 16 + round;
+    for (int i = 0; i < n; ++i) g.add_task([] {}, "t");
+    g.set_critical_path_priorities();
+    const ExecStats stats = g.execute(pool);
+    EXPECT_STREQ(stats.schedule_policy, "worksteal");
+    EXPECT_STREQ(stats.priority_policy, "critical-path");
+    ASSERT_EQ(stats.worker_counters.size(), 1u);
+    // Deltas, not the pool's cumulative counters: round 2 sees only its own.
+    EXPECT_EQ(stats.worker_counters[0].executed,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(stats.total_steals(), 0u);  // one worker cannot steal
+  }
+}
+
+TEST(TaskGraph, PrioritizedExecutionStillRespectsDependencies) {
+  // Priorities may only reorder READY tasks: give the chain's tail a huge
+  // priority and the dependency order must still win.
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex m;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lk(m);
+    order.push_back(v);
+  };
+  const TaskId a = g.add_task([&] { push(0); }, "a");
+  const TaskId b = g.add_task([&] { push(1); }, "b");
+  const TaskId c = g.add_task([&] { push(2); }, "c");
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  g.set_priority(c, 1000.0);
+  g.set_priority(a, 0.5);
+  const ExecStats stats = g.execute(4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_STREQ(stats.priority_policy, "custom");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "runtime/thread_pool.hpp"
@@ -123,6 +124,72 @@ TEST(UlvDag, WorkerCountDoesNotChangeTheAnswer) {
     const RunResult rk = run(p, h, uk);
     EXPECT_LE(rel_error_fro(rk.x, r1.x), 1e-14) << workers << " workers";
     EXPECT_EQ(rk.logabsdet, r1.logabsdet) << workers << " workers";
+  }
+}
+
+TEST(UlvDag, SchedulerMatrixIsBitwiseIdentical) {
+  // Scheduling policy and worker count may only change WHEN a task runs —
+  // every cell of the {Fifo, WorkSteal} x {None, CriticalPath} x {1, 4, 8}
+  // matrix must reproduce the single-worker FIFO baseline bit for bit.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-9));
+  UlvOptions ref;
+  ref.tol = 1e-9;
+  ref.n_workers = 1;
+  ref.schedule = UlvSchedule::Fifo;
+  ref.priority = UlvPriority::None;
+  const RunResult r1 = run(p, h, ref);
+  EXPECT_LT(r1.residual, 1e-5);
+  for (const UlvSchedule sched : {UlvSchedule::Fifo, UlvSchedule::WorkSteal}) {
+    for (const UlvPriority prio :
+         {UlvPriority::None, UlvPriority::CriticalPath}) {
+      for (const int workers : {1, 4, 8}) {
+        if (sched == ref.schedule && prio == ref.priority && workers == 1)
+          continue;  // the baseline itself
+        UlvOptions u = ref;
+        u.schedule = sched;
+        u.priority = prio;
+        u.n_workers = workers;
+        const RunResult rk = run(p, h, u);
+        const std::string cell =
+            std::string(sched == UlvSchedule::Fifo ? "fifo" : "worksteal") +
+            " x " + (prio == UlvPriority::None ? "none" : "critical-path") +
+            " x " + std::to_string(workers) + " workers";
+        EXPECT_EQ(rel_error_fro(rk.x, r1.x), 0.0) << cell;
+        EXPECT_EQ(rk.logabsdet, r1.logabsdet) << cell;
+      }
+    }
+  }
+}
+
+TEST(UlvDag, DefaultPolicyIsWorkStealWithCriticalPath) {
+  const UlvOptions defaults;
+  EXPECT_EQ(defaults.schedule, UlvSchedule::WorkSteal);
+  EXPECT_EQ(defaults.priority, UlvPriority::CriticalPath);
+
+  // The recorded execution reports the policy it ran under, one counter lane
+  // per worker, and every task accounted for exactly once.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.record_tasks = true;
+  u.n_workers = 4;
+  const UlvFactorization f(h, u);
+  const ExecStats& ex = f.stats().exec;
+  EXPECT_STREQ(ex.schedule_policy, "worksteal");
+  EXPECT_STREQ(ex.priority_policy, "critical-path");
+  ASSERT_EQ(ex.worker_counters.size(), 4u);
+  std::uint64_t executed = 0;
+  for (const auto& w : ex.worker_counters) executed += w.executed;
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(f.stats().dag.n_tasks()));
+  // Priorities rode along in the record: the final dense top task sits at
+  // the end of every chain, so its bottom level is the minimum.
+  const DagRecord& dag = f.stats().dag;
+  ASSERT_EQ(dag.priority.size(), dag.meta.size());
+  for (TaskId t = 0; t < dag.n_tasks(); ++t) {
+    if (dag.meta[t].label != "top") continue;
+    for (const double pr : dag.priority) EXPECT_GE(pr, dag.priority[t]);
   }
 }
 
