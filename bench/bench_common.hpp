@@ -6,7 +6,9 @@
 /// paper's figure and writes a CSV next to it. Problem sizes default to what
 /// a single scalar core handles in seconds-to-minutes; set H2_BENCH_SCALE=2
 /// (4, 8, ...) to double (quadruple, ...) them on bigger machines, or a
-/// fraction (0.5) to shrink them — the CI bench-smoke job runs at 0.5.
+/// fraction (0.5) to shrink them — single-size benches scale N directly,
+/// size-sweep benches (fig9, fig10, table1) extend or trim their size list
+/// via size_sweep(). The CI bench-smoke job runs at 0.5.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -29,6 +31,16 @@ namespace h2::bench {
 inline double scale() {
   const double s = env::get_double("H2_BENCH_SCALE", 1.0);
   return s > 0.0 ? s : 1.0;
+}
+
+/// The standard size sweep: H2_BENCH_SCALE=2 (4, ...) doubles the largest
+/// entry once (twice, ...) per power of two, while a fractional scale trims
+/// entries from the large end — so 0.5 shrinks the sweep benches too, not
+/// just the single-size ones. Always keeps at least one size.
+inline std::vector<int> size_sweep(std::vector<int> base) {
+  for (long s = 1; s < scale(); s *= 2) base.push_back(base.back() * 2);
+  for (double s = scale(); s < 1.0 && base.size() > 1; s *= 2) base.pop_back();
+  return base;
 }
 
 /// PaRSEC-like per-task runtime overhead used when replaying the BLR task

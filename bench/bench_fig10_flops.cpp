@@ -9,8 +9,7 @@ int main() {
   using namespace h2;
   using namespace h2::bench;
 
-  std::vector<int> sizes{1024, 2048, 4096};
-  for (long s = 1; s < scale(); s *= 2) sizes.push_back(sizes.back() * 2);
+  const std::vector<int> sizes = size_sweep({1024, 2048, 4096});
 
   Table t({"N", "ULV flops", "BLR flops", "ULV/BLR", "ULV max rank",
            "BLR max rank"});

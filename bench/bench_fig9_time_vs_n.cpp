@@ -9,8 +9,7 @@ int main() {
   using namespace h2;
   using namespace h2::bench;
 
-  std::vector<int> sizes{1024, 2048, 4096};
-  for (long s = 1; s < scale(); s *= 2) sizes.push_back(sizes.back() * 2);
+  const std::vector<int> sizes = size_sweep({1024, 2048, 4096});
 
   for (const double tol : {1e-6, 1e-8}) {
     Table t({"N", "ULV time (s)", "ULV resid", "BLR time (s)", "BLR resid",

@@ -21,8 +21,7 @@ int main() {
   using namespace h2;
   using namespace h2::bench;
 
-  std::vector<int> sizes{512, 1024, 2048};
-  for (long s = 1; s < scale(); s *= 2) sizes.push_back(sizes.back() * 2);
+  const std::vector<int> sizes = size_sweep({512, 1024, 2048});
 
   std::vector<double> xs;
   std::vector<std::vector<Obs>> data(5);  // BLR, BLR2, HODLR, HSS, H2

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
@@ -139,8 +140,13 @@ class TaskGraph {
   [[nodiscard]] const std::vector<TaskMeta>& meta() const { return meta_; }
 
   /// Copy out the callable-free structure (metadata + edges + priorities).
+  /// `priority` is exported only when a policy actually assigned one
+  /// (set_priority / set_critical_path_priorities); under the default
+  /// "none" policy it is empty — per DagRecord's contract — so replayers
+  /// branch on .empty() instead of misreading placeholder zeros.
   [[nodiscard]] DagRecord record() const {
-    return {meta_, successors_, priority_};
+    const bool assigned = std::string_view(priority_policy_) != "none";
+    return {meta_, successors_, assigned ? priority_ : std::vector<double>{}};
   }
 
   /// Execute the whole DAG on `pool`'s workers — the pool is borrowed, not

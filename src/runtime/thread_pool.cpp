@@ -37,32 +37,59 @@ bool ThreadPool::heap_less(const Item& a, const Item& b) {
 void ThreadPool::submit(std::function<void()> task, double priority) {
   Item item{std::move(task), priority,
             seq_.fetch_add(1, std::memory_order_relaxed)};
-  if (policy_ == QueuePolicy::WorkSteal && tl_pool == this) {
-    // LIFO-local: a worker's freshly made-ready task goes on top of its own
-    // deque, where its next pop (not a thief's) finds it.
-    Lane& self = *lanes_[tl_worker_index];
-    {
+  // pending up BEFORE the item is visible in any queue: a thief may pop and
+  // finish the task the instant it is published, and its pending decrement
+  // must never land before our increment (the count would go negative and
+  // the thief's "state_ == 0" idle edge would fire early or not at all).
+  state_.fetch_add(kPendingOne);
+  const bool local = policy_ == QueuePolicy::WorkSteal && tl_pool == this;
+  try {
+    if (local) {
+      // LIFO-local: a worker's freshly made-ready task goes on top of its
+      // own deque, where its next pop (not a thief's) finds it.
+      Lane& self = *lanes_[tl_worker_index];
       std::lock_guard<std::mutex> lk(self.m);
       self.deque.push_back(std::move(item));
+    } else {
+      std::lock_guard<std::mutex> lk(mutex_);
+      heap_.push_back(std::move(item));
+      std::push_heap(heap_.begin(), heap_.end(), heap_less);
     }
-    pending_.fetch_add(1);
-    // Empty critical section: serializes this publication against any
-    // worker between its predicate check and its wait(), closing the
-    // missed-wakeup window without putting the fast path under the lock.
-    { std::lock_guard<std::mutex> lk(mutex_); }
-  } else {
-    std::lock_guard<std::mutex> lk(mutex_);
-    heap_.push_back(std::move(item));
-    std::push_heap(heap_.begin(), heap_.end(), heap_less);
-    pending_.fetch_add(1);
+  } catch (...) {
+    // Enqueue failed (allocation): no task will ever drain the count we
+    // raised, and a leaked pending wedges wait_idle and the destructor
+    // forever — roll it back before letting the exception out. If the
+    // rollback itself drains the pool, deliver the idle edge exactly like
+    // the last finishing worker would: a wait_idle caller that parked on
+    // our transient increment has no one else to wake it.
+    if (state_.fetch_sub(kPendingOne) == kPendingOne) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      cv_idle_.notify_all();
+    }
+    throw;
   }
-  cv_work_.notify_one();
+  if (sleepers_.load() > 0) {
+    // A sleeper registered itself (under mutex_) before it could have seen
+    // our pending increment, so the wakeup handoff is on us. When
+    // sleepers_ == 0 the handoff is skipped entirely — every worker either
+    // runs or will observe the increment before parking (both seq_cst) —
+    // which keeps the saturated-pool fast path off the pool-global lock.
+    if (local) {
+      // Empty critical section: serializes this wakeup against a worker
+      // between its predicate check and its park, closing the missed-wakeup
+      // window. The shared-heap branch needs none — its publication already
+      // ran under mutex_, which serializes against the sleeper by itself.
+      std::lock_guard<std::mutex> lk(mutex_);
+    }
+    cv_work_.notify_one();
+  }
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mutex_);
-  cv_idle_.wait(lk,
-                [this] { return pending_.load() == 0 && active_.load() == 0; });
+  // One load of the packed word — "queues drained AND workers idle" cannot
+  // be assembled from counters read at different instants.
+  cv_idle_.wait(lk, [this] { return state_.load() == 0; });
 }
 
 bool ThreadPool::try_pop_local(int index, Item& out) {
@@ -71,6 +98,10 @@ bool ThreadPool::try_pop_local(int index, Item& out) {
   if (self.deque.empty()) return false;
   out = std::move(self.deque.back());
   self.deque.pop_back();
+  // pending→active in one transition, under the queue's lock: outside the
+  // lock pending always matches what a scan can still find, and the pair
+  // never passes through (0, 0) between pop and execution.
+  state_.fetch_add(kActiveOne - kPendingOne);
   return true;
 }
 
@@ -80,6 +111,7 @@ bool ThreadPool::try_pop_shared(Item& out) {
   std::pop_heap(heap_.begin(), heap_.end(), heap_less);
   out = std::move(heap_.back());
   heap_.pop_back();
+  state_.fetch_add(kActiveOne - kPendingOne);
   return true;
 }
 
@@ -101,6 +133,7 @@ bool ThreadPool::try_steal(int index, std::uint32_t& rng, Item& out) {
     // FIFO-steal: the victim's OLDEST task — the breadth end of its deque.
     out = std::move(victim.deque.front());
     victim.deque.pop_front();
+    state_.fetch_add(kActiveOne - kPendingOne);
     return true;
   }
   return false;
@@ -111,6 +144,7 @@ void ThreadPool::worker_loop(int index) {
   tl_pool = this;
   Lane& self = *lanes_[index];
   std::uint32_t rng = 0x9e3779b9u * static_cast<std::uint32_t>(index + 1) | 1u;
+  int misses = 0;  // consecutive scans that found nothing
   for (;;) {
     Item item;
     bool stolen = false;
@@ -120,23 +154,32 @@ void ThreadPool::worker_loop(int index) {
       got = stolen = try_steal(index, rng, item);
     }
     if (!got) {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_work_.wait(lk, [this] { return stop_ || pending_.load() > 0; });
-      if (stop_ && pending_.load() == 0) return;
-      continue;  // re-scan the queues; pending_ > 0 means work exists somewhere
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        sleepers_.fetch_add(1);
+        cv_work_.wait(
+            lk, [this] { return stop_ || (state_.load() >> 32) != 0; });
+        sleepers_.fetch_sub(1);
+        if (stop_ && (state_.load() >> 32) == 0) return;
+      }
+      // Pending > 0 means work exists somewhere — but it can be a task whose
+      // count was raised and whose publication hasn't landed yet, in which
+      // case the wait above returns immediately and the rescan misses again.
+      // Yield on repeated misses so that window is a bounded backoff, not a
+      // lock-hammering spin.
+      if (++misses > 1) std::this_thread::yield();
+      continue;  // re-scan the queues
     }
-    // active_ up BEFORE pending_ down: wait_idle must never observe the
-    // popped-but-not-yet-running task as (no queue, no worker) idle.
-    active_.fetch_add(1);
-    pending_.fetch_sub(1);
+    misses = 0;
+    // The pop already moved this task pending→active, so wait_idle can never
+    // observe it as (no queue, no worker) idle while we run it.
     self.executed.fetch_add(1, std::memory_order_relaxed);
     if (stolen) self.stolen.fetch_add(1, std::memory_order_relaxed);
     item.fn();
-    if (active_.fetch_sub(1) == 1 && pending_.load() == 0) {
-      // Possibly the last task out: hand the idle edge to wait_idle through
-      // the cv's mutex (the empty-section pattern again — the waiter either
-      // re-checks after us or is already parked). A false positive (another
-      // pop raced in) just re-checks the predicate and keeps waiting.
+    if (state_.fetch_sub(kActiveOne) == kActiveOne) {
+      // Last task out of a fully drained pool: hand the idle edge to
+      // wait_idle through the cv's mutex (the empty-section pattern again —
+      // the waiter either re-checks after us or is already parked).
       std::lock_guard<std::mutex> lk(mutex_);
       cv_idle_.notify_all();
     }

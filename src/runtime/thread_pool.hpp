@@ -124,16 +124,32 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::vector<Item> heap_;  ///< shared queue as a binary max-heap
   std::atomic<std::uint64_t> seq_{0};
-  /// Tasks in any queue (shared heap or worker deques) / currently
-  /// executing. Atomics, not mutex-guarded: under WorkSteal the local-deque
-  /// fast path must not cross the pool-global lock per task — submitters
-  /// and sleepers hand off through the empty-critical-section pattern
-  /// (state change, then lock/unlock mutex_, then notify), so a waiter
-  /// either sees the new value or is already inside wait() when the notify
-  /// lands. During a pop, active_ is incremented BEFORE pending_ is
-  /// decremented so the pair never transits through (0, 0) mid-handoff.
-  std::atomic<int> pending_{0};
-  std::atomic<int> active_{0};
+  /// Pool occupancy packed into ONE atomic word: tasks in any queue
+  /// (shared heap or worker deques) in the high 32 bits ("pending"),
+  /// tasks currently executing in the low 32 bits ("active"). One word,
+  /// not two atomics: wait_idle's "all drained AND all idle" predicate is
+  /// a single load (state_ == 0), so it can never pair a stale pending
+  /// with a fresh active. Not mutex-guarded: under WorkSteal the
+  /// local-deque fast path must not cross the pool-global lock per task —
+  /// submitters and finishing workers hand off to sleepers through the
+  /// empty-critical-section pattern (state change, then lock/unlock
+  /// mutex_, then notify), so a waiter either sees the new value or is
+  /// already inside wait() when the notify lands. Invariants: pending is
+  /// raised BEFORE the item is published to a queue (a thief finishing
+  /// the task early must not drive the count negative), and a pop moves
+  /// pending→active in one fetch_add under the queue's lock (the pair
+  /// never transits through (0, 0) mid-handoff).
+  std::atomic<std::uint64_t> state_{0};
+  static constexpr std::uint64_t kActiveOne = 1;
+  static constexpr std::uint64_t kPendingOne = std::uint64_t{1} << 32;
+  /// Workers parked (or about to park) in cv_work_.wait — raised under
+  /// mutex_ BEFORE the predicate's pending check. submit() skips the
+  /// lock+notify handoff when this is zero: with both counters seq_cst,
+  /// any worker that missed the pending increment has already registered
+  /// here, so a submitter sees either no sleepers (all workers will rescan
+  /// on their own) or takes the handoff path. In a saturated pool that
+  /// keeps submission entirely off the pool-global lock.
+  std::atomic<int> sleepers_{0};
   bool stop_ = false;
 
   std::vector<std::thread> workers_;

@@ -247,6 +247,9 @@ TEST(TaskGraph, RecordExportsMetaAndEdges) {
   EXPECT_EQ(rec.meta[b].level, 3);
   ASSERT_EQ(rec.successors[a].size(), 1u);
   EXPECT_EQ(rec.successors[a][0], b);
+  // No priority policy ran: the record advertises that as an EMPTY vector,
+  // not a full-length all-zeros one a replayer could mistake for real ranks.
+  EXPECT_TRUE(rec.priority.empty());
 }
 
 TEST(ThreadPool, CurrentIdentifiesOwningPool) {
