@@ -120,6 +120,9 @@ inline UlvRun run_ulv(const PointCloud& pts, const Kernel& kernel,
   Matrix b = Matrix::random(n, 1, rng);
   Matrix x = b;
   Timer ts;
+  // Core-API contract: solve() is in TREE ordering, so the residual matvec
+  // below runs over tree.points() (the reordered cloud), keeping b, x, and
+  // the operator in one indexing. Point-ordered callers use h2::Solver.
   f.solve(x);
   out.solve_seconds = ts.seconds();
   Matrix ax(n, 1);

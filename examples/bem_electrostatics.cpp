@@ -2,16 +2,13 @@
 /// collocation boundary-element system on the surface of a pseudo-hemoglobin
 /// (union-of-spheres molecule, Fig. 14) — or a crowded environment of many
 /// molecules (Fig. 15) — with the Yukawa / screened-Coulomb kernel.
-/// Solves for surface charges that reproduce a prescribed potential.
+/// Solves for surface charges that reproduce a prescribed potential, all in
+/// the caller's point ordering through the h2::Solver facade.
 #include <cstdio>
-#include <string>
 
-#include "core/ulv_factorization.hpp"
-#include "geometry/cloud.hpp"
-#include "geometry/cluster_tree.hpp"
-#include "hmatrix/h2_matrix.hpp"
+#include "api/solver.hpp"
 #include "kernels/assembly.hpp"
-#include "kernels/kernel.hpp"
+#include "linalg/norms.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
@@ -29,42 +26,32 @@ int main() {
               n, n_molecules, cloud_diameter(pts));
 
   // k-means-based clustering handles the complex surface geometry (the paper
-  // found this "works much better than space-filling curves" here).
-  const ClusterTree tree = ClusterTree::build(pts, leaf, rng);
+  // found this "works much better than space-filling curves" here) — the
+  // facade's default partitioner.
   const double diam = cloud_diameter(pts);
   const YukawaKernel kernel(2.0 / diam, 1e-2 * diam);
-
-  H2BuildOptions hopt;
-  hopt.admissibility = {Admissibility::Strong, 0.75};
-  hopt.tol = 1e-2 * tol;
   Timer t_build;
-  const H2Matrix a(tree, kernel, hopt);
+  const Solver bem = Solver::build(
+      pts, kernel, SolverOptions{}.with_tol(tol).with_leaf_size(leaf));
   const double build_s = t_build.seconds();
-
-  UlvOptions uopt;
-  uopt.tol = tol;
-  Timer t_factor;
-  const UlvFactorization lu(a, uopt);
-  const double factor_s = t_factor.seconds();
 
   // Prescribed boundary potential: unit potential on the surface (the
   // classic capacitance-style problem); solve G q = phi for charges q.
   Matrix phi(n, 1);
   for (int i = 0; i < n; ++i) phi(i, 0) = 1.0;
-  Matrix q = phi;
   Timer t_solve;
-  lu.solve(q);
+  const Matrix q = bem.solve(phi);
   const double solve_s = t_solve.seconds();
 
   Matrix gq(n, 1);
-  kernel_matvec(kernel, tree.points(), q, gq);
+  kernel_matvec(kernel, pts, q, gq);
   double total_charge = 0.0;
   for (int i = 0; i < n; ++i) total_charge += q(i, 0);
 
-  std::printf("build %.3f s | factorize %.3f s | solve %.3f s\n", build_s,
-              factor_s, solve_s);
-  std::printf("residual |Gq-phi|/|phi| = %.3e\n", rel_error_fro(gq, phi));
+  std::printf("build+factorize %.3f s | solve %.3f s\n", build_s, solve_s);
+  std::printf("relative residual |Gq-phi|/|phi| = %.3e\n",
+              rel_error_fro(gq, phi));
   std::printf("total induced charge    = %.6f\n", total_charge);
-  std::printf("max skeleton rank       = %d\n", lu.stats().max_rank);
+  std::printf("max skeleton rank       = %d\n", bem.max_rank_used());
   return 0;
 }

@@ -1,17 +1,16 @@
 /// Side-by-side comparison of the low-rank structures of the paper's
-/// Table I on one problem: BLR (flat, independent basis), BLR^2 (flat,
-/// shared basis = depth-1 ULV), HSS (hierarchical, weak admissibility) and
-/// H^2 (hierarchical, strong admissibility) — time, flops, rank, accuracy.
+/// Table I on one problem, all through the h2::Solver facade's structure
+/// switch: BLR (flat, independent basis), HODLR (hierarchical, independent
+/// basis), BLR^2 (flat, shared basis = depth-1 ULV), HSS (hierarchical, weak
+/// admissibility) and H^2 (hierarchical, strong admissibility) — time,
+/// flops, rank, accuracy.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "blr/blr_matrix.hpp"
-#include "core/ulv_factorization.hpp"
-#include "hodlr/hodlr.hpp"
-#include "geometry/cloud.hpp"
-#include "geometry/cluster_tree.hpp"
-#include "hmatrix/h2_matrix.hpp"
+#include "api/solver.hpp"
 #include "kernels/assembly.hpp"
+#include "linalg/norms.hpp"
 #include "util/env.hpp"
 #include "util/flops.hpp"
 #include "util/table.hpp"
@@ -27,31 +26,25 @@ struct Row {
   double residual;
 };
 
-Row run_ulv(const std::string& name, const h2::ClusterTree& tree,
-            const h2::Kernel& kernel, h2::Admissibility adm, double tol,
-            int leaf_override_depth) {
+Row run(const std::string& name, const h2::PointCloud& pts,
+        const h2::Kernel& kernel, const h2::SolverOptions& opt) {
   using namespace h2;
-  H2BuildOptions hopt;
-  hopt.admissibility = {adm, 0.75};
-  hopt.tol = 1e-2 * tol;
-  const H2Matrix a(tree, kernel, hopt);
-  UlvOptions uopt;
-  uopt.tol = tol;
+  // Solver::build is the whole pipeline (clustering + assembly +
+  // factorization), so the table reports it as such — bench_table1 is the
+  // factorize-only complexity measurement.
   flops::reset();
   Timer t;
-  const UlvFactorization f(a, uopt);
+  const Solver solver = Solver::build(pts, kernel, opt);
   const double secs = t.seconds();
   const double fl = static_cast<double>(flops::total());
 
-  const int n = tree.n_points();
+  const int n = solver.n();
   Rng rng(3);
   const Matrix b = Matrix::random(n, 1, rng);
-  Matrix x = b;
-  f.solve(x);
+  const Matrix x = solver.solve(b);
   Matrix ax(n, 1);
-  kernel_matvec(kernel, tree.points(), x, ax);
-  (void)leaf_override_depth;
-  return {name, secs, fl, f.stats().max_rank, rel_error_fro(ax, b)};
+  kernel_matvec(kernel, pts, x, ax);
+  return {name, secs, fl, solver.max_rank_used(), rel_error_fro(ax, b)};
 }
 
 }  // namespace
@@ -64,53 +57,27 @@ int main() {
 
   Rng rng(1);
   const PointCloud pts = uniform_cube(n, rng);
-  const ClusterTree tree = ClusterTree::build(pts, leaf, rng);
-  // Depth-1 tree: the flat BLR^2 structure of paper Sec. II.B.
-  const ClusterTree flat = ClusterTree::build(pts, (n + 1) / 2, rng);
   const LaplaceKernel kernel(1e-2);
+  const SolverOptions base = SolverOptions{}.with_tol(tol).with_leaf_size(leaf);
 
   std::vector<Row> rows;
-
-  {  // BLR (independent bases, flat) via the LORAPO-substitute Cholesky.
-    BlrOptions o;
-    o.tol = tol;
-    BlrMatrix blr(tree, kernel, o);
-    flops::reset();
-    Timer t;
-    blr.factorize();
-    const double secs = t.seconds();
-    const double fl = static_cast<double>(flops::total());
-    const Matrix b = Matrix::random(n, 1, rng);
-    Matrix x = b;
-    blr.solve(x);
-    Matrix ax(n, 1);
-    kernel_matvec(kernel, tree.points(), x, ax);
-    rows.push_back({"BLR  (flat, indep. basis)", secs, fl, blr.max_rank_used(),
-                    rel_error_fro(ax, b)});
-  }
-  {  // HODLR (independent bases, weak admissibility, recursive SMW).
-    flops::reset();
-    Timer t;
-    const HodlrMatrix hodlr(tree, kernel, {tol, -1});
-    const double secs = t.seconds();
-    const double fl = static_cast<double>(flops::total());
-    const Matrix b = Matrix::random(n, 1, rng);
-    Matrix x = b;
-    hodlr.solve(x);
-    Matrix ax(n, 1);
-    kernel_matvec(kernel, tree.points(), x, ax);
-    rows.push_back({"HODLR (hier., indep. basis)", secs, fl,
-                    hodlr.max_rank_used(), rel_error_fro(ax, b)});
-  }
-  rows.push_back(run_ulv("BLR2 (flat, shared basis)", flat, kernel,
-                         Admissibility::Weak, tol, 1));
+  rows.push_back(run("BLR  (flat, indep. basis)", pts, kernel,
+                     SolverOptions(base).with_structure(SolverStructure::BLR)));
   rows.push_back(
-      run_ulv("HSS  (hier., weak adm.)", tree, kernel, Admissibility::Weak, tol, 0));
-  rows.push_back(
-      run_ulv("H2   (hier., strong adm.)", tree, kernel, Admissibility::Strong, tol, 0));
+      run("HODLR (hier., indep. basis)", pts, kernel,
+          SolverOptions(base).with_structure(SolverStructure::HODLR)));
+  // Depth-1 tree: the flat BLR^2 structure of paper Sec. II.B.
+  rows.push_back(run("BLR2 (flat, shared basis)", pts, kernel,
+                     SolverOptions(base)
+                         .with_structure(SolverStructure::HSS)
+                         .with_leaf_size((n + 1) / 2)));
+  rows.push_back(run("HSS  (hier., weak adm.)", pts, kernel,
+                     SolverOptions(base).with_structure(SolverStructure::HSS)));
+  rows.push_back(run("H2   (hier., strong adm.)", pts, kernel,
+                     SolverOptions(base).with_structure(SolverStructure::H2)));
 
-  Table table({"structure", "factor time (s)", "factor flops", "max rank",
-               "residual"});
+  Table table({"structure", "build+factor (s)", "build+factor flops",
+               "max rank", "residual"});
   for (const auto& r : rows)
     table.add_row({r.name, Table::fmt(r.seconds, 3), Table::fmt_sci(r.flops, 2),
                    std::to_string(r.rank), Table::fmt_sci(r.residual, 2)});

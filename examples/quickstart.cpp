@@ -1,63 +1,46 @@
-/// Quickstart: build an H^2 representation of a 3-D Laplace kernel matrix,
-/// factorize it with the dependency-free ULV solver, and check the solution
-/// against the right-hand side — the minimal end-to-end use of the library
-/// (paper Sec. IV setup).
+/// Quickstart: solve a 3-D Laplace kernel system with the dependency-free
+/// ULV direct solver through the h2::Solver facade — the minimal end-to-end
+/// use of the library (paper Sec. IV setup). Everything stays in the
+/// caller's POINT ordering: the facade handles clustering, assembly,
+/// factorization, and the tree permutation internally.
 #include <cstdio>
 
-#include "core/ulv_factorization.hpp"
-#include "geometry/cloud.hpp"
-#include "geometry/cluster_tree.hpp"
-#include "hmatrix/h2_matrix.hpp"
+#include "api/solver.hpp"
 #include "kernels/assembly.hpp"
-#include "kernels/kernel.hpp"
+#include "linalg/norms.hpp"
 #include "util/env.hpp"
 #include "util/timer.hpp"
 
 int main() {
   using namespace h2;
   const int n = static_cast<int>(env::get_int("H2_N", 4096));
-  const int leaf = static_cast<int>(env::get_int("H2_LEAF", 128));
   const double tol = env::get_double("H2_TOL", 1e-8);
 
-  // 1. Geometry: N unit charges uniformly distributed in the unit cube.
+  // The five lines that matter: points + kernel in, solution out.
   Rng rng(42);
   const PointCloud pts = uniform_cube(n, rng);
-
-  // 2. Cluster tree (recursive balanced 2-means) + Laplace Green's function.
-  const ClusterTree tree = ClusterTree::build(pts, leaf, rng);
   const LaplaceKernel kernel(1e-2);
-
-  // 3. H^2 construction: strong admissibility, ACA-compressed far field.
-  const int max_rank = static_cast<int>(env::get_int("H2_MAX_RANK", 120));
-  H2BuildOptions hopt;
-  hopt.admissibility = {Admissibility::Strong, env::get_double("H2_ETA", 0.75)};
-  hopt.tol = 1e-2 * tol;
-  hopt.max_rank = max_rank;
   Timer t_build;
-  const H2Matrix a(tree, kernel, hopt);
-  std::printf("build     : %7.3f s  (max ACA rank %d)\n", t_build.seconds(),
-              a.max_rank_used());
-
-  // 4. Dependency-free ULV factorization (the paper's contribution).
-  UlvOptions uopt;
-  uopt.tol = tol;
-  uopt.max_rank = max_rank;
-  Timer t_factor;
-  const UlvFactorization lu(a, uopt);
-  std::printf("factorize : %7.3f s  (setup %.3f s, max skeleton rank %d)\n",
-              t_factor.seconds(), lu.stats().setup_seconds,
-              lu.stats().max_rank);
-
-  // 5. Solve A x = b and report the residual via a streamed dense matvec.
-  Matrix b = Matrix::random(n, 1, rng);
-  Matrix x = b;
+  const Solver solver = Solver::build(
+      pts, kernel,
+      SolverOptions{}
+          .with_tol(tol)
+          .with_leaf_size(static_cast<int>(env::get_int("H2_LEAF", 128)))
+          .with_max_rank(static_cast<int>(env::get_int("H2_MAX_RANK", 120)))
+          .with_eta(env::get_double("H2_ETA", 0.75)));
+  const double build_s = t_build.seconds();
+  const Matrix b = Matrix::random(n, 1, rng);
   Timer t_solve;
-  lu.solve(x);
-  std::printf("solve     : %7.3f s\n", t_solve.seconds());
+  const Matrix x = solver.solve(b);
+  const double solve_s = t_solve.seconds();
 
+  // Residual directly on the original cloud — x is in point ordering.
   Matrix ax(n, 1);
-  kernel_matvec(kernel, tree.points(), x, ax);
+  kernel_matvec(kernel, pts, x, ax);
+  std::printf("build+factorize : %7.3f s  (max skeleton rank %d)\n", build_s,
+              solver.max_rank_used());
+  std::printf("solve           : %7.3f s\n", solve_s);
   std::printf("relative residual |Ax-b|/|b| = %.3e\n", rel_error_fro(ax, b));
-  std::printf("log|det A| = %.6f\n", lu.logabsdet());
+  std::printf("log|det A| = %.6f\n", solver.logabsdet());
   return 0;
 }

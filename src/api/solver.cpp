@@ -1,0 +1,229 @@
+#include "api/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "blr/blr_matrix.hpp"
+#include "core/ulv_factorization.hpp"
+#include "hmatrix/h2_matrix.hpp"
+#include "hodlr/hodlr.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace h2 {
+
+UlvOptions SolverOptions::ulv_options() const {
+  UlvOptions u;
+  u.tol = tol;
+  u.max_rank = max_rank;
+  u.fill_tol_factor = fill_tol_factor;
+  u.fillin_augmentation = fillin_augmentation;
+  u.mode = mode;
+  u.executor = executor;
+  u.solve_executor = solve_executor;
+  u.schedule = schedule;
+  u.priority = priority;
+  u.n_workers = n_workers;
+  u.pool = pool;
+  u.record_tasks = record_tasks;
+  return u;
+}
+
+void SolverOptions::validate() const {
+  if (leaf_size < 2)
+    throw std::invalid_argument(
+        "SolverOptions: leaf_size must be >= 2 (got " +
+        std::to_string(leaf_size) + "); clusters are split in halves");
+  if (!(eta > 0.0))
+    throw std::invalid_argument(
+        "SolverOptions: eta must be > 0 (got " + std::to_string(eta) + ")");
+  if (!(build_tol_factor > 0.0))
+    throw std::invalid_argument(
+        "SolverOptions: build_tol_factor must be > 0 (got " +
+        std::to_string(build_tol_factor) + ")");
+  UlvOptions u = ulv_options();
+  u.validate();  // tol, fill_tol_factor, n_workers checks live there
+}
+
+/// The whole pipeline, built once and shared (immutably) by every copy of
+/// the Solver and every in-flight SolveHandle.
+struct Solver::Impl {
+  /// Materialized when n_workers > 0 and no explicit pool was given: ONE
+  /// private pool shared by the factorization, every solve, and the
+  /// solve_async/solve_batch pipelining — declared first so it outlives
+  /// the backends that borrow it.
+  std::unique_ptr<ThreadPool> owned_pool;
+  SolverOptions opt;
+  std::unique_ptr<ClusterTree> tree;
+  // Exactly one backend is set, by opt.structure.
+  std::unique_ptr<UlvFactorization> ulv;  // H2 / HSS
+  std::unique_ptr<BlrMatrix> blr;
+  std::unique_ptr<HodlrMatrix> hodlr;
+};
+
+Solver Solver::build(const PointCloud& points, const Kernel& kernel,
+                     SolverOptions opt) {
+  opt.validate();
+  auto impl = std::make_shared<Impl>();
+  Rng rng(opt.seed);
+  impl->tree = std::make_unique<ClusterTree>(
+      ClusterTree::build(points, opt.leaf_size, rng, opt.partitioner));
+  switch (opt.structure) {
+    case SolverStructure::H2:
+    case SolverStructure::HSS: {
+      // Only the ULV backends run on a borrowed pool; BLR/HODLR drive
+      // their own workers, so materializing one here would just park
+      // threads for the Solver's lifetime.
+      if (opt.pool == nullptr && opt.n_workers > 0) {
+        impl->owned_pool = std::make_unique<ThreadPool>(
+            opt.n_workers, opt.ulv_options().queue_policy());
+        opt.pool = impl->owned_pool.get();
+      }
+      H2BuildOptions ho;
+      ho.admissibility = {opt.structure == SolverStructure::H2
+                              ? Admissibility::Strong
+                              : Admissibility::Weak,
+                          opt.eta};
+      ho.tol = opt.build_tol_factor * opt.tol;
+      ho.max_rank = opt.max_rank;
+      // The H2Matrix is only needed while factorizing; it is dropped here.
+      const H2Matrix a(*impl->tree, kernel, ho);
+      impl->ulv = std::make_unique<UlvFactorization>(a, opt.ulv_options());
+      break;
+    }
+    case SolverStructure::BLR: {
+      BlrOptions bo;
+      bo.tol = opt.tol;
+      bo.max_rank = opt.max_rank;
+      // BLR drives its own task-graph workers rather than borrowing a
+      // pool, so an explicit pool contributes its SIZE (the caller's
+      // parallelism bound); otherwise n_workers, with 0 meaning "use the
+      // hardware" as everywhere else in the options surface.
+      bo.n_threads = opt.pool != nullptr ? opt.pool->size()
+                     : opt.n_workers > 0 ? opt.n_workers
+                                         : ThreadPool::env_threads();
+      impl->blr = std::make_unique<BlrMatrix>(*impl->tree, kernel, bo);
+      impl->blr->factorize();
+      break;
+    }
+    case SolverStructure::HODLR: {
+      impl->hodlr = std::make_unique<HodlrMatrix>(
+          *impl->tree, kernel, HodlrMatrix::Options{opt.tol, opt.max_rank});
+      break;
+    }
+  }
+  impl->opt = opt;  // after the switch: it may have bound opt.pool
+  return Solver(std::move(impl));
+}
+
+namespace {
+
+void check_rhs_rows(int got, int want) {
+  // The permutation helpers and backends only assert() shapes, which
+  // Release builds compile out — a facade caller with a stale rhs would
+  // corrupt the heap instead of hearing about it.
+  if (got != want)
+    throw std::invalid_argument("Solver: rhs has " + std::to_string(got) +
+                                " rows, but the solver was built over " +
+                                std::to_string(want) + " points");
+}
+
+}  // namespace
+
+void Solver::solve_in_place(MatrixView b) const {
+  check_rhs_rows(b.rows(), n());
+  if (impl_->ulv) {
+    impl_->ulv->solve(b);
+  } else if (impl_->blr) {
+    impl_->blr->solve(b);
+  } else {
+    impl_->hodlr->solve(b);
+  }
+}
+
+Matrix Solver::solve(ConstMatrixView b) const {
+  check_rhs_rows(b.rows(), n());
+  Matrix x = impl_->tree->to_tree_order(b);
+  solve_in_place(x);
+  return impl_->tree->from_tree_order(x);
+}
+
+ThreadPool& Solver::async_pool() const {
+  // Pipeline on the USER's explicit pool or the process-wide pool — never
+  // on the Impl-owned private pool: the queued task holds a shared_ptr to
+  // Impl, and if it were the last reference, releasing it on an owned-pool
+  // worker would run ~Impl -> ~ThreadPool on that pool's own thread (a
+  // self-join). On the global pool, destroying the owned pool from a
+  // worker of a DIFFERENT pool is safe; the solves inside still execute on
+  // the private pool via opt.pool.
+  ThreadPool* user_pool =
+      impl_->opt.pool != impl_->owned_pool.get() ? impl_->opt.pool : nullptr;
+  return user_pool != nullptr ? *user_pool : ThreadPool::global();
+}
+
+SolveHandle Solver::solve_async(Matrix b) const {
+  auto task = std::make_shared<std::packaged_task<Matrix()>>(
+      [impl = impl_, b = std::move(b)] {
+        const Solver s(impl);
+        return s.solve(b);
+      });
+  std::future<Matrix> fut = task->get_future();
+  ThreadPool& pool = async_pool();
+  if (ThreadPool::current() == &pool) {
+    // Already on a worker of the pipelining pool: run inline instead of
+    // blocking a future on work queued behind this very task.
+    (*task)();
+  } else {
+    pool.submit([task] { (*task)(); });
+  }
+  return SolveHandle(std::move(fut), impl_);
+}
+
+std::vector<Matrix> Solver::solve_batch(
+    const std::vector<Matrix>& rhs) const {
+  std::vector<SolveHandle> handles;
+  handles.reserve(rhs.size());
+  for (const Matrix& b : rhs) handles.push_back(solve_async(b));
+  std::vector<Matrix> out;
+  out.reserve(rhs.size());
+  for (SolveHandle& h : handles) out.push_back(h.get());
+  return out;
+}
+
+double Solver::logabsdet() const {
+  if (impl_->ulv) return impl_->ulv->logabsdet();
+  if (impl_->blr) return impl_->blr->logabsdet();
+  return impl_->hodlr->logabsdet();
+}
+
+int Solver::n() const { return impl_->tree->n_points(); }
+
+SolverStructure Solver::structure() const { return impl_->opt.structure; }
+
+const ClusterTree& Solver::tree() const { return *impl_->tree; }
+
+const UlvStats* Solver::ulv_stats() const {
+  return impl_->ulv ? &impl_->ulv->stats() : nullptr;
+}
+
+int Solver::max_rank_used() const {
+  if (impl_->ulv) return impl_->ulv->stats().max_rank;
+  if (impl_->blr) return impl_->blr->max_rank_used();
+  return impl_->hodlr->max_rank_used();
+}
+
+Matrix SolveHandle::get() { return future_.get(); }
+
+bool SolveHandle::ready() const {
+  // After get() the future is invalid; wait_for on it would be UB.
+  return !future_.valid() || future_.wait_for(std::chrono::seconds(0)) ==
+                                 std::future_status::ready;
+}
+
+void SolveHandle::wait() const {
+  if (future_.valid()) future_.wait();
+}
+
+}  // namespace h2

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/ulv_options.hpp"
+#include "geometry/cloud.hpp"
+#include "geometry/cluster_tree.hpp"
+#include "kernels/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+class ThreadPool;
+
+/// Which rank-structured representation (and hence which direct solver)
+/// backs an h2::Solver — the paper's Table I families over one geometry.
+enum class SolverStructure {
+  /// Hierarchical, strong admissibility, shared nested bases, ULV
+  /// factorization without trailing sub-matrix dependencies (the paper's
+  /// method, and the default — bounded ranks in 3-D).
+  H2,
+  /// Hierarchical, weak admissibility, shared bases, same ULV engine
+  /// (ranks grow with N in 3-D; kept as the ablation family).
+  HSS,
+  /// Flat block low-rank Cholesky with trailing updates (the LORAPO-class
+  /// baseline). Requires an SPD kernel matrix.
+  BLR,
+  /// Hierarchical, independent bases, recursive Sherman-Morrison-Woodbury.
+  HODLR,
+};
+
+/// Everything Solver::build needs, in one builder-style object: geometry
+/// partitioning, representation construction (H2BuildOptions), and
+/// factorization/solve execution (UlvOptions) — so callers configure one
+/// surface instead of wiring three option structs through five steps. The
+/// with_* setters chain:
+///
+///   auto s = Solver::build(points, kernel,
+///                          SolverOptions{}.with_tol(1e-8).with_leaf_size(64));
+struct SolverOptions {
+  SolverStructure structure = SolverStructure::H2;
+
+  // ---- Geometry / clustering.
+  int leaf_size = 128;
+  Partitioner partitioner = Partitioner::KMeans;
+  /// Seed of the (deterministic) clustering Rng.
+  std::uint64_t seed = 42;
+
+  // ---- Representation construction.
+  /// Strong-admissibility separation parameter (H2; HSS/HODLR are weak).
+  double eta = 0.75;
+  /// Relative solve tolerance; the shared-basis truncation of the ULV
+  /// factorization runs at this, construction (ACA) at build_tol_factor
+  /// of it.
+  double tol = 1e-8;
+  double build_tol_factor = 1e-2;
+  int max_rank = -1;  ///< optional hard rank cap (-1: none)
+
+  // ---- Execution (see UlvOptions for the full story).
+  UlvMode mode = UlvMode::Parallel;
+  UlvExecutor executor = UlvExecutor::TaskDag;
+  UlvExecutor solve_executor = UlvExecutor::TaskDag;
+  UlvSchedule schedule = UlvSchedule::WorkSteal;
+  UlvPriority priority = UlvPriority::CriticalPath;
+  /// 0: the process-wide pool; > 0: build() materializes ONE private pool
+  /// of that size (H2/HSS), shared by the factorization and every solve.
+  /// BLR and HODLR drive their own workers: BLR sizes them from this (0:
+  /// hardware), HODLR is serial.
+  int n_workers = 0;
+  /// Explicit pool (wins over n_workers); also the pool solve_async
+  /// pipelines batches on. BLR borrows only its SIZE as the worker bound.
+  ThreadPool* pool = nullptr;
+  bool record_tasks = false;
+  double fill_tol_factor = 0.01;
+  bool fillin_augmentation = true;
+
+  SolverOptions& with_structure(SolverStructure s) { structure = s; return *this; }
+  SolverOptions& with_leaf_size(int v) { leaf_size = v; return *this; }
+  SolverOptions& with_partitioner(Partitioner p) { partitioner = p; return *this; }
+  SolverOptions& with_seed(std::uint64_t v) { seed = v; return *this; }
+  SolverOptions& with_eta(double v) { eta = v; return *this; }
+  SolverOptions& with_tol(double v) { tol = v; return *this; }
+  SolverOptions& with_build_tol_factor(double v) { build_tol_factor = v; return *this; }
+  SolverOptions& with_max_rank(int v) { max_rank = v; return *this; }
+  SolverOptions& with_mode(UlvMode v) { mode = v; return *this; }
+  SolverOptions& with_executor(UlvExecutor v) { executor = v; return *this; }
+  SolverOptions& with_solve_executor(UlvExecutor v) { solve_executor = v; return *this; }
+  SolverOptions& with_schedule(UlvSchedule v) { schedule = v; return *this; }
+  SolverOptions& with_priority(UlvPriority v) { priority = v; return *this; }
+  SolverOptions& with_workers(int v) { n_workers = v; return *this; }
+  SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }
+  SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }
+
+  /// The UlvOptions this surface consolidates (H2/HSS structures).
+  [[nodiscard]] UlvOptions ulv_options() const;
+  /// Throws std::invalid_argument on nonsensical inputs (delegates the
+  /// execution knobs to UlvOptions::validate).
+  void validate() const;
+};
+
+/// Future-like handle to an in-flight solve_async: independent batches
+/// pipeline on the shared ThreadPool while the caller keeps working. The
+/// handle shares ownership of the solver's factorization, so it stays valid
+/// even if the Solver goes out of scope first.
+class SolveHandle {
+ public:
+  /// Block until the solution (point ordering) is ready and take it.
+  /// Rethrows any exception the solve raised. Valid once.
+  [[nodiscard]] Matrix get();
+  /// Non-blocking readiness probe (true once taken by get()).
+  [[nodiscard]] bool ready() const;
+  /// Block until the solve finishes (no-op once taken by get()).
+  void wait() const;
+
+ private:
+  friend class Solver;
+  SolveHandle(std::future<Matrix> f, std::shared_ptr<const void> keep_alive)
+      : future_(std::move(f)), keep_alive_(std::move(keep_alive)) {}
+
+  std::future<Matrix> future_;
+  std::shared_ptr<const void> keep_alive_;  ///< the Solver's Impl
+};
+
+/// The one-object entry point to the library: owns the whole
+/// points -> ClusterTree -> representation -> factorization pipeline behind
+/// a redesigned solve surface.
+///
+///   Solver solver = Solver::build(points, kernel, opt);
+///   Matrix x = solver.solve(b);   // b, x in the caller's POINT ordering
+///
+/// Ordering contract: solve/solve_batch/solve_async take and return
+/// right-hand sides in the caller's original point ordering (row i of b
+/// corresponds to points[i]); the tree permutation is handled internally
+/// via ClusterTree::to_tree_order/from_tree_order. solve_in_place is the
+/// zero-copy path and works in TREE ordering (the ordering of
+/// tree().points()).
+///
+/// A Solver is cheap to copy (shared immutable factorization) and safe to
+/// solve from many threads concurrently — the direct-solver reuse story:
+/// factorize once, serve many right-hand sides.
+class Solver {
+ public:
+  /// Build the full pipeline: cluster `points`, assemble the structure's
+  /// representation of kernel(x_i, x_j), factorize. The kernel is only used
+  /// during construction and need not outlive the call.
+  static Solver build(const PointCloud& points, const Kernel& kernel,
+                      SolverOptions opt = {});
+
+  /// Out-of-place solve A x = b in POINT ordering; b is n x nrhs.
+  [[nodiscard]] Matrix solve(ConstMatrixView b) const;
+
+  /// Zero-copy in-place solve; b is n x nrhs in TREE ordering.
+  void solve_in_place(MatrixView b) const;
+
+  /// Solve many independent right-hand-side batches (each n x nrhs_i, point
+  /// ordering). The batches pipeline concurrently on the pool; results come
+  /// back in input order and match serial solve() calls bitwise.
+  [[nodiscard]] std::vector<Matrix> solve_batch(
+      const std::vector<Matrix>& rhs) const;
+
+  /// Asynchronous solve (point ordering): enqueue on the pool and return
+  /// immediately. Independent solves overlap; each runs its sweep inline on
+  /// its worker, so a batch pipelines whole solves across the pool.
+  [[nodiscard]] SolveHandle solve_async(Matrix b) const;
+
+  /// log|det A| from the backend's triangular factors.
+  [[nodiscard]] double logabsdet() const;
+
+  [[nodiscard]] int n() const;
+  [[nodiscard]] SolverStructure structure() const;
+  [[nodiscard]] const ClusterTree& tree() const;
+  /// ULV statistics (H2/HSS structures; nullptr for BLR/HODLR).
+  [[nodiscard]] const UlvStats* ulv_stats() const;
+  /// Largest rank the factorization kept (skeleton / tile / off-diagonal
+  /// rank, by structure).
+  [[nodiscard]] int max_rank_used() const;
+
+ private:
+  struct Impl;
+  explicit Solver(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+
+  [[nodiscard]] ThreadPool& async_pool() const;
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace h2

@@ -34,6 +34,7 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
       structure_(a.structure()),
       opt_(opt),
       depth_(a.tree().depth()) {
+  opt_.validate();  // rejects nonsense, maps use_threads onto PhaseLoops
   const Timer total;
   const std::uint64_t flops0 = flops::total();
   factorize(a);
@@ -41,6 +42,7 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
   stats_.factor_seconds = total.seconds();
   for (const auto& level_ranks : stats_.ranks)
     for (const int r : level_ranks) stats_.max_rank = std::max(stats_.max_rank, r);
+  if (solve_dag_mode()) build_solve_plan();
 }
 
 void UlvFactorization::record_task(int level, const char* kind, int owner,
@@ -66,9 +68,9 @@ void UlvFactorization::for_indices(int n,
 }
 
 bool UlvFactorization::task_dag_mode() const {
-  if (opt_.mode != UlvMode::Parallel) return false;
-  if (opt_.use_threads) return false;  // deprecated alias for PhaseLoops
-  return opt_.executor == UlvExecutor::TaskDag;
+  // use_threads was already normalized onto PhaseLoops by validate().
+  return opt_.mode == UlvMode::Parallel &&
+         opt_.executor == UlvExecutor::TaskDag;
 }
 
 Matrix UlvFactorization::current_rows(int level, int lid,
@@ -727,9 +729,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
   // thread is already a worker of (e.g. a factorization submitted onto the
   // global pool): execute() blocks its caller, so feeding the DAG to our
   // own pool could deadlock it.
-  const ThreadPool::QueuePolicy want = opt_.schedule == UlvSchedule::Fifo
-                                           ? ThreadPool::QueuePolicy::Fifo
-                                           : ThreadPool::QueuePolicy::WorkSteal;
+  const ThreadPool::QueuePolicy want = opt_.queue_policy();
   ThreadPool* pool = opt_.pool;
   std::unique_ptr<ThreadPool> owned;
   // global() is always WorkSteal, so test `want` directly rather than

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -48,7 +50,16 @@ class UlvFactorization {
  public:
   UlvFactorization(const H2Matrix& a, const UlvOptions& opt);
 
-  /// In-place solve A x = b; b is n x nrhs in TREE ordering.
+  /// In-place solve A x = b; b is n x nrhs in TREE ordering (the ordering of
+  /// ClusterTree::points(), NOT the caller's original point order — use
+  /// ClusterTree::to_tree_order/from_tree_order, or the h2::Solver facade
+  /// which handles the permutation). Under opt.solve_executor == TaskDag
+  /// (the default) the forward/backward sweeps execute as a task DAG whose
+  /// structure was recorded once at factorization time (see solve_dag());
+  /// PhaseLoops keeps the bulk-synchronous per-level sweep. Both executors,
+  /// any scheduling policy, and any worker count produce bitwise-identical
+  /// solutions. Thread-safe: concurrent solves on one factorization share
+  /// only read-only factor data.
   void solve(MatrixView b) const;
 
   /// log|det A| from the triangular factors (orthogonal transforms drop out).
@@ -61,6 +72,17 @@ class UlvFactorization {
   [[nodiscard]] int rank(int level, int lid) const {
     return levels_[level].rank[lid];
   }
+
+  /// The solve DAG recorded at factorization time (empty unless Parallel
+  /// mode with the TaskDag solve executor and depth > 0 — Sequential mode
+  /// always sweeps, like its factorization). The first half is the
+  /// forward sweep's block-row structure (fwd_xform -> fwd_subst ->
+  /// fwd_down -> fwd_merge per level, rooted at "top"); the second half is
+  /// its mirror for the backward sweep — every forward task has a backward
+  /// twin and every forward edge is reused REVERSED (bwd_split <- bwd_xs <-
+  /// bwd_y <- bwd_combine). DagRecord::priority carries the critical-path
+  /// (bottom-level) ranks that drive the executor.
+  [[nodiscard]] const DagRecord& solve_dag() const { return solve_dag_; }
 
  private:
   using Key = std::pair<int, int>;
@@ -127,9 +149,30 @@ class UlvFactorization {
   /// Serial or pool-parallel loop over [0, n), by options.
   void for_indices(int n, const std::function<void(int)>& fn) const;
 
+  // ---- Solve (ulv_solve.cpp). Like the factorization, the numerics live in
+  // per-cluster sbody_* methods — one source of truth consumed by the
+  // bulk-synchronous level sweep (solve_loops) and the task-DAG executor
+  // (solve_via_dag), which instantiates the recorded solve_dag_ plan.
   struct SolveScratch;
-  void forward_level(int level, SolveScratch& s) const;
-  void backward_level(int level, SolveScratch& s) const;
+  void init_solve_scratch(SolveScratch& s, int nrhs) const;
+  [[nodiscard]] bool solve_dag_mode() const;
+  /// Record the solve's task structure (forward sweep + reversed backward
+  /// mirror + critical-path priorities) into solve_dag_. Called once by the
+  /// constructor; O(#tasks + #edges), independent of nrhs.
+  void build_solve_plan();
+  void solve_loops(MatrixView b) const;
+  void solve_via_dag(MatrixView b, ThreadPool& pool) const;
+  // Forward-sweep bodies (Eqs. 16-19).
+  void sbody_transform(SolveScratch& s, ConstMatrixView b, int level,
+                       int c) const;
+  void sbody_subst(SolveScratch& s, int level, int k) const;
+  void sbody_down(SolveScratch& s, int level, int i) const;
+  void sbody_merge(SolveScratch& s, int level, int p) const;
+  void sbody_top(SolveScratch& s) const;
+  // Backward-sweep bodies (the forward bodies' mirrors).
+  void sbody_xsplit(SolveScratch& s, int level, int c) const;
+  void sbody_y(SolveScratch& s, int level, int k) const;
+  void sbody_combine(SolveScratch& s, MatrixView b, int level, int c) const;
 
   const ClusterTree* tree_ = nullptr;
   BlockStructure structure_;  // copied: the H2Matrix may be discarded
@@ -145,6 +188,20 @@ class UlvFactorization {
   std::vector<std::map<Key, Matrix>> ry_;
   Matrix top_lu_;
   std::vector<int> top_piv_;
+  /// Per-task body dispatch of the solve plan, fixed at recording time so
+  /// per-solve instantiation is an array walk, not string comparisons.
+  enum class SolveKind : std::uint8_t;
+  /// The solve's task structure, recorded once at factorization time and
+  /// instantiated per solve by solve_via_dag (see solve_dag()).
+  DagRecord solve_dag_;
+  std::vector<SolveKind> solve_kind_;  ///< parallel to solve_dag_.meta
+  /// Owned pool for DAG solves when no explicit pool fits: n_workers > 0,
+  /// or a Fifo schedule (the global pool is always WorkSteal). Created
+  /// lazily on the FIRST solve (call_once: solves may race) and reused for
+  /// every later one — per-solve pools would pay thread spawn/join on each
+  /// right-hand side, and a factorize-only user should pay nothing.
+  mutable std::once_flag solve_pool_once_;
+  mutable std::unique_ptr<ThreadPool> solve_pool_;
 
   UlvStats stats_;
   mutable std::mutex stats_mutex_;

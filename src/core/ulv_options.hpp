@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "runtime/task_graph.hpp"
@@ -84,6 +86,13 @@ struct UlvOptions {
   /// bitwise identical across executors and worker counts: every task
   /// performs the same block operations in the same order.
   UlvExecutor executor = UlvExecutor::TaskDag;
+  /// Execution policy of the SOLVE sweeps (Parallel mode): TaskDag (the
+  /// default) replays the solve DAG recorded at factorization time — the
+  /// forward sweep's block-row structure, reversed for the backward pass —
+  /// on the pool; PhaseLoops keeps the bulk-synchronous per-level sweep as
+  /// the ablation. Like the factorization, the two solve executors are
+  /// bitwise identical at any worker count and scheduling policy.
+  UlvExecutor solve_executor = UlvExecutor::TaskDag;
   /// Ready-queue discipline for the TaskDag pool. Applies to the pool the
   /// factorization creates (n_workers > 0, or a policy-mismatched global
   /// pool); an explicit `pool` brings its own policy, which wins. Scheduling
@@ -101,8 +110,9 @@ struct UlvOptions {
   /// (nullptr: by n_workers / the global pool).
   ThreadPool* pool = nullptr;
   /// Deprecated alias (pre-Executor API): `true` selects pool-parallel
-  /// bulk-synchronous phase loops, i.e. executor = PhaseLoops with
-  /// parallel_for over each phase. Prefer `executor`/`n_workers`.
+  /// bulk-synchronous phase loops. validate() maps it explicitly onto
+  /// `executor = solve_executor = PhaseLoops` (no silent behavior left in
+  /// the executor dispatch). Prefer `executor`/`n_workers`.
   bool use_threads = false;
   /// Accumulate the Frobenius mass of all dropped (non-SS) Schur update
   /// components — the quantity the paper argues is negligible once the bases
@@ -113,6 +123,41 @@ struct UlvOptions {
   /// executor this additionally keeps the executed DAG (UlvStats::dag) and
   /// its execution trace (UlvStats::exec).
   bool record_tasks = false;
+
+  /// The ThreadPool queue discipline `schedule` maps onto — the ONE place
+  /// the mapping lives (executors and the api facade all size/spawn pools
+  /// through it).
+  [[nodiscard]] ThreadPool::QueuePolicy queue_policy() const {
+    return schedule == UlvSchedule::Fifo ? ThreadPool::QueuePolicy::Fifo
+                                         : ThreadPool::QueuePolicy::WorkSteal;
+  }
+
+  /// Normalize and check the options; UlvFactorization runs this on its copy
+  /// before factorizing. Maps the deprecated `use_threads` alias onto
+  /// `executor = solve_executor = PhaseLoops` (its documented meaning — the
+  /// executor dispatch itself no longer special-cases the flag) and rejects
+  /// nonsensical inputs with std::invalid_argument instead of letting them
+  /// produce undefined behavior downstream.
+  void validate() {
+    if (!(tol > 0.0))
+      throw std::invalid_argument(
+          "UlvOptions: tol must be > 0 (got " + std::to_string(tol) +
+          "); the shared-basis truncation is relative to it");
+    if (!(fill_tol_factor > 0.0))
+      throw std::invalid_argument(
+          "UlvOptions: fill_tol_factor must be > 0 (got " +
+          std::to_string(fill_tol_factor) +
+          "); fill-in directions are truncated at fill_tol_factor * tol");
+    if (n_workers < 0)
+      throw std::invalid_argument(
+          "UlvOptions: n_workers must be >= 0 (got " +
+          std::to_string(n_workers) +
+          "); 0 selects the process-wide pool, > 0 a private pool");
+    if (use_threads) {
+      executor = UlvExecutor::PhaseLoops;
+      solve_executor = UlvExecutor::PhaseLoops;
+    }
+  }
 };
 
 /// One timed unit of factorization work (granularity = one block task).

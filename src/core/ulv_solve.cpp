@@ -1,140 +1,386 @@
+#include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "core/ulv_factorization.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace h2 {
 
+/// Body dispatch of the recorded solve plan (parallel to solve_dag_.meta):
+/// fixed at recording time so solve_via_dag binds bodies by an array walk
+/// instead of per-task string comparisons on every right-hand side.
+enum class UlvFactorization::SolveKind : std::uint8_t {
+  kFwdXform,
+  kFwdSubst,
+  kFwdDown,
+  kFwdMerge,
+  kTop,
+  kBwdSplit,
+  kBwdXs,
+  kBwdY,
+  kBwdCombine,
+};
+
 /// Per-solve working state: the right-hand side as it migrates through the
-/// levels (Eqs. 16-19).
+/// levels (Eqs. 16-19). One instance per solve call, so concurrent solves on
+/// one factorization never share mutable state. Unlike the old rolling
+/// per-level buffer, the migrating vectors are stored PER LEVEL so the DAG
+/// executor can overlap levels without write-after-read hazards; the level
+/// sweep fills them in the same order the rolling buffer did.
 struct UlvFactorization::SolveScratch {
   int nrhs = 1;
   /// s[level][c]: skeleton part of the transformed rhs (rank x nrhs).
   std::vector<std::vector<Matrix>> s;
-  /// z[level][c]: redundant solution in the forward pass; re-used as the
-  /// y / x^R buffer in the backward pass ((size-rank) x nrhs).
+  /// z[level][c]: redundant part ((size-rank) x nrhs). The forward pass
+  /// solves it to z; the backward pass downdates it to y. The final
+  /// triangular solve y -> x^R happens OUT of place inside sbody_combine,
+  /// so z[level][c] still holds y after the level is done — which is what
+  /// lets the backward DAG reuse the forward edges reversed, with no
+  /// write-after-read edge for the trsm.
   std::vector<std::vector<Matrix>> z;
   /// xs[level][c]: skeleton part of the solution (backward pass).
   std::vector<std::vector<Matrix>> xs;
-  /// Current per-cluster rhs/solution at the level being processed.
-  std::vector<Matrix> cur;
+  /// rhs[level][p]: merged rhs entering `level` (written by level+1's
+  /// merges; rhs[0][0] is the root rhs, solved in place by the top task).
+  std::vector<std::vector<Matrix>> rhs;
+  /// x[level][c]: per-cluster solution leaving `level` in current
+  /// coordinates (backward pass; the leaf level writes into b instead).
+  std::vector<std::vector<Matrix>> x;
 };
 
-void UlvFactorization::forward_level(int level, SolveScratch& s) const {
-  const Level& ld = levels_[level];
-  const int nb = ld.nb, nrhs = s.nrhs;
-  auto& sl = s.s[level];
-  auto& zl = s.z[level];
-  sl.resize(nb);
-  zl.resize(nb);
-
-  // b_hat = Q^T b, split into skeleton and redundant parts.
-  for (int c = 0; c < nb; ++c) {
-    const Matrix bhat = matmul(ld.q[c], s.cur[c], Trans::Yes, Trans::No);
-    sl[c] = Matrix::from(bhat.block(0, 0, ld.rank[c], nrhs));
-    zl[c] = Matrix::from(
-        bhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
+void UlvFactorization::init_solve_scratch(SolveScratch& s, int nrhs) const {
+  s.nrhs = nrhs;
+  s.s.resize(depth_ + 1);
+  s.z.resize(depth_ + 1);
+  s.xs.resize(depth_ + 1);
+  s.rhs.resize(depth_ + 1);
+  s.x.resize(depth_ + 1);
+  s.rhs[0].resize(1);
+  for (int l = 1; l <= depth_; ++l) {
+    const int nb = levels_[l].nb;
+    s.s[l].resize(nb);
+    s.z[l].resize(nb);
+    s.xs[l].resize(nb);
+    s.x[l].resize(nb);
+    if (l < depth_) s.rhs[l].resize(nb);
   }
-
-  // Forward substitution on the redundant variables. The dense-neighbor
-  // couplings of the L factor are the (solved) [R,R] strips; they make this
-  // loop sequential in k, but its cost is O(N) and negligible.
-  for (int k = 0; k < nb; ++k) {
-    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-    if (nrk == 0) continue;
-    MatrixView zk = zl[k];
-    laswp(zk, ld.rr_piv[k], /*forward=*/true);
-    ConstMatrixView rr = ld.dense.at({k, k}).block(rk, rk, nrk, nrk);
-    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, rr, zk);
-    for (const int i : structure_.dense_cols(level, k)) {
-      if (i >= k) break;  // sorted: couplings below the block diagonal only
-      const int nri = ld.size[i] - ld.rank[i];
-      if (nri == 0) continue;
-      gemm(-1.0, ld.dense.at({k, i}).block(rk, ld.rank[i], nrk, nri),
-           Trans::No, zl[i], Trans::No, 1.0, zk);
-    }
-  }
-
-  // Downdate the skeleton rhs with the L_SR strips: b^S_i -= sum_k
-  // D(i,k)[S,R] z_k over the diagonal and every dense partner.
-  for (int i = 0; i < nb; ++i) {
-    const int ri = ld.rank[i];
-    if (ri == 0) continue;
-    auto update = [&](int k) {
-      const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-      if (nrk == 0) return;
-      gemm(-1.0, ld.dense.at({i, k}).block(0, rk, ri, nrk), Trans::No, zl[k],
-           Trans::No, 1.0, sl[i]);
-    };
-    update(i);
-    for (const int k : structure_.dense_cols(level, i)) update(k);
-  }
-
-  // Merge sibling skeleton parts into the parent rhs (Eq. 22's rhs analog).
-  std::vector<Matrix> next(nb / 2);
-  for (int p = 0; p < nb / 2; ++p)
-    next[p] = vconcat({sl[2 * p], sl[2 * p + 1]});
-  s.cur = std::move(next);
 }
 
-void UlvFactorization::backward_level(int level, SolveScratch& s) const {
+// ---------------------------------------------------------------------------
+// Solve bodies — one (phase, cluster) unit each, shared by both executors.
+// Every migrating block has a single totally-ordered writer chain
+// (transform -> subst -> y for z, transform -> down for s, ...), so any
+// executor that respects the recorded edges reproduces the level sweep
+// bitwise.
+// ---------------------------------------------------------------------------
+
+void UlvFactorization::sbody_transform(SolveScratch& s, ConstMatrixView b,
+                                       int level, int c) const {
+  // b_hat = Q^T b, split into skeleton and redundant parts.
   const Level& ld = levels_[level];
-  const int nb = ld.nb, nrhs = s.nrhs;
+  const int nrhs = s.nrhs;
+  ConstMatrixView src =
+      (level == depth_)
+          ? b.block(tree_->node(depth_, c).begin, 0,
+                    tree_->node(depth_, c).size(), nrhs)
+          : ConstMatrixView(s.rhs[level][c]);
+  const Matrix bhat = matmul(ld.q[c], src, Trans::Yes, Trans::No);
+  s.s[level][c] = Matrix::from(bhat.block(0, 0, ld.rank[c], nrhs));
+  s.z[level][c] =
+      Matrix::from(bhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
+}
+
+void UlvFactorization::sbody_subst(SolveScratch& s, int level, int k) const {
+  // Forward substitution on the redundant variables of pivot k. The [R,R]
+  // strips were pre-solved by the factorization, so the diagonal solve comes
+  // first and the dense-neighbor couplings (i < k only) are subtracted with
+  // already-final z_i — the one sequential chain of the sweep, O(N) total.
+  const Level& ld = levels_[level];
+  auto& zl = s.z[level];
+  const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+  if (nrk == 0) return;
+  MatrixView zk = zl[k];
+  laswp(zk, ld.rr_piv[k], /*forward=*/true);
+  ConstMatrixView rr = ld.dense.at({k, k}).block(rk, rk, nrk, nrk);
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, rr, zk);
+  for (const int i : structure_.dense_cols(level, k)) {
+    if (i >= k) break;  // sorted: couplings below the block diagonal only
+    const int nri = ld.size[i] - ld.rank[i];
+    if (nri == 0) continue;
+    gemm(-1.0, ld.dense.at({k, i}).block(rk, ld.rank[i], nrk, nri), Trans::No,
+         zl[i], Trans::No, 1.0, zk);
+  }
+}
+
+void UlvFactorization::sbody_down(SolveScratch& s, int level, int i) const {
+  // Downdate the skeleton rhs with the L_SR strips: b^S_i -= sum_k
+  // D(i,k)[S,R] z_k over the diagonal and every dense partner.
+  const Level& ld = levels_[level];
+  auto& zl = s.z[level];
+  const int ri = ld.rank[i];
+  if (ri == 0) return;
+  MatrixView si = s.s[level][i];
+  auto update = [&](int k) {
+    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+    if (nrk == 0) return;
+    gemm(-1.0, ld.dense.at({i, k}).block(0, rk, ri, nrk), Trans::No, zl[k],
+         Trans::No, 1.0, si);
+  };
+  update(i);
+  for (const int k : structure_.dense_cols(level, i)) update(k);
+}
+
+void UlvFactorization::sbody_merge(SolveScratch& s, int level, int p) const {
+  // Merge sibling skeleton parts into the parent rhs (Eq. 22's rhs analog).
+  s.rhs[level - 1][p] =
+      vconcat({s.s[level][2 * p], s.s[level][2 * p + 1]});
+}
+
+void UlvFactorization::sbody_top(SolveScratch& s) const {
+  getrs(top_lu_, top_piv_, s.rhs[0][0]);
+}
+
+void UlvFactorization::sbody_xsplit(SolveScratch& s, int level, int c) const {
+  // Extract this cluster's skeleton solution from the parent-level solution
+  // (the merge's mirror; the level-1 parent is the top solve's root vector).
+  const Level& ld = levels_[level];
+  const Matrix& xp = (level == 1) ? s.rhs[0][0] : s.x[level - 1][c / 2];
+  const int row0 = (c % 2 == 0) ? 0 : ld.rank[c - 1];
+  s.xs[level][c] = Matrix::from(xp.block(row0, 0, ld.rank[c], s.nrhs));
+}
+
+void UlvFactorization::sbody_y(SolveScratch& s, int level, int k) const {
+  // y_k = z_k - sum_{j>k} [R,R]strip y_j - sum_j [R,S]strip x^S_j. The y_j
+  // it reads are final (their own RR and RS updates done), pre-triangular-
+  // solve values — the triangular solve happens out of place in
+  // sbody_combine, so z keeps holding y.
+  const Level& ld = levels_[level];
+  auto& zl = s.z[level];
   auto& xsl = s.xs[level];
-  auto& zl = s.z[level];  // holds z from the forward pass; becomes y, then x^R
-  xsl.resize(nb);
-
-  // Split the parent-level solution into this level's skeleton solutions.
-  for (int p = 0; p < nb / 2; ++p) {
-    const Matrix& xp = s.cur[p];
-    xsl[2 * p] = Matrix::from(xp.block(0, 0, ld.rank[2 * p], nrhs));
-    xsl[2 * p + 1] = Matrix::from(
-        xp.block(ld.rank[2 * p], 0, ld.rank[2 * p + 1], nrhs));
+  const int rk = ld.rank[k], nrk = ld.size[k] - rk;
+  if (nrk == 0) return;
+  MatrixView yk = zl[k];
+  const auto& cols = structure_.dense_cols(level, k);
+  for (auto it = cols.rbegin(); it != cols.rend(); ++it) {
+    const int j = *it;
+    if (j <= k) break;  // sorted: couplings above the block diagonal only
+    const int nrj = ld.size[j] - ld.rank[j];
+    if (nrj == 0) continue;
+    gemm(-1.0, ld.dense.at({k, j}).block(rk, ld.rank[j], nrk, nrj), Trans::No,
+         zl[j], Trans::No, 1.0, yk);
   }
+  auto update_rs = [&](int j) {
+    if (ld.rank[j] == 0) return;
+    gemm(-1.0, ld.dense.at({k, j}).block(rk, 0, nrk, ld.rank[j]), Trans::No,
+         xsl[j], Trans::No, 1.0, yk);
+  };
+  update_rs(k);
+  for (const int j : cols) update_rs(j);
+}
 
-  // y_k = z_k - sum_{j>k} [R,R]strip y_j - sum_j [R,S]strip x^S_j, computed
-  // descending (y_j for j > k must still be pre-triangular-solve values).
-  for (int k = nb - 1; k >= 0; --k) {
-    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-    if (nrk == 0) continue;
-    MatrixView yk = zl[k];
-    const auto& cols = structure_.dense_cols(level, k);
-    for (auto it = cols.rbegin(); it != cols.rend(); ++it) {
-      const int j = *it;
-      if (j <= k) break;  // sorted: couplings above the block diagonal only
-      const int nrj = ld.size[j] - ld.rank[j];
-      if (nrj == 0) continue;
-      gemm(-1.0, ld.dense.at({k, j}).block(rk, ld.rank[j], nrk, nrj),
-           Trans::No, zl[j], Trans::No, 1.0, yk);
-    }
-    auto update_rs = [&](int j) {
-      if (ld.rank[j] == 0) return;
-      gemm(-1.0, ld.dense.at({k, j}).block(rk, 0, nrk, ld.rank[j]), Trans::No,
-           xsl[j], Trans::No, 1.0, yk);
-    };
-    update_rs(k);
-    for (const int j : cols) update_rs(j);
-  }
-  // x^R_k = U_k^-1 y_k (separate pass: couplings above needed y, not x^R).
-  for (int k = 0; k < nb; ++k) {
-    const int rk = ld.rank[k], nrk = ld.size[k] - rk;
-    if (nrk == 0) continue;
-    ConstMatrixView rr = ld.dense.at({k, k}).block(rk, rk, nrk, nrk);
+void UlvFactorization::sbody_combine(SolveScratch& s, MatrixView b, int level,
+                                     int c) const {
+  // x^R_c = U_c^-1 y_c (out of place — see SolveScratch::z), then
+  // x = Q [x^S; x^R] back in current coordinates; the leaf level scatters
+  // straight into b.
+  const Level& ld = levels_[level];
+  const int nrhs = s.nrhs, rc = ld.rank[c], nrc = ld.size[c] - rc;
+  Matrix xhat(ld.size[c], nrhs);
+  if (rc > 0) copy_into(s.xs[level][c], xhat.block(0, 0, rc, nrhs));
+  if (nrc > 0) {
+    Matrix xr = s.z[level][c];
+    ConstMatrixView rr = ld.dense.at({c, c}).block(rc, rc, nrc, nrc);
     trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr,
-         MatrixView(zl[k]));
+         MatrixView(xr));
+    copy_into(xr, xhat.block(rc, 0, nrc, nrhs));
   }
+  Matrix xc = matmul(ld.q[c], xhat);
+  if (level == depth_) {
+    const ClusterNode& nd = tree_->node(depth_, c);
+    copy_into(xc, b.block(nd.begin, 0, nd.size(), nrhs));
+  } else {
+    s.x[level][c] = std::move(xc);
+  }
+}
 
-  // x = Q [x^S; x^R] back in current coordinates.
-  std::vector<Matrix> out(nb);
-  for (int c = 0; c < nb; ++c) {
-    Matrix xhat(ld.size[c], nrhs);
-    if (ld.rank[c] > 0)
-      copy_into(xsl[c], xhat.block(0, 0, ld.rank[c], nrhs));
-    if (ld.size[c] - ld.rank[c] > 0)
-      copy_into(zl[c],
-                xhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
-    out[c] = matmul(ld.q[c], xhat);
+// ---------------------------------------------------------------------------
+// Executors.
+// ---------------------------------------------------------------------------
+
+bool UlvFactorization::solve_dag_mode() const {
+  // Sequential mode is the inherently ordered ablation: its solve stays a
+  // plain sweep, like its factorization. use_threads was normalized onto
+  // PhaseLoops by UlvOptions::validate().
+  return opt_.mode == UlvMode::Parallel &&
+         opt_.solve_executor == UlvExecutor::TaskDag && depth_ > 0;
+}
+
+void UlvFactorization::solve_loops(MatrixView b) const {
+  // Bulk-synchronous ablation: the per-level sweeps, one phase at a time —
+  // exactly the bodies the DAG executes, in one fixed serial order.
+  SolveScratch s;
+  init_solve_scratch(s, b.cols());
+  for (int level = depth_; level >= 1; --level) {
+    const int nb = levels_[level].nb;
+    for (int c = 0; c < nb; ++c) sbody_transform(s, b, level, c);
+    for (int k = 0; k < nb; ++k) sbody_subst(s, level, k);
+    for (int i = 0; i < nb; ++i) sbody_down(s, level, i);
+    for (int p = 0; p < nb / 2; ++p) sbody_merge(s, level, p);
   }
-  s.cur = std::move(out);
+  sbody_top(s);
+  for (int level = 1; level <= depth_; ++level) {
+    const int nb = levels_[level].nb;
+    for (int c = 0; c < nb; ++c) sbody_xsplit(s, level, c);
+    for (int k = nb - 1; k >= 0; --k) sbody_y(s, level, k);
+    for (int c = 0; c < nb; ++c) sbody_combine(s, b, level, c);
+  }
+}
+
+void UlvFactorization::build_solve_plan() {
+  // The solve's task structure depends only on the block structure — not on
+  // ranks, the rhs, or nrhs — so it is recorded ONCE here and instantiated
+  // per solve. Forward sweep: fwd_xform -> fwd_subst -> fwd_down ->
+  // fwd_merge per level, the merges feeding the parent level's transforms
+  // and finally "top". Backward sweep: every forward task gets a twin
+  // (fwd_xform ~ bwd_combine, fwd_subst ~ bwd_y, fwd_down ~ bwd_xs,
+  // fwd_merge ~ bwd_split) and every forward edge is reused REVERSED — the
+  // backward substitution consumes values in exactly the mirrored order the
+  // forward sweep produced them. bwd_split is a pure gate (the split's
+  // children read their parent sub-blocks directly in bwd_xs).
+  const int d = depth_;
+  DagRecord rec;
+  std::vector<SolveKind> kinds;
+  auto add = [&rec, &kinds](SolveKind kind, const char* label, int owner,
+                            int level) {
+    rec.meta.push_back({label, owner, level});
+    rec.successors.emplace_back();
+    kinds.push_back(kind);
+    return static_cast<TaskId>(rec.meta.size()) - 1;
+  };
+  std::vector<std::vector<TaskId>> t_xf(d + 1), t_su(d + 1), t_dn(d + 1),
+      t_mg(d + 1);
+  std::vector<std::pair<TaskId, TaskId>> fwd_edges;
+  auto edge = [&fwd_edges](TaskId u, TaskId v) { fwd_edges.emplace_back(u, v); };
+
+  for (int level = d; level >= 1; --level) {
+    const int nb = tree_->n_clusters(level);
+    t_xf[level].resize(nb);
+    t_su[level].resize(nb);
+    t_dn[level].resize(nb);
+    t_mg[level].resize(nb / 2);
+    for (int c = 0; c < nb; ++c) {
+      t_xf[level][c] = add(SolveKind::kFwdXform, "fwd_xform", c, level);
+      if (level < d) edge(t_mg[level + 1][c], t_xf[level][c]);
+    }
+    for (int k = 0; k < nb; ++k) {
+      t_su[level][k] = add(SolveKind::kFwdSubst, "fwd_subst", k, level);
+      edge(t_xf[level][k], t_su[level][k]);
+      for (const int i : structure_.dense_cols(level, k)) {
+        if (i >= k) break;
+        edge(t_su[level][i], t_su[level][k]);
+      }
+    }
+    for (int i = 0; i < nb; ++i) {
+      t_dn[level][i] = add(SolveKind::kFwdDown, "fwd_down", i, level);
+      edge(t_xf[level][i], t_dn[level][i]);
+      edge(t_su[level][i], t_dn[level][i]);
+      for (const int k : structure_.dense_cols(level, i))
+        edge(t_su[level][k], t_dn[level][i]);
+    }
+    for (int p = 0; p < nb / 2; ++p) {
+      t_mg[level][p] = add(SolveKind::kFwdMerge, "fwd_merge", p, level);
+      edge(t_dn[level][2 * p], t_mg[level][p]);
+      edge(t_dn[level][2 * p + 1], t_mg[level][p]);
+    }
+  }
+  const TaskId t_top = add(SolveKind::kTop, "top", 0, 0);
+  edge(t_mg[1][0], t_top);
+
+  // Backward twins, appended in forward id order: bwd(t) = t_top + 1 + t.
+  for (TaskId t = 0; t < t_top; ++t) {
+    const TaskMeta& m = rec.meta[t];
+    switch (kinds[t]) {
+      case SolveKind::kFwdXform:
+        add(SolveKind::kBwdCombine, "bwd_combine", m.owner, m.level);
+        break;
+      case SolveKind::kFwdSubst:
+        add(SolveKind::kBwdY, "bwd_y", m.owner, m.level);
+        break;
+      case SolveKind::kFwdDown:
+        add(SolveKind::kBwdXs, "bwd_xs", m.owner, m.level);
+        break;
+      default:
+        add(SolveKind::kBwdSplit, "bwd_split", m.owner, m.level);
+        break;
+    }
+  }
+  auto bwd = [t_top](TaskId t) { return t_top + 1 + t; };
+  for (const auto& [u, v] : fwd_edges) {
+    rec.successors[u].push_back(v);
+    // Reversed for the backward pass; the edge into "top" reverses into the
+    // edge out of it (top is its own twin — the turning point of the solve).
+    if (v == t_top)
+      rec.successors[t_top].push_back(bwd(u));
+    else
+      rec.successors[bwd(v)].push_back(bwd(u));
+  }
+  // Priorities follow the same knob as the factorization: under
+  // UlvPriority::None the record carries none (per DagRecord's contract),
+  // so the None-vs-CriticalPath scheduling ablation covers the solve too.
+  if (opt_.priority == UlvPriority::CriticalPath)
+    rec.priority = bottom_levels(rec.n_tasks(), rec.successors);
+  solve_dag_ = std::move(rec);
+  solve_kind_ = std::move(kinds);
+}
+
+void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
+  SolveScratch s;
+  init_solve_scratch(s, b.cols());
+  TaskGraph g;
+  for (TaskId t = 0; t < solve_dag_.n_tasks(); ++t) {
+    const TaskMeta& m = solve_dag_.meta[t];
+    const int level = m.level, id = m.owner;
+    std::function<void()> fn;
+    switch (solve_kind_[t]) {
+      case SolveKind::kFwdXform:
+        fn = [this, &s, b, level, id] { sbody_transform(s, b, level, id); };
+        break;
+      case SolveKind::kFwdSubst:
+        fn = [this, &s, level, id] { sbody_subst(s, level, id); };
+        break;
+      case SolveKind::kFwdDown:
+        fn = [this, &s, level, id] { sbody_down(s, level, id); };
+        break;
+      case SolveKind::kFwdMerge:
+        fn = [this, &s, level, id] { sbody_merge(s, level, id); };
+        break;
+      case SolveKind::kTop:
+        fn = [this, &s] { sbody_top(s); };
+        break;
+      case SolveKind::kBwdSplit:
+        fn = [] {};  // gate: children read their parent sub-blocks in bwd_xs
+        break;
+      case SolveKind::kBwdXs:
+        fn = [this, &s, level, id] { sbody_xsplit(s, level, id); };
+        break;
+      case SolveKind::kBwdY:
+        fn = [this, &s, level, id] { sbody_y(s, level, id); };
+        break;
+      case SolveKind::kBwdCombine:
+        fn = [this, &s, b, level, id] { sbody_combine(s, b, level, id); };
+        break;
+    }
+    g.add_task(std::move(fn), m.label, m.owner, m.level);
+  }
+  for (TaskId u = 0; u < solve_dag_.n_tasks(); ++u)
+    for (const TaskId v : solve_dag_.successors[u]) g.add_dependency(u, v);
+  for (std::size_t t = 0; t < solve_dag_.priority.size(); ++t)
+    g.set_priority(static_cast<TaskId>(t), solve_dag_.priority[t]);
+  g.execute(pool);
 }
 
 void UlvFactorization::solve(MatrixView b) const {
@@ -143,30 +389,38 @@ void UlvFactorization::solve(MatrixView b) const {
     getrs(top_lu_, top_piv_, b);
     return;
   }
-  SolveScratch s;
-  s.nrhs = b.cols();
-  s.s.resize(depth_ + 1);
-  s.z.resize(depth_ + 1);
-  s.xs.resize(depth_ + 1);
-
-  const int n_leaves = tree_->n_clusters(depth_);
-  s.cur.resize(n_leaves);
-  for (int c = 0; c < n_leaves; ++c) {
-    const ClusterNode& nd = tree_->node(depth_, c);
-    s.cur[c] = Matrix::from(b.block(nd.begin, 0, nd.size(), s.nrhs));
+  if (!solve_dag_mode()) {
+    solve_loops(b);
+    return;
   }
-
-  for (int level = depth_; level >= 1; --level) forward_level(level, s);
-
-  assert(s.cur.size() == 1);
-  getrs(top_lu_, top_piv_, s.cur[0]);
-
-  for (int level = 1; level <= depth_; ++level) backward_level(level, s);
-
-  for (int c = 0; c < n_leaves; ++c) {
-    const ClusterNode& nd = tree_->node(depth_, c);
-    copy_into(s.cur[c], b.block(nd.begin, 0, nd.size(), s.nrhs));
+  // Pool selection: the caller's pool; else the owned solve pool when the
+  // (WorkSteal-only) global pool does not fit — n_workers > 0 or a Fifo
+  // schedule — created on the FIRST solve and reused for every later one;
+  // else the process-wide pool. A factorize-only user never pays for it.
+  ThreadPool* pool = opt_.pool;
+  if (pool == nullptr) {
+    const ThreadPool::QueuePolicy want = opt_.queue_policy();
+    if (opt_.n_workers > 0 || want == ThreadPool::QueuePolicy::Fifo) {
+      std::call_once(solve_pool_once_, [&] {
+        solve_pool_ = std::make_unique<ThreadPool>(
+            std::max(1, opt_.n_workers > 0 ? opt_.n_workers
+                                           : ThreadPool::env_threads()),
+            want);
+      });
+      pool = solve_pool_.get();
+    } else {
+      pool = &ThreadPool::global();
+    }
   }
+  if (pool == ThreadPool::current()) {
+    // A solve running ON a worker of its own pool (a pipelined solve_async
+    // batch) cannot block on that pool; the sweep is bitwise identical, so
+    // run it inline — whole solves then pipeline across the pool's workers
+    // instead of splitting one solve into tasks.
+    solve_loops(b);
+    return;
+  }
+  solve_via_dag(b, *pool);
 }
 
 }  // namespace h2

@@ -187,4 +187,22 @@ std::vector<double> ClusterTree::to_original_order(
   return out;
 }
 
+Matrix ClusterTree::to_tree_order(ConstMatrixView original) const {
+  assert(original.rows() == n_points());
+  const int n = original.rows(), nrhs = original.cols();
+  Matrix out(n, nrhs);
+  for (int j = 0; j < nrhs; ++j)
+    for (int i = 0; i < n; ++i) out(i, j) = original(perm_[i], j);
+  return out;
+}
+
+Matrix ClusterTree::from_tree_order(ConstMatrixView tree_ordered) const {
+  assert(tree_ordered.rows() == n_points());
+  const int n = tree_ordered.rows(), nrhs = tree_ordered.cols();
+  Matrix out(n, nrhs);
+  for (int j = 0; j < nrhs; ++j)
+    for (int i = 0; i < n; ++i) out(perm_[i], j) = tree_ordered(i, j);
+  return out;
+}
+
 }  // namespace h2

@@ -5,6 +5,7 @@
 
 #include "geometry/cloud.hpp"
 #include "geometry/point.hpp"
+#include "linalg/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace h2 {
@@ -72,6 +73,15 @@ class ClusterTree {
       const std::vector<double>& original) const;
   [[nodiscard]] std::vector<double> to_original_order(
       const std::vector<double>& tree_ordered) const;
+
+  /// Row-permute an n x nrhs matrix from the caller's original point
+  /// ordering into tree ordering — the ordering every factorization and
+  /// matvec in this library works in. Inverse of from_tree_order:
+  /// from_tree_order(to_tree_order(x)) == x exactly (pure data movement,
+  /// no arithmetic). The h2::Solver facade routes point-ordered right-hand
+  /// sides through these.
+  [[nodiscard]] Matrix to_tree_order(ConstMatrixView original) const;
+  [[nodiscard]] Matrix from_tree_order(ConstMatrixView tree_ordered) const;
 
  private:
   int depth_ = 0;

@@ -65,6 +65,10 @@ inline double ulv_solution_error(const Problem& p, const H2BuildOptions& hopt,
   Rng rng(7);
   Matrix b = Matrix::random(n, 1, rng);
   Matrix x = b;
+  // Core-API contract: solve() works in TREE ordering. A random b needs no
+  // permutation, but the reference matrix must then be evaluated on the
+  // tree-ordered points (p.tree->points()), not the original cloud — the
+  // h2::Solver facade is the point-ordering path.
   f.solve(x);
 
   const Matrix a = kernel_dense(*p.kernel, p.tree->points());

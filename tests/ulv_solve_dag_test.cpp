@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace h2 {
+namespace {
+
+using testing_support::Geometry;
+using testing_support::KernelKind;
+using testing_support::make_problem;
+using testing_support::Problem;
+
+H2BuildOptions strong_opts(double tol) {
+  H2BuildOptions o;
+  o.admissibility = {Admissibility::Strong, 0.75};
+  o.tol = tol * 1e-2;
+  return o;
+}
+
+Matrix random_rhs(int n, int nrhs) {
+  Rng rng(7);
+  return Matrix::random(n, nrhs, rng);
+}
+
+TEST(UlvSolveDag, MultiRhsBitwiseAcrossSolveExecutorMatrix) {
+  // The redesigned solve: every cell of {PhaseLoops, TaskDag-solve} x
+  // {Fifo, WorkSteal} x {1, 4, 8} workers must reproduce the bulk-
+  // synchronous single-worker sweep BIT FOR BIT, for one and many
+  // right-hand sides — scheduling changes when a task runs, never what it
+  // computes.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-9));
+  const int n = p.tree->n_points();
+  for (const int nrhs : {1, 4, 33}) {
+    const Matrix b = random_rhs(n, nrhs);
+    UlvOptions ref;
+    ref.tol = 1e-9;
+    ref.n_workers = 1;
+    ref.schedule = UlvSchedule::Fifo;
+    ref.solve_executor = UlvExecutor::PhaseLoops;
+    const UlvFactorization f_ref(h, ref);
+    Matrix x_ref = b;
+    f_ref.solve(x_ref);
+
+    // Sanity: the reference solves the system at all.
+    const Matrix a = kernel_dense(*p.kernel, p.tree->points());
+    Matrix ax(n, nrhs);
+    gemm(1.0, a, Trans::No, x_ref, Trans::No, 0.0, ax);
+    EXPECT_LT(rel_error_fro(ax, b), 1e-5) << "nrhs " << nrhs;
+
+    for (const UlvExecutor sexec :
+         {UlvExecutor::PhaseLoops, UlvExecutor::TaskDag}) {
+      for (const UlvSchedule sched :
+           {UlvSchedule::Fifo, UlvSchedule::WorkSteal}) {
+        for (const int workers : {1, 4, 8}) {
+          UlvOptions u = ref;
+          u.solve_executor = sexec;
+          u.schedule = sched;
+          u.n_workers = workers;
+          const UlvFactorization f(h, u);
+          Matrix x = b;
+          f.solve(x);
+          const std::string cell =
+              std::string(sexec == UlvExecutor::TaskDag ? "dag-solve"
+                                                        : "loop-solve") +
+              " x " + (sched == UlvSchedule::Fifo ? "fifo" : "worksteal") +
+              " x " + std::to_string(workers) + " workers, nrhs " +
+              std::to_string(nrhs);
+          EXPECT_EQ(rel_error_fro(x, x_ref), 0.0) << cell;
+        }
+      }
+    }
+  }
+}
+
+TEST(UlvSolveDag, RecordedPlanMirrorsForwardSweepReversed) {
+  // The plan is recorded once at factorization time: a forward half
+  // (fwd_xform -> fwd_subst -> fwd_down -> fwd_merge, rooted at "top") and
+  // a backward half whose tasks are the forward tasks' twins and whose
+  // edges are EXACTLY the forward edges reversed.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  const DagRecord& dag = f.solve_dag();
+  ASSERT_FALSE(dag.empty());
+
+  // Locate "top": forward tasks are [0, top), backward twins are
+  // [top + 1, 2 top + 1) with bwd(t) = top + 1 + t.
+  TaskId top = -1;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t)
+    if (dag.meta[t].label == "top") top = t;
+  ASSERT_GE(top, 0);
+  ASSERT_EQ(dag.n_tasks(), 2 * top + 1);
+
+  auto twin_label = [](const std::string& l) -> std::string {
+    if (l == "fwd_xform") return "bwd_combine";
+    if (l == "fwd_subst") return "bwd_y";
+    if (l == "fwd_down") return "bwd_xs";
+    if (l == "fwd_merge") return "bwd_split";
+    return "?";
+  };
+  auto has_edge = [&dag](TaskId u_, TaskId v_) {
+    for (const TaskId s : dag.successors[u_])
+      if (s == v_) return true;
+    return false;
+  };
+  int checked = 0;
+  for (TaskId t = 0; t < top; ++t) {
+    const TaskMeta& m = dag.meta[t];
+    const TaskMeta& b = dag.meta[top + 1 + t];
+    EXPECT_EQ(b.label, twin_label(m.label)) << "task " << t;
+    EXPECT_EQ(b.owner, m.owner);
+    EXPECT_EQ(b.level, m.level);
+    for (const TaskId v : dag.successors[t]) {
+      if (v == top) {
+        EXPECT_TRUE(has_edge(top, top + 1 + t)) << "top turning point";
+      } else {
+        EXPECT_TRUE(has_edge(top + 1 + v, top + 1 + t))
+            << "forward edge " << t << "->" << v << " not reversed";
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+  // No backward task leaks an edge into the forward half, and the backward
+  // half carries exactly as many edges as the forward half.
+  int fwd_edges = 0, bwd_edges = 0, turning_edges = 0;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t)
+    for (const TaskId v : dag.successors[t]) {
+      if (t == top) {
+        ++turning_edges;
+        EXPECT_GT(v, top);
+      } else if (t < top) {
+        ++fwd_edges;
+        EXPECT_LE(v, top);
+      } else {
+        ++bwd_edges;
+        EXPECT_GT(v, top);
+      }
+    }
+  EXPECT_EQ(turning_edges, 1);  // the reversed fwd_merge -> top edge
+  EXPECT_EQ(fwd_edges, bwd_edges + 1);  // fwd_merge -> top reverses to it
+
+  // Critical-path priorities rode along, and the forward half dominates the
+  // backward half through the "top" turning point.
+  ASSERT_EQ(static_cast<int>(dag.priority.size()), dag.n_tasks());
+  for (TaskId t = 0; t < top; ++t)
+    EXPECT_GT(dag.priority[t], dag.priority[top + 1 + t])
+        << "forward task " << t << " vs its backward twin";
+}
+
+TEST(UlvSolveDag, PhaseLoopsSolveRecordsNoPlan) {
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.solve_executor = UlvExecutor::PhaseLoops;
+  const UlvFactorization f(h, u);
+  EXPECT_TRUE(f.solve_dag().empty());
+}
+
+TEST(UlvSolveDag, PriorityNoneLeavesThePlanUnranked) {
+  // The None-vs-CriticalPath scheduling ablation covers the solve: under
+  // None the recorded plan carries NO priorities (DagRecord's contract),
+  // so the executor really runs submission order, not a hidden ranking.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.priority = UlvPriority::None;
+  const UlvFactorization f(h, u);
+  ASSERT_FALSE(f.solve_dag().empty());
+  EXPECT_TRUE(f.solve_dag().priority.empty());
+  // And it still solves, bitwise equal to the ranked default.
+  const int n = p.tree->n_points();
+  const Matrix b = random_rhs(n, 2);
+  Matrix x_none = b;
+  f.solve(x_none);
+  UlvOptions ranked = u;
+  ranked.priority = UlvPriority::CriticalPath;
+  const UlvFactorization fr(h, ranked);
+  Matrix x_ranked = b;
+  fr.solve(x_ranked);
+  EXPECT_EQ(rel_error_fro(x_none, x_ranked), 0.0);
+}
+
+TEST(UlvSolveDag, SolveFromAPoolWorkerDoesNotDeadlock) {
+  // A solve submitted onto the very pool the DAG would execute on falls
+  // back to the (bitwise-identical) inline sweep — whole solves pipeline
+  // across workers instead of blocking on work queued behind themselves.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  ThreadPool pool(2);
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.pool = &pool;
+  const UlvFactorization f(h, u);
+  const int n = p.tree->n_points();
+  const Matrix b = random_rhs(n, 2);
+  Matrix x_direct = b;
+  f.solve(x_direct);
+
+  Matrix x_worker = b;
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    f.solve(x_worker);
+    done = true;
+  });
+  pool.wait_idle();
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(rel_error_fro(x_worker, x_direct), 0.0);
+}
+
+TEST(UlvSolveDag, ConcurrentSolvesShareOneFactorization) {
+  // The solve-reuse story: one factorization, many concurrent solves. Each
+  // solve owns its scratch, so racing solves must agree bitwise with the
+  // serial answers.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  const UlvFactorization f(h, u);
+  const int n = p.tree->n_points();
+  constexpr int kBatch = 6;
+  std::vector<Matrix> rhs, serial;
+  for (int i = 0; i < kBatch; ++i) {
+    Rng rng(100 + i);
+    rhs.push_back(Matrix::random(n, 3, rng));
+    serial.push_back(rhs.back());
+    f.solve(serial.back());
+  }
+  ThreadPool pool(4);
+  std::vector<Matrix> parallel = rhs;
+  for (int i = 0; i < kBatch; ++i)
+    pool.submit([&f, &parallel, i] { f.solve(parallel[i]); });
+  pool.wait_idle();
+  for (int i = 0; i < kBatch; ++i)
+    EXPECT_EQ(rel_error_fro(parallel[i], serial[i]), 0.0) << "rhs " << i;
+}
+
+TEST(UlvSolveDag, ValidateRejectsNonsenseAndMapsUseThreads) {
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions bad;
+  bad.tol = 0.0;
+  EXPECT_THROW(UlvFactorization(h, bad), std::invalid_argument);
+  bad = UlvOptions{};
+  bad.tol = -1e-8;
+  EXPECT_THROW(UlvFactorization(h, bad), std::invalid_argument);
+  bad = UlvOptions{};
+  bad.fill_tol_factor = 0.0;
+  EXPECT_THROW(UlvFactorization(h, bad), std::invalid_argument);
+  bad = UlvOptions{};
+  bad.n_workers = -2;
+  EXPECT_THROW(UlvFactorization(h, bad), std::invalid_argument);
+
+  // The deprecated alias now maps EXPLICITLY onto the PhaseLoops executors:
+  // no DAG is recorded for the factorization or the solve.
+  UlvOptions legacy;
+  legacy.tol = 1e-8;
+  legacy.use_threads = true;
+  legacy.record_tasks = true;
+  const UlvFactorization f(h, legacy);
+  EXPECT_TRUE(f.stats().dag.empty());
+  EXPECT_TRUE(f.solve_dag().empty());
+
+  UlvOptions norm;
+  norm.use_threads = true;
+  norm.validate();
+  EXPECT_EQ(norm.executor, UlvExecutor::PhaseLoops);
+  EXPECT_EQ(norm.solve_executor, UlvExecutor::PhaseLoops);
+}
+
+}  // namespace
+}  // namespace h2
