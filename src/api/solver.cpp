@@ -164,12 +164,22 @@ ThreadPool& Solver::async_pool() const {
 }
 
 SolveHandle Solver::solve_async(Matrix b) const {
-  auto task = std::make_shared<std::packaged_task<Matrix()>>(
+  auto task = std::make_shared<std::packaged_task<SolveHandle::Outcome()>>(
       [impl = impl_, b = std::move(b)] {
         const Solver s(impl);
-        return s.solve(b);
+        const std::uint64_t gen0 =
+            impl->ulv ? impl->ulv->solve_stats_generation() : 0;
+        Matrix x = s.solve(b);
+        // Snapshot the backend's trace only if a DAG solve actually
+        // completed since this one started — a solve that pipelined inline
+        // (the level sweep) must come back EMPTY, not carry a stale
+        // sibling's trace as its own. See SolveHandle::stats.
+        SolveHandle::Outcome out{std::move(x), ExecStats{}};
+        if (impl->ulv && impl->ulv->solve_stats_generation() != gen0)
+          out.stats = impl->ulv->last_solve_stats();
+        return out;
       });
-  std::future<Matrix> fut = task->get_future();
+  std::future<SolveHandle::Outcome> fut = task->get_future();
   ThreadPool& pool = async_pool();
   if (ThreadPool::current() == &pool) {
     // Already on a worker of the pipelining pool: run inline instead of
@@ -198,6 +208,10 @@ double Solver::logabsdet() const {
   return impl_->hodlr->logabsdet();
 }
 
+ExecStats Solver::last_solve_stats() const {
+  return impl_->ulv ? impl_->ulv->last_solve_stats() : ExecStats{};
+}
+
 int Solver::n() const { return impl_->tree->n_points(); }
 
 SolverStructure Solver::structure() const { return impl_->opt.structure; }
@@ -214,7 +228,11 @@ int Solver::max_rank_used() const {
   return impl_->hodlr->max_rank_used();
 }
 
-Matrix SolveHandle::get() { return future_.get(); }
+Matrix SolveHandle::get() {
+  Outcome out = future_.get();
+  stats_ = std::move(out.stats);
+  return std::move(out.x);
+}
 
 bool SolveHandle::ready() const {
   // After get() the future is invalid; wait_for on it would be UB.

@@ -10,6 +10,12 @@
 #include "kernels/kernel.hpp"
 #include "linalg/matrix.hpp"
 
+/// \namespace h2
+/// \brief A scalable linear-time dense direct solver: the H2-ULV
+/// factorization without trailing sub-matrix dependencies (SC 2022), its
+/// task-DAG runtime, baseline structures (HSS/BLR/HODLR), and the
+/// distributed scheduling simulator behind the paper's scaling figures.
+/// Start at h2::Solver; docs/ARCHITECTURE.md maps the layers.
 namespace h2 {
 
 class ThreadPool;
@@ -40,10 +46,13 @@ enum class SolverStructure {
 ///   auto s = Solver::build(points, kernel,
 ///                          SolverOptions{}.with_tol(1e-8).with_leaf_size(64));
 struct SolverOptions {
+  /// Which rank-structured family backs the solver (Table I; default H2).
   SolverStructure structure = SolverStructure::H2;
 
   // ---- Geometry / clustering.
+  /// Maximum points per cluster-tree leaf.
   int leaf_size = 128;
+  /// How points are split into clusters (recursive 2-means or Morton).
   Partitioner partitioner = Partitioner::KMeans;
   /// Seed of the (deterministic) clustering Rng.
   std::uint64_t seed = 42;
@@ -55,14 +64,22 @@ struct SolverOptions {
   /// factorization runs at this, construction (ACA) at build_tol_factor
   /// of it.
   double tol = 1e-8;
+  /// Construction (ACA) tolerance as a fraction of `tol`.
   double build_tol_factor = 1e-2;
   int max_rank = -1;  ///< optional hard rank cap (-1: none)
 
   // ---- Execution (see UlvOptions for the full story).
+  /// Parallel (the paper's dependency-free elimination) or the Sequential
+  /// trailing-update baseline.
   UlvMode mode = UlvMode::Parallel;
+  /// Factorization executor: the task DAG (default) or bulk-synchronous
+  /// phase loops.
   UlvExecutor executor = UlvExecutor::TaskDag;
+  /// Solve executor: the recorded solve DAG (default) or the level sweep.
   UlvExecutor solve_executor = UlvExecutor::TaskDag;
+  /// Ready-queue discipline of the executing pool (work stealing or FIFO).
   UlvSchedule schedule = UlvSchedule::WorkSteal;
+  /// Ready-task ordering (critical-path priorities or submission order).
   UlvPriority priority = UlvPriority::CriticalPath;
   /// 0: the process-wide pool; > 0: build() materializes ONE private pool
   /// of that size (H2/HSS), shared by the factorization and every solve.
@@ -72,26 +89,30 @@ struct SolverOptions {
   /// Explicit pool (wins over n_workers); also the pool solve_async
   /// pipelines batches on. BLR borrows only its SIZE as the worker bound.
   ThreadPool* pool = nullptr;
+  /// Record per-task timings + the executed DAG (feeds UlvDistModel).
   bool record_tasks = false;
+  /// Fill-in directions are truncated at fill_tol_factor * tol.
   double fill_tol_factor = 0.01;
+  /// The paper's key idea: fold pre-computed fill-in directions into the
+  /// shared bases (turn off only for the ablation).
   bool fillin_augmentation = true;
 
-  SolverOptions& with_structure(SolverStructure s) { structure = s; return *this; }
-  SolverOptions& with_leaf_size(int v) { leaf_size = v; return *this; }
-  SolverOptions& with_partitioner(Partitioner p) { partitioner = p; return *this; }
-  SolverOptions& with_seed(std::uint64_t v) { seed = v; return *this; }
-  SolverOptions& with_eta(double v) { eta = v; return *this; }
-  SolverOptions& with_tol(double v) { tol = v; return *this; }
-  SolverOptions& with_build_tol_factor(double v) { build_tol_factor = v; return *this; }
-  SolverOptions& with_max_rank(int v) { max_rank = v; return *this; }
-  SolverOptions& with_mode(UlvMode v) { mode = v; return *this; }
-  SolverOptions& with_executor(UlvExecutor v) { executor = v; return *this; }
-  SolverOptions& with_solve_executor(UlvExecutor v) { solve_executor = v; return *this; }
-  SolverOptions& with_schedule(UlvSchedule v) { schedule = v; return *this; }
-  SolverOptions& with_priority(UlvPriority v) { priority = v; return *this; }
-  SolverOptions& with_workers(int v) { n_workers = v; return *this; }
-  SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }
-  SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }
+  SolverOptions& with_structure(SolverStructure s) { structure = s; return *this; }  ///< chain-set structure
+  SolverOptions& with_leaf_size(int v) { leaf_size = v; return *this; }  ///< chain-set leaf_size
+  SolverOptions& with_partitioner(Partitioner p) { partitioner = p; return *this; }  ///< chain-set partitioner
+  SolverOptions& with_seed(std::uint64_t v) { seed = v; return *this; }  ///< chain-set seed
+  SolverOptions& with_eta(double v) { eta = v; return *this; }  ///< chain-set eta
+  SolverOptions& with_tol(double v) { tol = v; return *this; }  ///< chain-set tol
+  SolverOptions& with_build_tol_factor(double v) { build_tol_factor = v; return *this; }  ///< chain-set build_tol_factor
+  SolverOptions& with_max_rank(int v) { max_rank = v; return *this; }  ///< chain-set max_rank
+  SolverOptions& with_mode(UlvMode v) { mode = v; return *this; }  ///< chain-set mode
+  SolverOptions& with_executor(UlvExecutor v) { executor = v; return *this; }  ///< chain-set executor
+  SolverOptions& with_solve_executor(UlvExecutor v) { solve_executor = v; return *this; }  ///< chain-set solve_executor
+  SolverOptions& with_schedule(UlvSchedule v) { schedule = v; return *this; }  ///< chain-set schedule
+  SolverOptions& with_priority(UlvPriority v) { priority = v; return *this; }  ///< chain-set priority
+  SolverOptions& with_workers(int v) { n_workers = v; return *this; }  ///< chain-set n_workers
+  SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }  ///< chain-set pool
+  SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }  ///< chain-set record_tasks
 
   /// The UlvOptions this surface consolidates (H2/HSS structures).
   [[nodiscard]] UlvOptions ulv_options() const;
@@ -106,6 +127,13 @@ struct SolverOptions {
 /// even if the Solver goes out of scope first.
 class SolveHandle {
  public:
+  /// What an async solve delivers: the solution plus the execution trace
+  /// observed when it completed (see SolveHandle::stats).
+  struct Outcome {
+    Matrix x;         ///< the solution, point ordering
+    ExecStats stats;  ///< backend solve-DAG trace snapshot (may be empty)
+  };
+
   /// Block until the solution (point ordering) is ready and take it.
   /// Rethrows any exception the solve raised. Valid once.
   [[nodiscard]] Matrix get();
@@ -113,13 +141,23 @@ class SolveHandle {
   [[nodiscard]] bool ready() const;
   /// Block until the solve finishes (no-op once taken by get()).
   void wait() const;
+  /// Snapshot of the ULV backend's DAG-solve ExecStats taken when this
+  /// solve completed, valid after get(). Empty when no NEW DAG trace was
+  /// produced during this solve: non-ULV structures, a PhaseLoops solve
+  /// executor, or a solve that pipelined inline on a pool worker
+  /// (whole-solve pipelining runs the level sweep, not the DAG) — a stale
+  /// trace from an earlier solve is never presented as this one's.
+  /// Diagnostic only: under CONCURRENT solves the snapshot may describe a
+  /// sibling solve that finished in the same window.
+  [[nodiscard]] const ExecStats& stats() const { return stats_; }
 
  private:
   friend class Solver;
-  SolveHandle(std::future<Matrix> f, std::shared_ptr<const void> keep_alive)
+  SolveHandle(std::future<Outcome> f, std::shared_ptr<const void> keep_alive)
       : future_(std::move(f)), keep_alive_(std::move(keep_alive)) {}
 
-  std::future<Matrix> future_;
+  std::future<Outcome> future_;
+  ExecStats stats_;                         ///< filled by get()
   std::shared_ptr<const void> keep_alive_;  ///< the Solver's Impl
 };
 
@@ -168,8 +206,19 @@ class Solver {
   /// log|det A| from the backend's triangular factors.
   [[nodiscard]] double logabsdet() const;
 
+  /// ExecStats of the most recent DAG-executed solve on the ULV backend
+  /// (UlvFactorization::last_solve_stats): worker lanes, per-task spans,
+  /// executed/stolen counters. Empty for BLR/HODLR backends, before any
+  /// solve, or when solves ran the PhaseLoops sweep. Set H2_SOLVE_TRACE to
+  /// a path to also dump each DAG solve's trace CSV.
+  [[nodiscard]] ExecStats last_solve_stats() const;
+
+  /// Number of points (= matrix dimension).
   [[nodiscard]] int n() const;
+  /// The structure family this solver was built with.
   [[nodiscard]] SolverStructure structure() const;
+  /// The cluster tree (its points() are the TREE ordering solve_in_place
+  /// works in).
   [[nodiscard]] const ClusterTree& tree() const;
   /// ULV statistics (H2/HSS structures; nullptr for BLR/HODLR).
   [[nodiscard]] const UlvStats* ulv_stats() const;

@@ -552,23 +552,50 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     if (before >= 0) g.add_dependency(before, after);
   };
 
+  // Per-task output payloads for the distributed model (DagRecord::out_bytes,
+  // charged by the alpha-beta CommModel on cross-rank edges). The byte counts
+  // depend on the skeleton ranks the numerics choose, so each site notes a
+  // deferred formula over the persistent factor state (levels_, ry_, fill_p)
+  // that is evaluated once execution finished, right before g.record().
+  std::vector<std::pair<TaskId, std::function<double()>>> payloads;
+  const auto note = [&](TaskId t, std::function<double()> bytes) {
+    if (opt_.record_tasks) payloads.emplace_back(t, std::move(bytes));
+  };
+
   // ry factors have no predecessors; every level's basis phase may consume
   // the ry of any ancestor level, so emit them all up front.
   for (int l = 1; l <= d; ++l) {
     const int nb = tree_->n_clusters(l);
     t_ry[l].resize(nb);
-    for (int i = 0; i < nb; ++i)
+    for (int i = 0; i < nb; ++i) {
       t_ry[l][i] =
           g.add_task([this, &w, l, i] { body_ry(w, l, i); }, "ry", i, l);
+      note(t_ry[l][i], [this, l, i] {
+        double b = 0.0;  // rank x rank R factor per admissible partner
+        for (const int j : structure_.admissible_cols(l, i)) {
+          const Matrix& r = ry_[l].at({i, j});
+          b += static_cast<double>(r.rows()) * r.cols();
+        }
+        return 8.0 * b;
+      });
+    }
   }
 
   // Leaf assembly: the producers of cur[depth].
   {
     const int nb = tree_->n_clusters(d);
     std::vector<TaskId> t_asm(nb);
-    for (int i = 0; i < nb; ++i)
+    for (int i = 0; i < nb; ++i) {
       t_asm[i] = g.add_task([this, &w, i] { body_assemble(w, depth_, i); },
                             "assemble", i, d);
+      note(t_asm[i], [this, i] {
+        const double pts = tree_->node(depth_, i).size();
+        double b = pts * pts;  // the diagonal block
+        for (const int j : structure_.dense_cols(depth_, i))
+          b += pts * tree_->node(depth_, j).size();
+        return 8.0 * b;
+      });
+    }
     for (const auto& [i, j] : structure_.inadmissible_pairs(d))
       t_producer[d][{i, j}] = t_asm[i];
   }
@@ -592,6 +619,14 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
         dep(child_basis(2 * j), t);
         dep(child_basis(2 * j + 1), t);
       }
+      note(t, [this, level, i] {
+        const Level& ld = levels_[level];
+        double b = 0.0;  // U and V factors in current coordinates
+        for (const int j : structure_.admissible_cols(level, i))
+          b += static_cast<double>(ld.size[i] + ld.size[j]) *
+               ry_[level].at({i, j}).rows();
+        return 8.0 * b;
+      });
       t_plr[i] = t;
     }
 
@@ -605,6 +640,10 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
         dep(t_producer[level].at({k, k}), t);
         for (const int j : structure_.dense_cols(level, k))
           dep(t_producer[level].at({k, j}), t);
+        note(t, [&w, level, k] {
+          const Matrix& p = w.fill_p[level][k];
+          return 8.0 * static_cast<double>(p.rows()) * p.cols();
+        });
         t_fill[level][k] = t;
       }
     }
@@ -627,6 +666,10 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           dep(t_producer[level].at({i, k}), t);
         }
       }
+      note(t, [this, level, i] {
+        const double s = levels_[level].size[i];
+        return 8.0 * s * s;  // the square orthonormal basis Q
+      });
       t_basis[level][i] = t;
     }
 
@@ -647,6 +690,15 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
       }
       for (const int j : structure_.admissible_cols(level, i))
         dep(t_basis[level][j], t);
+      note(t, [this, level, i] {
+        const Level& ld = levels_[level];
+        double b = static_cast<double>(ld.size[i]) * ld.size[i];
+        for (const int j : structure_.dense_cols(level, i))
+          b += static_cast<double>(ld.size[i]) * ld.size[j];
+        for (const int j : structure_.admissible_cols(level, i))
+          b += static_cast<double>(ld.rank[i]) * ld.rank[j];
+        return 8.0 * b;
+      });
       t_project[level][i] = t;
     }
 
@@ -657,6 +709,16 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           g.add_task([this, level, k] { body_eliminate(level, k); },
                      "eliminate", k, level);
       dep(t_project[level][k], t);
+      note(t, [this, level, k] {
+        const Level& ld = levels_[level];
+        const double nr = ld.size[k] - ld.rank[k];
+        // The factored diagonal (RR + its RS/SR strips) plus the solved
+        // redundant row strips of every dense neighbor.
+        double b = nr * ld.size[k] + static_cast<double>(ld.rank[k]) * nr;
+        for (const int j : structure_.dense_cols(level, k))
+          b += nr * ld.size[j];
+        return 8.0 * b;
+      });
       t_elim[level][k] = t;
     }
 
@@ -668,6 +730,14 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           [this, level, k] { body_col_solve(level, k); }, "col_solve", k, level);
       dep(t_elim[level][k], t);
       for (const int i : structure_.dense_rows(level, k)) dep(t_elim[level][i], t);
+      note(t, [this, level, k] {
+        const Level& ld = levels_[level];
+        const double nr = ld.size[k] - ld.rank[k];
+        double b = 0.0;  // the solved redundant column strips
+        for (const int i : structure_.dense_rows(level, k))
+          b += static_cast<double>(ld.size[i]) * nr;
+        return 8.0 * b;
+      });
       t_col[level][k] = t;
     }
 
@@ -679,6 +749,10 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           "schur", i, level);
       dep(t_project[level][i], t);
       for (const int k : schur_k_list(level, i, j)) dep(t_col[level][k], t);
+      note(t, [this, level, i, j] {
+        const Level& ld = levels_[level];
+        return 8.0 * static_cast<double>(ld.rank[i]) * ld.rank[j];
+      });
       t_schur[level][{i, j}] = t;
     };
     for (const auto& [i, j] : structure_.inadmissible_pairs(level))
@@ -708,6 +782,14 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
       for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci)
         for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj)
           dep(t_schur[level].at({ci, cj}), t);
+      note(t, [this, level, pi, pj] {
+        const Level& ld = levels_[level];
+        // The merged parent block: what actually crosses subtree boundaries
+        // on the way up the process tree.
+        return 8.0 *
+               static_cast<double>(ld.rank[2 * pi] + ld.rank[2 * pi + 1]) *
+               (ld.rank[2 * pj] + ld.rank[2 * pj + 1]);
+      });
       t_producer[level - 1][{pi, pj}] = t;
     }
   }
@@ -773,6 +855,9 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     stats_.setup_seconds += setup;
   }
   if (opt_.record_tasks) {
+    // The noted payload formulas can only be evaluated now: they read the
+    // skeleton ranks and block sizes the execution just determined.
+    for (const auto& [t, bytes] : payloads) g.set_out_bytes(t, bytes());
     stats_.dag = g.record();
     stats_.exec = std::move(ex);
   }

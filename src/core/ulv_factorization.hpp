@@ -73,6 +73,25 @@ class UlvFactorization {
     return levels_[level].rank[lid];
   }
 
+  /// Execution statistics of the most recent DAG-executed solve on this
+  /// factorization (worker lanes, per-task spans, executed/stolen counters —
+  /// the same ExecStats the factorization's own execution reports). Empty
+  /// until a solve ran under the TaskDag solve executor; solves that fall
+  /// back to the inline level sweep (PhaseLoops, or a solve submitted onto
+  /// its own pool's worker) do not touch it. Concurrent solves overwrite it
+  /// last-writer-wins — it is a diagnostic surface, not a per-solve result;
+  /// SolveHandle::stats() snapshots it at solve completion. When the
+  /// H2_SOLVE_TRACE environment variable names a file, every DAG solve also
+  /// rewrites it with the trace CSV (TaskGraph::write_trace_csv format).
+  [[nodiscard]] ExecStats last_solve_stats() const;
+
+  /// Number of DAG-executed solves completed on this factorization — bumped
+  /// exactly when last_solve_stats() changes. Snapshot it around a solve to
+  /// tell whether THAT solve produced a new trace (a solve that fell back
+  /// to the inline sweep does not): the facade's SolveHandle::stats uses
+  /// this to avoid presenting a stale sibling trace as its own.
+  [[nodiscard]] std::uint64_t solve_stats_generation() const;
+
   /// The solve DAG recorded at factorization time (empty unless Parallel
   /// mode with the TaskDag solve executor and depth > 0 — Sequential mode
   /// always sweeps, like its factorization). The first half is the
@@ -204,6 +223,11 @@ class UlvFactorization {
   mutable std::unique_ptr<ThreadPool> solve_pool_;
 
   UlvStats stats_;
+  /// Trace of the most recent DAG solve (see last_solve_stats()) and its
+  /// completion count; guarded by stats_mutex_ because concurrent solves
+  /// may finish at once.
+  mutable ExecStats last_solve_stats_;
+  mutable std::uint64_t solve_stats_gen_ = 0;
   mutable std::mutex stats_mutex_;
 };
 

@@ -7,6 +7,7 @@
 #include "core/ulv_factorization.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/env.hpp"
 
 namespace h2 {
 
@@ -380,7 +381,31 @@ void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
     for (const TaskId v : solve_dag_.successors[u]) g.add_dependency(u, v);
   for (std::size_t t = 0; t < solve_dag_.priority.size(); ++t)
     g.set_priority(static_cast<TaskId>(t), solve_dag_.priority[t]);
-  g.execute(pool);
+  ExecStats ex = g.execute(pool);
+  // Surface what the execution measured instead of discarding it: the
+  // H2_SOLVE_TRACE hook mirrors the factorization's fig13 trace (rewritten
+  // per solve — point it at a per-run path when batching), and
+  // last_solve_stats() keeps the most recent trace for programmatic access.
+  const std::string trace_path =
+      env::get_string("H2_SOLVE_TRACE", std::string());
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    // The CSV write shares the lock so concurrent solves finishing at once
+    // cannot interleave (truncate-while-writing) on one trace file.
+    if (!trace_path.empty()) TaskGraph::write_trace_csv(ex, trace_path);
+    last_solve_stats_ = std::move(ex);
+    ++solve_stats_gen_;
+  }
+}
+
+ExecStats UlvFactorization::last_solve_stats() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return last_solve_stats_;
+}
+
+std::uint64_t UlvFactorization::solve_stats_generation() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return solve_stats_gen_;
 }
 
 void UlvFactorization::solve(MatrixView b) const {

@@ -1,0 +1,58 @@
+#include "dist/rank_map.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace h2 {
+
+RankMap::RankMap(int depth, int n_ranks) : depth_(depth), n_ranks_(n_ranks) {
+  if (depth < 0)
+    throw std::invalid_argument("RankMap: depth must be >= 0 (got " +
+                                std::to_string(depth) + ")");
+  if (n_ranks < 1)
+    throw std::invalid_argument("RankMap: need at least one rank (got " +
+                                std::to_string(n_ranks) + ")");
+  // Shallowest level with >= n_ranks clusters, clamped to the leaf level
+  // (beyond that there is nothing left to split — surplus ranks idle).
+  int level = 0;
+  while (level < depth && (1 << level) < n_ranks) ++level;
+  split_level_ = level;
+}
+
+int RankMap::rank_of(int level, int lid) const {
+  if (level < 0 || level > depth_ || lid < 0 || lid >= (1 << level))
+    throw std::invalid_argument("RankMap: cluster (" + std::to_string(level) +
+                                ", " + std::to_string(lid) +
+                                ") is outside the tree");
+  if (level < split_level_) return 0;  // replicated top of the process tree
+  const long subtree = lid >> (level - split_level_);
+  const long n_subtrees = 1L << split_level_;
+  // Contiguous block deal: subtrees [r * S / P, (r+1) * S / P) go to rank r.
+  // With S >= P every rank gets at least one subtree; with S < P (more ranks
+  // than leaves) the map hits only every (P / S)-th rank and the rest idle.
+  return static_cast<int>(subtree * n_ranks_ / n_subtrees);
+}
+
+std::vector<int> RankMap::subtree_owners() const {
+  std::vector<int> owners(static_cast<std::size_t>(1) << split_level_);
+  for (int lid = 0; lid < static_cast<int>(owners.size()); ++lid)
+    owners[static_cast<std::size_t>(lid)] = rank_of(split_level_, lid);
+  return owners;
+}
+
+std::vector<int> RankMap::task_ranks(const DagRecord& rec) const {
+  std::vector<int> ranks(static_cast<std::size_t>(rec.n_tasks()), -1);
+  for (int t = 0; t < rec.n_tasks(); ++t) {
+    const TaskMeta& m = rec.meta[static_cast<std::size_t>(t)];
+    if (m.level < 0) continue;  // untagged: leave the scheduler free
+    // Clamp levels beyond the recorded tree (defensive; factorization DAGs
+    // only carry levels in [0, depth]).
+    const int level = m.level > depth_ ? depth_ : m.level;
+    const int lid = m.owner < 0 ? 0 : m.owner;
+    ranks[static_cast<std::size_t>(t)] =
+        lid < (1 << level) ? rank_of(level, lid) : 0;
+  }
+  return ranks;
+}
+
+}  // namespace h2

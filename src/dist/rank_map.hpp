@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace h2 {
+
+/// Subtree-partition owner map for a full binary cluster tree: the paper's
+/// process-tree layout (Fig. 8) as a pure function from (level, lid) to an
+/// MPI-style rank in [0, n_ranks).
+///
+/// The tree is cut at the *split level* — the shallowest level with at least
+/// as many clusters as ranks, clamped to the leaf level — and the split-level
+/// clusters are dealt to ranks in contiguous runs, so each rank owns a set of
+/// adjacent subtrees (adjacent in lid order means adjacent in the reordered
+/// point range — contiguous data, like a 1-D block distribution of the
+/// unknowns). Every cluster below the split level belongs to the rank of its
+/// split-level ancestor; every cluster above it (the redundant top of the
+/// process tree, which the paper replicates on all ranks) is charged to rank
+/// 0 — replicated compute advances in lockstep on every rank, so its
+/// wall-clock contribution is one rank's serial time, which pinning to a
+/// single rank models exactly.
+///
+/// More ranks than leaves is handled gracefully: the split level clamps to
+/// the leaf level, each leaf still gets exactly one owner, and the surplus
+/// ranks simply idle (owners cover a subset of [0, n_ranks)).
+class RankMap {
+ public:
+  /// Map for a tree with leaf level `depth` (root = level 0) on `n_ranks`
+  /// ranks. Throws std::invalid_argument when depth < 0 or n_ranks < 1.
+  RankMap(int depth, int n_ranks);
+
+  /// Leaf level of the mapped tree (root = 0).
+  [[nodiscard]] int depth() const { return depth_; }
+  /// Number of ranks the tree is partitioned over.
+  [[nodiscard]] int n_ranks() const { return n_ranks_; }
+
+  /// The level the tree is cut at: ceil(log2(n_ranks)) clamped to [0, depth].
+  /// Levels above it are replicated (rank 0), levels at or below it are
+  /// owned by the rank of their split-level ancestor.
+  [[nodiscard]] int split_level() const { return split_level_; }
+
+  /// Owning rank of cluster (level, lid); lid in [0, 2^level).
+  [[nodiscard]] int rank_of(int level, int lid) const;
+
+  /// Owning rank of every split-level subtree, in lid order — a
+  /// non-decreasing sequence (the contiguity the tests pin down).
+  [[nodiscard]] std::vector<int> subtree_owners() const;
+
+  /// Owning rank per task of a recorded DAG, through the task's
+  /// (owner, level) metadata: the vector ScheduleInput::owner consumes, so
+  /// the scheduling simulator pins every task to the rank the distributed
+  /// model charges. Tasks without level metadata (level < 0) come back -1
+  /// (unpinned).
+  [[nodiscard]] std::vector<int> task_ranks(const DagRecord& rec) const;
+
+ private:
+  int depth_ = 0;
+  int n_ranks_ = 1;
+  int split_level_ = 0;
+};
+
+}  // namespace h2

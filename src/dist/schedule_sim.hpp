@@ -53,7 +53,7 @@ struct ScheduleInput {
 
 /// Result of one simulated execution.
 struct ScheduleResult {
-  double makespan = 0.0;
+  double makespan = 0.0;  ///< wall-clock of the simulated schedule
   /// Sum of task durations, overhead excluded (the "green" time).
   double total_work = 0.0;
   std::vector<double> start;   ///< per-task start time

@@ -15,13 +15,13 @@ ScheduleInput UlvDistModel::replay_input() const {
   // edge structure (fill→basis→project→eliminate per block row, schur→merge
   // toward the parent, merge→fill across levels), so simulated schedules
   // overlap phases and levels exactly where the real execution may.
-  if (!stats->dag.empty() &&
-      stats->exec.records.size() == stats->dag.meta.size()) {
+  if (has_recorded_dag()) {
     const int n = stats->dag.n_tasks();
     in.durations.assign(n, 0.0);
     for (const TaskRecord& r : stats->exec.records)
       if (r.id >= 0 && r.id < n) in.durations[r.id] = r.duration();
     in.successors = stats->dag.successors;
+    in.out_bytes = stats->dag.out_bytes;  // empty when none were recorded
     return in;
   }
   if (stats->tasks.empty()) return in;
@@ -57,6 +57,19 @@ ScheduleInput UlvDistModel::replay_input() const {
     prev_level = rec.level;
     prev_kind = rec.kind;
   }
+  return in;
+}
+
+bool UlvDistModel::has_recorded_dag() const {
+  return stats != nullptr && !stats->dag.empty() &&
+         stats->exec.records.size() == stats->dag.meta.size();
+}
+
+ScheduleInput UlvDistModel::distributed_input(int p) const {
+  ScheduleInput in = replay_input();
+  if (!has_recorded_dag() || structure == nullptr) return in;
+  const RankMap map(structure->depth(), std::max(1, p));
+  in.owner = map.task_ranks(stats->dag);
   return in;
 }
 
@@ -102,7 +115,16 @@ double UlvDistModel::comm_seconds(int p, const CommModel& comm) const {
   return total;
 }
 
-double UlvDistModel::time(int p, const CommModel& comm) const {
+double UlvDistModel::time(int p, const CommModel& comm,
+                          CommCharging charging) const {
+  if (charging == CommCharging::EdgeCharged && has_recorded_dag() &&
+      structure != nullptr) {
+    // The rank map pins every task to its subtree owner and list_schedule
+    // charges comm.cost(producer payload) on every edge whose endpoints
+    // land on different ranks — at p = 1 there are none, so this equals
+    // shared_memory_time(1) exactly.
+    return list_schedule(distributed_input(p), std::max(1, p), comm).makespan;
+  }
   return shared_memory_time(p) + comm_seconds(p, comm);
 }
 

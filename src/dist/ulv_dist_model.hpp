@@ -1,10 +1,28 @@
 #pragma once
 
 #include "core/ulv_options.hpp"
+#include "dist/rank_map.hpp"
 #include "dist/schedule_sim.hpp"
 #include "hmatrix/block_structure.hpp"
 
 namespace h2 {
+
+/// How UlvDistModel::time charges communication on p ranks.
+enum class CommCharging {
+  /// Charge the alpha-beta CommModel on every CROSS-RANK DAG EDGE of the
+  /// recorded factorization DAG (message size = the producer task's recorded
+  /// block payload), with every task pinned to its RankMap owner — the same
+  /// subtree-partition process tree the paper distributes over. This is the
+  /// default: one mechanism (the recorded DAG + the rank map) behind both
+  /// the shared-memory Fig. 11 replay and the distributed Fig. 16 curve.
+  EdgeCharged,
+  /// The pre-rank-map closed-form term: per-level split-communicator
+  /// Allgather costs (ceil(log2 q) latencies + beta times the surviving
+  /// skeleton payload) added on top of the free-placement compute schedule.
+  /// Kept as the ablation — it knows level sizes but not which edges
+  /// actually cross ranks.
+  Analytic,
+};
 
 /// Performance model of the dependency-free ULV factorization on p workers,
 /// built from one *measured* serial run (`UlvOptions::record_tasks`).
@@ -19,15 +37,12 @@ namespace h2 {
 ///    static structure needs no dynamic dependency tracking.
 ///  - Fig. 12 (leaf size): smaller leaves mean more block rows per phase,
 ///    i.e. wider phase groups in the replayed DAG.
-///  - Fig. 16 (distributed strong scaling): `time(p, comm)` adds the
-///    process-tree communication of the paper's distributed design — after
-///    each level's elimination the surviving skeleton blocks are
-///    all-gathered inside split communicators before the merged parent
-///    level proceeds (redundant upper levels). Each level transition costs
-///    ceil(log2(q)) alpha-latencies plus beta times the level's skeleton
-///    payload, where q = min(p, block rows at the level): above the level
-///    where p exceeds the cluster count the work is replicated and the
-///    communicator stops growing.
+///  - Fig. 16 (distributed strong scaling): `time(p, comm)` replays the SAME
+///    recorded DAG with every task pinned to its RankMap rank (subtree
+///    partition, replicated top levels) and the alpha-beta CommModel charged
+///    on every edge whose endpoints live on different ranks
+///    (CommCharging::EdgeCharged, the default); the pre-rank-map analytic
+///    per-level Allgather term survives as CommCharging::Analytic.
 ///
 /// Aggregate-initializable: `UlvDistModel{&f.stats(), &h.structure()}`.
 struct UlvDistModel {
@@ -44,22 +59,46 @@ struct UlvDistModel {
   /// zero-duration barrier tasks.
   [[nodiscard]] ScheduleInput replay_input() const;
 
+  /// replay_input() made rank-aware for p ranks: every task pinned to its
+  /// RankMap owner (ScheduleInput::owner — the same pinning contract every
+  /// simulator consumer uses) and carrying the block payload the
+  /// factorization recorded per task (ScheduleInput::out_bytes), so
+  /// list_schedule charges the CommModel on exactly the cross-rank edges.
+  /// Requires the real recorded DAG; with only the flat fallback log (no
+  /// per-task owner/level/payload) the input comes back unpinned, equal to
+  /// replay_input().
+  [[nodiscard]] ScheduleInput distributed_input(int p) const;
+
+  /// Whether a real recorded DAG backs this model (TaskDag executor with
+  /// record_tasks). EdgeCharged charging needs this AND a non-null
+  /// `structure` (the rank map reads the tree depth from it); when either
+  /// is missing, time() silently falls back to Analytic and
+  /// distributed_input() comes back unpinned.
+  [[nodiscard]] bool has_recorded_dag() const;
+
   /// Predicted factorization time on p shared-memory cores (no
   /// communication, no runtime overhead) — the Fig. 11 "OUR CODE" curve.
   [[nodiscard]] double shared_memory_time(int p) const;
 
-  /// Predicted factorization time on p distributed ranks: the replayed
-  /// compute schedule plus the per-level split-communicator Allgathers —
-  /// the Fig. 16 ULV curve. With p = 1 no communication is charged.
-  [[nodiscard]] double time(int p, const CommModel& comm) const;
+  /// Predicted factorization time on p distributed ranks — the Fig. 16 ULV
+  /// curve. EdgeCharged (default) replays the rank-pinned DAG through
+  /// list_schedule with the alpha-beta model on cross-rank edges; Analytic
+  /// adds the closed-form per-level Allgather term to the free-placement
+  /// schedule instead. With p = 1 neither mode charges any communication,
+  /// and EdgeCharged equals shared_memory_time(1) exactly (the CI sanity
+  /// gate). Without a recorded DAG, EdgeCharged falls back to Analytic.
+  [[nodiscard]] double time(int p, const CommModel& comm,
+                            CommCharging charging =
+                                CommCharging::EdgeCharged) const;
 
-  /// Communication seconds charged by time(p, comm) on top of the compute
-  /// schedule (0 for p <= 1).
+  /// Communication seconds charged by the ANALYTIC mode on top of the
+  /// compute schedule (0 for p <= 1).
   [[nodiscard]] double comm_seconds(int p, const CommModel& comm) const;
 
   /// Bytes of skeleton data surviving `level`'s elimination: for each
   /// cluster, its rank^2 skeleton block replicated across the diagonal,
   /// dense-neighbor, and admissible couplings that the merge re-assembles.
+  /// (The Analytic mode's per-level Allgather payload.)
   [[nodiscard]] double level_bytes(int level) const;
 };
 

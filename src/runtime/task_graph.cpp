@@ -62,7 +62,14 @@ TaskId TaskGraph::add_task(std::function<void()> fn, std::string label,
   successors_.emplace_back();
   n_predecessors_.push_back(0);
   priority_.push_back(0.0);
+  out_bytes_.push_back(0.0);
   return id;
+}
+
+void TaskGraph::set_out_bytes(TaskId id, double bytes) {
+  assert(id >= 0 && id < n_tasks());
+  out_bytes_[id] = bytes;
+  out_bytes_set_ = true;
 }
 
 void TaskGraph::set_priority(TaskId id, double priority) {

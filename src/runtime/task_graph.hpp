@@ -76,6 +76,12 @@ struct DagRecord {
   /// Per-task scheduling priorities at execution time (empty when none were
   /// set). Replayers can hand these straight back to a scheduler.
   std::vector<double> priority;
+  /// Per-task output payload in bytes — the data a consumer on another rank
+  /// would have to receive over an edge from this task. Empty when the
+  /// producer never recorded payloads (TaskGraph::set_out_bytes), mirroring
+  /// the `priority` contract, so replayers branch on .empty() rather than
+  /// charging phantom zero-byte messages as if they were measured.
+  std::vector<double> out_bytes;
 
   [[nodiscard]] int n_tasks() const { return static_cast<int>(meta.size()); }
   [[nodiscard]] bool empty() const { return meta.empty(); }
@@ -118,6 +124,14 @@ class TaskGraph {
   /// priority first, so the highest sits on top of the worker's LIFO deque.
   void set_priority(TaskId id, double priority);
 
+  /// Output payload of one task in bytes (what a cross-rank consumer of its
+  /// result would receive). Purely descriptive — execution ignores it; it is
+  /// exported by record() for the dist-layer simulator, which charges the
+  /// alpha-beta CommModel on cross-rank DAG edges. May be called after
+  /// execute(): payloads (skeleton ranks) are often only known once the
+  /// numerics ran.
+  void set_out_bytes(TaskId id, double bytes);
+
   /// Set every task's priority to its bottom level — the length (in tasks)
   /// of the longest dependency chain hanging off it, i.e. the critical-path
   /// distance to the DAG's end. Computed by bottom_levels() on unit
@@ -139,14 +153,17 @@ class TaskGraph {
   }
   [[nodiscard]] const std::vector<TaskMeta>& meta() const { return meta_; }
 
-  /// Copy out the callable-free structure (metadata + edges + priorities).
-  /// `priority` is exported only when a policy actually assigned one
-  /// (set_priority / set_critical_path_priorities); under the default
+  /// Copy out the callable-free structure (metadata + edges + priorities +
+  /// payloads). `priority` is exported only when a policy actually assigned
+  /// one (set_priority / set_critical_path_priorities); under the default
   /// "none" policy it is empty — per DagRecord's contract — so replayers
-  /// branch on .empty() instead of misreading placeholder zeros.
+  /// branch on .empty() instead of misreading placeholder zeros. `out_bytes`
+  /// follows the same contract: empty unless set_out_bytes recorded any.
   [[nodiscard]] DagRecord record() const {
     const bool assigned = std::string_view(priority_policy_) != "none";
-    return {meta_, successors_, assigned ? priority_ : std::vector<double>{}};
+    return {meta_, successors_,
+            assigned ? priority_ : std::vector<double>{},
+            out_bytes_set_ ? out_bytes_ : std::vector<double>{}};
   }
 
   /// Execute the whole DAG on `pool`'s workers — the pool is borrowed, not
@@ -175,7 +192,9 @@ class TaskGraph {
   std::vector<std::vector<TaskId>> successors_;
   std::vector<int> n_predecessors_;
   std::vector<double> priority_;
+  std::vector<double> out_bytes_;
   const char* priority_policy_ = "none";  // "none" / "custom" / "critical-path"
+  bool out_bytes_set_ = false;
   bool executed_ = false;
 };
 

@@ -186,6 +186,43 @@ TEST(ApiSolver, MultiRhsSolveMatchesUlvCore) {
       rel_error_fro(x_facade, solver.tree().from_tree_order(x_core)), 0.0);
 }
 
+TEST(ApiSolver, SolveStatsSurfaceThroughFacadeAndHandle) {
+  const PointOrderProblem p = make_point_order_problem(384, 2);
+  // n_workers > 0: the facade owns ONE private pool, so direct solves run
+  // the DAG on it — and async solves pipelining on the GLOBAL pool still
+  // execute their inner DAG on the private one, so the handle's stats
+  // snapshot is populated too.
+  const Solver solver = Solver::build(
+      p.pts, *p.kernel, SolverOptions{}.with_tol(1e-8).with_workers(2));
+  EXPECT_TRUE(solver.last_solve_stats().records.empty()) << "before any solve";
+
+  const Matrix x = solver.solve(p.b);
+  const ExecStats direct = solver.last_solve_stats();
+  ASSERT_FALSE(direct.records.empty());
+  EXPECT_EQ(direct.n_workers, 2);
+  std::uint64_t executed = 0;
+  for (const auto& w : direct.worker_counters) executed += w.executed;
+  EXPECT_EQ(executed, direct.records.size());
+
+  SolveHandle handle = solver.solve_async(p.b);
+  const Matrix x_async = handle.get();
+  EXPECT_EQ(rel_error_fro(x_async, x), 0.0);
+  EXPECT_FALSE(handle.stats().records.empty());
+  EXPECT_EQ(handle.stats().n_workers, 2);
+
+  // With the DEFAULT pool wiring an async solve pipelines on the global
+  // pool and runs its sweep inline — no new DAG trace. The handle must
+  // come back EMPTY rather than re-serving the direct solve's stale trace
+  // as its own.
+  const Solver global_solver =
+      Solver::build(p.pts, *p.kernel, SolverOptions{}.with_tol(1e-8));
+  (void)global_solver.solve(p.b);  // populates last_solve_stats
+  ASSERT_FALSE(global_solver.last_solve_stats().records.empty());
+  SolveHandle inline_handle = global_solver.solve_async(p.b);
+  (void)inline_handle.get();
+  EXPECT_TRUE(inline_handle.stats().records.empty());
+}
+
 TEST(ApiSolver, OptionsValidation) {
   const PointOrderProblem p = make_point_order_problem(64, 1);
   EXPECT_THROW(Solver::build(p.pts, *p.kernel, SolverOptions{}.with_tol(0.0)),

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "blr/blr_matrix.hpp"
+#include "dist/rank_map.hpp"
 #include "dist/schedule_sim.hpp"
 #include "dist/ulv_dist_model.hpp"
 #include "test_helpers.hpp"
@@ -118,7 +122,7 @@ TEST(UlvDistModel, SharedMemoryModelScalesAndSaturates) {
   EXPECT_LE(t64, t4);
 }
 
-TEST(UlvDistModel, DistributedModelMonotoneAndCommBounded) {
+TEST(UlvDistModel, AnalyticChargingMonotoneAndCommBounded) {
   const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
   H2BuildOptions ho;
   ho.admissibility = {Admissibility::Strong, 0.75};
@@ -131,12 +135,232 @@ TEST(UlvDistModel, DistributedModelMonotoneAndCommBounded) {
   const UlvFactorization f(h, u);
   UlvDistModel model{&f.stats(), &h.structure()};
   const CommModel cm;
-  const double t1 = model.time(1, cm);
-  const double t4 = model.time(4, cm);
-  const double t16 = model.time(16, cm);
+  // The analytic ablation (free placement + closed-form Allgather term) is
+  // monotone in p by construction; the edge-charged default saturates on
+  // small problems instead — covered by the EdgeCharged tests below.
+  const double t1 = model.time(1, cm, CommCharging::Analytic);
+  const double t4 = model.time(4, cm, CommCharging::Analytic);
+  const double t16 = model.time(16, cm, CommCharging::Analytic);
   EXPECT_GT(t1, 0.0);
   EXPECT_LT(t4, t1);
   EXPECT_LE(t16, t4 + 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// RankMap: the subtree-partition owner map (paper Fig. 8 process tree).
+// ---------------------------------------------------------------------------
+
+TEST(RankMap, SubtreePartitionIsContiguousBalancedAndComplete) {
+  for (const int depth : {3, 5, 6}) {
+    for (const int p : {1, 2, 3, 4, 5, 8}) {
+      const RankMap map(depth, p);
+      ASSERT_LE(p, 1 << map.split_level()) << "split level too shallow";
+      const std::vector<int> owners = map.subtree_owners();
+      // Contiguous: owners are non-decreasing in lid order, so each rank's
+      // subtrees (and hence its reordered point range) form one run.
+      EXPECT_TRUE(std::is_sorted(owners.begin(), owners.end()))
+          << "depth " << depth << " p " << p;
+      // Complete: every rank owns at least one subtree when there are
+      // enough, and nobody outside [0, p) owns anything.
+      std::set<int> distinct(owners.begin(), owners.end());
+      EXPECT_EQ(static_cast<int>(distinct.size()), p);
+      EXPECT_EQ(*distinct.begin(), 0);
+      EXPECT_EQ(*distinct.rbegin(), p - 1);
+      // Balanced: subtree counts per rank differ by at most one.
+      std::vector<int> count(static_cast<std::size_t>(p), 0);
+      for (const int r : owners) ++count[static_cast<std::size_t>(r)];
+      const auto [lo, hi] = std::minmax_element(count.begin(), count.end());
+      EXPECT_LE(*hi - *lo, 1) << "depth " << depth << " p " << p;
+    }
+  }
+}
+
+TEST(RankMap, CoversAllLeavesAndInheritsSubtreeOwner) {
+  const int depth = 5;
+  const RankMap map(depth, 4);
+  for (int lid = 0; lid < (1 << depth); ++lid) {
+    const int r = map.rank_of(depth, lid);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 4);
+    // A leaf's owner is its split-level ancestor's owner.
+    EXPECT_EQ(r, map.rank_of(map.split_level(),
+                             lid >> (depth - map.split_level())));
+  }
+  // Top levels (above the split) are the replicated part of the process
+  // tree: charged to rank 0.
+  for (int level = 0; level < map.split_level(); ++level)
+    for (int lid = 0; lid < (1 << level); ++lid)
+      EXPECT_EQ(map.rank_of(level, lid), 0);
+}
+
+TEST(RankMap, MoreRanksThanSubtreesDegradesGracefully) {
+  // depth 3 -> 8 leaves, 32 ranks: the split clamps to the leaf level, each
+  // leaf keeps exactly one owner in [0, 32), and surplus ranks simply idle.
+  const RankMap map(3, 32);
+  EXPECT_EQ(map.split_level(), 3);
+  std::set<int> used;
+  for (int lid = 0; lid < 8; ++lid) {
+    const int r = map.rank_of(3, lid);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 32);
+    EXPECT_TRUE(used.insert(r).second) << "leaf " << lid << " shares rank " << r;
+  }
+  EXPECT_EQ(static_cast<int>(used.size()), 8);  // one distinct owner per leaf
+  EXPECT_EQ(map.rank_of(0, 0), 0);
+}
+
+TEST(RankMap, RejectsNonsense) {
+  EXPECT_THROW(RankMap(-1, 4), std::invalid_argument);
+  EXPECT_THROW(RankMap(3, 0), std::invalid_argument);
+  const RankMap map(3, 2);
+  EXPECT_THROW(static_cast<void>(map.rank_of(2, 4)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(map.rank_of(-1, 0)), std::invalid_argument);
+  // Below the leaf level is outside the tree too, even when lid < 2^level.
+  EXPECT_THROW(static_cast<void>(map.rank_of(4, 0)), std::invalid_argument);
+}
+
+TEST(RankMap, TaskRanksFollowOwnerLevelMetadata) {
+  DagRecord rec;
+  rec.meta = {{"fill", 0, 2}, {"merge", 1, 1}, {"top", 0, 0}, {"misc", 3, -1}};
+  rec.successors.resize(4);
+  const RankMap map(2, 4);  // split level 2: level-2 lids map 1:1 to ranks
+  const std::vector<int> ranks = map.task_ranks(rec);
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_EQ(ranks[0], map.rank_of(2, 0));
+  EXPECT_EQ(ranks[1], 0);  // level 1 < split level: replicated top
+  EXPECT_EQ(ranks[2], 0);
+  EXPECT_EQ(ranks[3], -1);  // untagged tasks stay unpinned
+}
+
+// ---------------------------------------------------------------------------
+// Edge-charged distributed model: the recorded DAG + the rank map.
+// ---------------------------------------------------------------------------
+
+/// One recorded factorization shared by the EdgeCharged tests (the
+/// factorization is the expensive part; the model calls are cheap).
+class EdgeChargedModel : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    problem_ = new Problem(
+        make_problem(512, 32, Geometry::Cube, KernelKind::Laplace));
+    H2BuildOptions ho;
+    ho.admissibility = {Admissibility::Strong, 0.75};
+    ho.tol = 1e-8;
+    h_ = new H2Matrix(*problem_->tree, *problem_->kernel, ho);
+    UlvOptions u;
+    u.tol = 1e-6;
+    u.record_tasks = true;
+    u.n_workers = 1;  // contention-free durations for the replay model
+    f_ = new UlvFactorization(*h_, u);
+  }
+  static void TearDownTestSuite() {
+    delete f_;
+    delete h_;
+    delete problem_;
+    f_ = nullptr;
+    h_ = nullptr;
+    problem_ = nullptr;
+  }
+  [[nodiscard]] static UlvDistModel model() {
+    return UlvDistModel{&f_->stats(), &h_->structure()};
+  }
+
+  static Problem* problem_;
+  static H2Matrix* h_;
+  static UlvFactorization* f_;
+};
+
+Problem* EdgeChargedModel::problem_ = nullptr;
+H2Matrix* EdgeChargedModel::h_ = nullptr;
+UlvFactorization* EdgeChargedModel::f_ = nullptr;
+
+TEST_F(EdgeChargedModel, RecordsPerTaskPayloads) {
+  const UlvDistModel m = model();
+  ASSERT_TRUE(m.has_recorded_dag());
+  const DagRecord& dag = f_->stats().dag;
+  ASSERT_EQ(static_cast<int>(dag.out_bytes.size()), dag.n_tasks());
+  double total = 0.0;
+  for (int t = 0; t < dag.n_tasks(); ++t) {
+    EXPECT_GE(dag.out_bytes[t], 0.0);
+    total += dag.out_bytes[t];
+    // Every merge ships the merged parent block up the process tree.
+    if (dag.meta[t].label == "merge") {
+      EXPECT_GT(dag.out_bytes[t], 0.0);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(EdgeChargedModel, DistributedInputPinsEveryTaskToItsRank) {
+  const UlvDistModel m = model();
+  for (const int p : {1, 4}) {
+    const ScheduleInput in = m.distributed_input(p);
+    ASSERT_EQ(in.owner.size(), in.durations.size());
+    for (const int r : in.owner) {
+      EXPECT_GE(r, 0);  // every factorization task carries (owner, level)
+      EXPECT_LT(r, p);
+    }
+    if (p > 1) {
+      const std::set<int> used(in.owner.begin(), in.owner.end());
+      EXPECT_EQ(static_cast<int>(used.size()), p) << "idle rank at p=" << p;
+    }
+  }
+}
+
+TEST_F(EdgeChargedModel, PEqualsOneMatchesTheNoCommReplayExactly) {
+  // The CI sanity gate: at p = 1 no edge crosses ranks, so the edge-charged
+  // time IS the no-comm replay time — bitwise, not approximately.
+  const UlvDistModel m = model();
+  const CommModel cm;  // real latencies: must still not be charged at p = 1
+  EXPECT_EQ(m.time(1, cm, CommCharging::EdgeCharged),
+            m.shared_memory_time(1));
+}
+
+TEST_F(EdgeChargedModel, EdgeChargingDominatesAnalyticWithoutInvertingOrder) {
+  const UlvDistModel m = model();
+  const CommModel cm;
+  std::vector<double> edge_times;
+  for (const int p : {1, 2, 4, 8}) {
+    const double edge = m.time(p, cm, CommCharging::EdgeCharged);
+    const double analytic = m.time(p, cm, CommCharging::Analytic);
+    // At fixed N the honest charging can only add cost over the optimistic
+    // one — rank-map pinning restricts the free placement and every
+    // cross-rank edge pays the alpha-beta model, so the edge-vs-analytic
+    // ordering must never invert at any p (a config must not look FASTER
+    // under the more faithful model).
+    EXPECT_GE(edge, analytic - 1e-12) << "p=" << p;
+    edge_times.push_back(edge);
+  }
+  // Strong scaling still exists in the regime where ranks split real work
+  // (depth 4 -> 16 leaves): p = 2 and p = 4 beat their predecessors. Beyond
+  // that the pinned model is ALLOWED to saturate — that realism (replicated
+  // top levels serialize on rank 0, comm grows with the split) is exactly
+  // what the analytic term could not predict.
+  EXPECT_LT(edge_times[1], edge_times[0]);
+  EXPECT_LT(edge_times[2], edge_times[1]);
+}
+
+TEST(UlvDistModelFallback, FlatLogHasNoRecordedDagAndFallsBackToAnalytic) {
+  // PhaseLoops + record_tasks: only the flat log exists, so EdgeCharged
+  // silently degrades to the analytic charging instead of pretending it
+  // knows edges it never saw.
+  const Problem p = make_problem(256, 32, Geometry::Cube, KernelKind::Laplace);
+  H2BuildOptions ho;
+  ho.admissibility = {Admissibility::Strong, 0.75};
+  ho.tol = 1e-8;
+  const H2Matrix h(*p.tree, *p.kernel, ho);
+  UlvOptions u;
+  u.tol = 1e-6;
+  u.record_tasks = true;
+  u.executor = UlvExecutor::PhaseLoops;
+  const UlvFactorization f(h, u);
+  UlvDistModel model{&f.stats(), &h.structure()};
+  EXPECT_FALSE(model.has_recorded_dag());
+  const CommModel cm;
+  for (const int ranks : {1, 4}) {
+    EXPECT_EQ(model.time(ranks, cm, CommCharging::EdgeCharged),
+              model.time(ranks, cm, CommCharging::Analytic));
+  }
 }
 
 TEST(BlrDistReplay, DagReplayShowsLimitedScaling) {

@@ -69,7 +69,7 @@ TEST(Refine, MultipleRhs) {
   EXPECT_LT(rel, 1e-8);
 }
 
-TEST(UlvDistModel, MoreRanksNeverSlower) {
+TEST(UlvDistModel, MoreRanksNeverSlowerUnderAnalyticCharging) {
   const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
   H2BuildOptions ho;
   ho.admissibility = {Admissibility::Strong, 0.75};
@@ -84,9 +84,14 @@ TEST(UlvDistModel, MoreRanksNeverSlower) {
   CommModel zero_comm;
   zero_comm.alpha = 0.0;
   zero_comm.beta = 0.0;
+  // The ANALYTIC mode is a free-placement schedule plus a closed-form comm
+  // term: with zero comm, more ranks can never hurt. The edge-charged mode
+  // deliberately does NOT have this property — rank-map pinning serializes
+  // the replicated top levels on rank 0, so small problems saturate (the
+  // realistic behavior dist_test pins down separately).
   double prev = 1e300;
   for (const int pcount : {1, 2, 4, 8, 16, 32, 64}) {
-    const double t = model.time(pcount, zero_comm);
+    const double t = model.time(pcount, zero_comm, CommCharging::Analytic);
     EXPECT_LE(t, prev + 1e-12) << "p=" << pcount;
     prev = t;
   }

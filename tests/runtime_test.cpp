@@ -250,6 +250,17 @@ TEST(TaskGraph, RecordExportsMetaAndEdges) {
   // No priority policy ran: the record advertises that as an EMPTY vector,
   // not a full-length all-zeros one a replayer could mistake for real ranks.
   EXPECT_TRUE(rec.priority.empty());
+  // Same contract for payloads: nothing recorded -> empty, so the dist
+  // model never charges phantom zero-byte messages as if measured.
+  EXPECT_TRUE(rec.out_bytes.empty());
+
+  // Once any payload is set (legal even after execute(): sizes are often
+  // only known post-run), the full-length vector is exported.
+  g.set_out_bytes(b, 4096.0);
+  const DagRecord with_bytes = g.record();
+  ASSERT_EQ(with_bytes.out_bytes.size(), 2u);
+  EXPECT_DOUBLE_EQ(with_bytes.out_bytes[a], 0.0);
+  EXPECT_DOUBLE_EQ(with_bytes.out_bytes[b], 4096.0);
 }
 
 TEST(ThreadPool, CurrentIdentifiesOwningPool) {
