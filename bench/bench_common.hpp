@@ -10,9 +10,14 @@
 /// size-sweep benches (fig9, fig10, table1) extend or trim their size list
 /// via size_sweep(). The CI bench-smoke job runs at 0.5.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "blr/blr_matrix.hpp"
 #include "core/ulv_factorization.hpp"
@@ -27,6 +32,24 @@
 #include "util/timer.hpp"
 
 namespace h2::bench {
+
+/// Process-lifetime peak resident set in bytes (0 where unsupported). RSS
+/// is monotone, so per-run deltas need the runs ordered small-to-large; the
+/// benches print it as corroboration for the block-bytes counter, which IS
+/// windowed per factorization.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 inline double scale() {
   const double s = env::get_double("H2_BENCH_SCALE", 1.0);
@@ -68,6 +91,10 @@ struct SolverConfig {
   double tol = 1e-6;
   int max_rank = 80;  ///< skeleton-rank cap (the paper's ranks saturate ~180)
   double kernel_pv = 1e-4;
+  /// Free factorization temporaries (fill-ins, generators, skeleton blocks)
+  /// as their last DAG consumer retires. Default on; the memory benches flip
+  /// it off once to measure the retain-everything peak they compare against.
+  bool release_blocks = true;
 };
 
 struct UlvRun {
@@ -108,6 +135,7 @@ inline UlvRun run_ulv(const PointCloud& pts, const Kernel& kernel,
   uo.max_rank = cfg.max_rank;
   uo.record_tasks = record_tasks;
   uo.n_workers = n_workers;
+  uo.release_blocks = cfg.release_blocks;
   flops::reset();
   Timer tf;
   const UlvFactorization f(a, uo);

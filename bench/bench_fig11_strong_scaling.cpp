@@ -92,11 +92,17 @@ int main() {
     std::size_t cross = 0;
     double bytes = 0.0;
     for (std::size_t u = 0; u < pinned.successors.size(); ++u)
-      for (const int v : pinned.successors[u])
+      for (const int v : pinned.successors[u]) {
+        // Edges into control sinks (the release tasks) synchronize without
+        // moving data — skip them, as list_schedule's charging does.
+        if (static_cast<std::size_t>(v) < pinned.control_sink.size() &&
+            pinned.control_sink[static_cast<std::size_t>(v)] != 0)
+          continue;
         if (pinned.owner[u] != pinned.owner[static_cast<std::size_t>(v)]) {
           ++cross;
           if (u < pinned.out_bytes.size()) bytes += pinned.out_bytes[u];
         }
+      }
     tr.add_row({std::to_string(p),
                 Table::fmt(ulv_model.shared_memory_time(p), 4),
                 Table::fmt(list_schedule(pinned, p, none).makespan, 4),

@@ -3,16 +3,43 @@
 /// accuracy targets. The paper's shape: BLR is faster at small N despite its
 /// O(N^2) complexity (the ULV does more flops); the ULV's O(N) slope takes
 /// over as N grows.
+///
+/// Also the repo's memory bench: each ULV row reports the factorization's
+/// peak and final live block-bytes (the blockmem window ExecStats carries)
+/// plus the process peak RSS, and at the largest N a retain-everything rerun
+/// (release_blocks=false) measures what the DAG's release tasks save. The
+/// peak/retain ratio must stay <= 0.5 — the bench exits nonzero otherwise —
+/// and every cell lands in BENCH_MEMORY.json, the trajectory seed the CI
+/// bench-smoke job diffs against (>20% peak block-bytes growth fails).
+#include <fstream>
+
 #include "bench_common.hpp"
+
+namespace {
+
+struct MemCell {
+  double tol;
+  int n;
+  bool release;
+  std::uint64_t peak_block_bytes;
+  std::uint64_t final_block_bytes;
+  std::uint64_t peak_rss_bytes;
+  double factor_seconds;
+};
+
+}  // namespace
 
 int main() {
   using namespace h2;
   using namespace h2::bench;
 
   const std::vector<int> sizes = size_sweep({1024, 2048, 4096});
+  std::vector<MemCell> mem;
+  double release_peak = 0.0, retain_peak = 0.0;  // largest N, tol=1e-6
 
   for (const double tol : {1e-6, 1e-8}) {
-    Table t({"N", "ULV time (s)", "ULV resid", "BLR time (s)", "BLR resid",
+    Table t({"N", "ULV time (s)", "ULV resid", "ULV peak blk MB",
+             "ULV final blk MB", "peak RSS MB", "BLR time (s)", "BLR resid",
              "ULV t(2N)/t(N)", "BLR t(2N)/t(N)"});
     std::vector<double> xs, ulv_ts, blr_ts;
     for (const int n : sizes) {
@@ -23,6 +50,9 @@ int main() {
       cfg.tol = tol;
       cfg.max_rank = tol <= 1e-8 ? 120 : 80;
       const UlvRun ulv = run_ulv(pts, kernel, cfg);
+      mem.push_back({tol, n, true, ulv.stats.peak_block_bytes,
+                     ulv.stats.final_block_bytes, peak_rss_bytes(),
+                     ulv.factor_seconds});
       SolverConfig bcfg = cfg;
       bcfg.leaf = blr_tile_for(n);
       const BlrRun blr = run_blr(pts, kernel, bcfg);
@@ -32,10 +62,26 @@ int main() {
       const std::size_t k = xs.size();
       t.add_row({std::to_string(n), Table::fmt(ulv.factor_seconds, 3),
                  Table::fmt_sci(ulv.residual, 1),
+                 Table::fmt(ulv.stats.peak_block_bytes / 1e6, 1),
+                 Table::fmt(ulv.stats.final_block_bytes / 1e6, 1),
+                 Table::fmt(peak_rss_bytes() / 1e6, 1),
                  Table::fmt(blr.factor_seconds, 3),
                  Table::fmt_sci(blr.residual, 1),
                  k > 1 ? Table::fmt(ulv_ts[k - 1] / ulv_ts[k - 2], 2) : "-",
                  k > 1 ? Table::fmt(blr_ts[k - 1] / blr_ts[k - 2], 2) : "-"});
+      if (tol == 1e-6 && n == sizes.back()) {
+        release_peak = static_cast<double>(ulv.stats.peak_block_bytes);
+        // Retain-everything ablation: same problem, release tasks off. Its
+        // peak is the old behaviour — every fill-in, generator and skeleton
+        // block of every level alive at once until the destructor.
+        SolverConfig keep = cfg;
+        keep.release_blocks = false;
+        const UlvRun held = run_ulv(pts, kernel, keep);
+        retain_peak = static_cast<double>(held.stats.peak_block_bytes);
+        mem.push_back({tol, n, false, held.stats.peak_block_bytes,
+                       held.stats.final_block_bytes, peak_rss_bytes(),
+                       held.factor_seconds});
+      }
     }
     char title[128];
     std::snprintf(title, sizeof(title),
@@ -49,6 +95,37 @@ int main() {
         fitted_exponent(xs, ulv_ts), fitted_exponent(xs, blr_ts));
     std::printf("paper shape check: BLR faster at small N on one core -> %s\n",
                 blr_ts.front() < ulv_ts.front() ? "yes" : "no");
+  }
+
+  // JSON trajectory seed: one self-contained record per (tol, N) cell, plus
+  // the retain ablation. CI reruns this bench at H2_BENCH_SCALE=0.5 and
+  // fails if any matching cell's peak_block_bytes grew >20% over this file.
+  std::ofstream js("BENCH_MEMORY.json");
+  js << "{\n  \"bench\": \"fig9_memory\",\n  \"executor\": \"dag\",\n"
+     << "  \"workers\": 1,\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    const MemCell& c = mem[i];
+    js << "    {\"tol\": " << c.tol << ", \"n\": " << c.n
+       << ", \"release\": " << (c.release ? "true" : "false")
+       << ", \"peak_block_bytes\": " << c.peak_block_bytes
+       << ", \"final_block_bytes\": " << c.final_block_bytes
+       << ", \"peak_rss_bytes\": " << c.peak_rss_bytes
+       << ", \"factor_seconds\": " << c.factor_seconds << "}"
+       << (i + 1 < mem.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  std::printf("(JSON trajectory written to BENCH_MEMORY.json)\n");
+
+  const double ratio = retain_peak > 0.0 ? release_peak / retain_peak : 1.0;
+  std::printf(
+      "memory check at N=%d, tol=1e-06: peak block-bytes %.1f MB with release "
+      "tasks\nvs %.1f MB retaining everything -> ratio %.2f (acceptance: "
+      "<= 0.50)\n",
+      sizes.back(), release_peak / 1e6, retain_peak / 1e6, ratio);
+  if (ratio > 0.5) {
+    std::printf("FAILED: release-task peak exceeds 50%% of the "
+                "retain-everything peak\n");
+    return 1;
   }
   return 0;
 }

@@ -13,6 +13,9 @@ namespace {
 struct Obs {
   double flops;
   int rank;
+  /// Peak live factorization block-bytes (blockmem window); 0 for the BLR
+  /// and HODLR baselines, whose storage isn't block-tracked.
+  double peak_bytes = 0.0;
 };
 
 }  // namespace
@@ -54,7 +57,8 @@ int main() {
       uo.max_rank = cap;
       flops::reset();
       const UlvFactorization f(a, uo);
-      return Obs{static_cast<double>(flops::total()), f.stats().max_rank};
+      return Obs{static_cast<double>(flops::total()), f.stats().max_rank,
+                 static_cast<double>(f.stats().peak_block_bytes)};
     };
     data[1].push_back(ulv_run(Admissibility::Weak, (n + 1) / 2, -1));  // BLR^2
     {  // HODLR: independent bases, weak admissibility, recursive SMW.
@@ -76,18 +80,22 @@ int main() {
   const char* paper[5] = {"O(N^2)", "O(N^1.8)", "O(N log^2 N) / grows 3-D",
                           "O(N) 1-D / grows 3-D", "O(N)"};
   Table t({"structure", "flops @ each N", "max rank @ each N",
-           "fitted O(N^x)", "paper"});
+           "peak blk MB @ each N", "fitted O(N^x)", "paper"});
   for (int s = 0; s < 5; ++s) {
-    std::string fl, rk;
+    std::string fl, rk, pk;
     std::vector<double> ys;
     for (const Obs& o : data[s]) {
       fl += Table::fmt_sci(o.flops, 1) + " ";
       rk += std::to_string(o.rank) + " ";
+      pk += o.peak_bytes > 0.0 ? Table::fmt(o.peak_bytes / 1e6, 1) + " " : "- ";
       ys.push_back(o.flops);
     }
-    t.add_row({names[s], fl, rk, Table::fmt(fitted_exponent(xs, ys), 2),
+    t.add_row({names[s], fl, rk, pk, Table::fmt(fitted_exponent(xs, ys), 2),
                paper[s]});
   }
+  std::printf("peak RSS over the whole sweep: %.1f MB (block-tracked peaks "
+              "above are\nper-factorization windows)\n",
+              peak_rss_bytes() / 1e6);
   emit(t, "Table I: empirical complexity of the low-rank structures",
        "table1_complexity");
   std::printf(

@@ -6,12 +6,22 @@
 #include <functional>
 #include <memory>
 
+#include "runtime/block_pool.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
 namespace h2 {
+
+namespace {
+
+std::uint64_t bytes_of(const Matrix& m) {
+  return 8ull * static_cast<std::uint64_t>(m.rows()) *
+         static_cast<std::uint64_t>(m.cols());
+}
+
+}  // namespace
 
 /// Transient per-level storage of the factorization pipeline. Every map is
 /// fully keyed by prepare() before any body runs, so concurrent bodies only
@@ -45,6 +55,72 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
   if (solve_dag_mode()) build_solve_plan();
 }
 
+UlvFactorization::~UlvFactorization() {
+  blockmem::discharge(tracked_bytes_.load(std::memory_order_relaxed));
+}
+
+void UlvFactorization::track_store(Matrix& dst, Matrix&& fresh) {
+  const std::uint64_t before = bytes_of(dst), after = bytes_of(fresh);
+  dst = std::move(fresh);
+  if (after >= before) {
+    blockmem::charge(after - before);
+    tracked_bytes_.fetch_add(after - before, std::memory_order_relaxed);
+  } else {
+    blockmem::discharge(before - after);
+    tracked_bytes_.fetch_sub(before - after, std::memory_order_relaxed);
+  }
+}
+
+void UlvFactorization::track_take(Matrix& dst, Matrix& src) {
+  const std::uint64_t overwritten = bytes_of(dst);
+  blockmem::discharge(overwritten);
+  tracked_bytes_.fetch_sub(overwritten, std::memory_order_relaxed);
+  dst = std::move(src);
+  src = Matrix();  // moved-from shape is unspecified; make the slot empty
+}
+
+void UlvFactorization::track_drop(Matrix& m) {
+  const std::uint64_t b = bytes_of(m);
+  if (b == 0) {
+    m = Matrix();
+    return;
+  }
+  blockmem::discharge(b);
+  tracked_bytes_.fetch_sub(b, std::memory_order_relaxed);
+  Matrix dead = std::move(m);
+  m = Matrix();
+  BlockPool::global().recycle(std::move(dead));
+}
+
+void UlvFactorization::release_ry_row(int level, int i) {
+  for (const int j : structure_.admissible_cols(level, i))
+    track_drop(ry_[level].at({i, j}));
+}
+
+void UlvFactorization::release_skel_block(int level, int i, int j) {
+  track_drop(skel_[level].at({i, j}));
+}
+
+void UlvFactorization::release_level_remnants(Workspace& w, int level) {
+  // The per-resource releases emptied the VALUES; this retires the node
+  // storage (and any value the fine-grained path does not cover, e.g. the
+  // already-emptied cur/ucur/vcur slots). Callers order it after every task
+  // touching the level, so clearing the maps is exclusive.
+  for (auto& [key, m] : w.cur[level]) track_drop(m);
+  w.cur[level].clear();
+  for (auto& [key, m] : w.ucur[level]) track_drop(m);
+  w.ucur[level].clear();
+  for (auto& [key, m] : w.vcur[level]) track_drop(m);
+  w.vcur[level].clear();
+  for (Matrix& m : w.fill_p[level]) track_drop(m);
+  w.fill_p[level].clear();
+  w.fill_p[level].shrink_to_fit();
+  for (auto& [key, m] : ry_[level]) track_drop(m);
+  ry_[level].clear();
+  for (auto& [key, m] : skel_[level]) track_drop(m);
+  skel_[level].clear();
+}
+
 void UlvFactorization::record_task(int level, const char* kind, int owner,
                                    double seconds) {
   if (!opt_.record_tasks) return;
@@ -60,8 +136,8 @@ void UlvFactorization::add_dropped(double fro2) {
 
 void UlvFactorization::for_indices(int n,
                                    const std::function<void(int)>& fn) const {
-  if (opt_.use_threads && opt_.mode == UlvMode::Parallel) {
-    parallel_for(0, n, fn, opt_.pool);
+  if (loops_pool_ != nullptr) {
+    parallel_for(0, n, fn, loops_pool_);
   } else {
     for (int i = 0; i < n; ++i) fn(i);
   }
@@ -141,9 +217,9 @@ void UlvFactorization::prepare(Workspace& w) {
 // unordered structure.
 
 void UlvFactorization::body_assemble(Workspace& w, int level, int i) {
-  w.cur[level].at({i, i}) = w.a->dense_block(i, i);
+  track_store(w.cur[level].at({i, i}), Matrix(w.a->dense_block(i, i)));
   for (const int j : structure_.dense_cols(level, i))
-    w.cur[level].at({i, j}) = w.a->dense_block(i, j);
+    track_store(w.cur[level].at({i, j}), Matrix(w.a->dense_block(i, j)));
 }
 
 void UlvFactorization::body_ry(Workspace& w, int level, int i) {
@@ -156,7 +232,7 @@ void UlvFactorization::body_ry(Workspace& w, int level, int i) {
     Matrix vq = lr.v;
     std::vector<double> tau;
     householder_qr(vq, tau);
-    ry_[level].at({i, j}) = extract_r(vq);  // rank x rank upper triangle
+    track_store(ry_[level].at({i, j}), extract_r(vq));  // rank x rank R
   }
 }
 
@@ -165,8 +241,8 @@ void UlvFactorization::body_project_lr(Workspace& w, int level, int i) {
   for (const int j : structure_.admissible_cols(level, i)) {
     const LowRank& lr = w.a->lowrank_block(level, i, j);
     if (lr.rank() == 0) continue;
-    w.ucur[level].at({i, j}) = current_rows(level, i, lr.u);
-    w.vcur[level].at({i, j}) = current_rows(level, j, lr.v);
+    track_store(w.ucur[level].at({i, j}), current_rows(level, i, lr.u));
+    track_store(w.vcur[level].at({i, j}), current_rows(level, j, lr.v));
   }
   record_task(level, "project_lr", i, t.seconds());
 }
@@ -201,8 +277,8 @@ void UlvFactorization::body_fill(Workspace& w, int level, int k) {
   std::vector<double> tau;
   householder_qr(rt, tau);
   const Matrix rtr = extract_r(rt);  // r_T x r_T
-  w.fill_p[level][k] =
-      matmul(qr.q.block(0, 0, nk, qr.rank), rtr, Trans::No, Trans::Yes);
+  track_store(w.fill_p[level][k],
+              matmul(qr.q.block(0, 0, nk, qr.rank), rtr, Trans::No, Trans::Yes));
   record_task(level, "fill", k, t.seconds());
 }
 
@@ -240,13 +316,13 @@ void UlvFactorization::body_basis(Workspace& w, int level, int i) {
     }
   }
   if (parts.empty()) {
-    ld.q[i] = Matrix::identity(ld.size[i]);
+    track_store(ld.q[i], Matrix::identity(ld.size[i]));
     ld.rank[i] = 0;
   } else {
     std::vector<ConstMatrixView> views(parts.begin(), parts.end());
     const Matrix concat = hconcat(views);
     PivotedQr qr = pivoted_qr(concat, opt_.tol, opt_.max_rank);
-    ld.q[i] = std::move(qr.q);
+    track_store(ld.q[i], std::move(qr.q));
     ld.rank[i] = qr.rank;
   }
   stats_.ranks[level][i] = ld.rank[i];
@@ -254,20 +330,20 @@ void UlvFactorization::body_basis(Workspace& w, int level, int i) {
 }
 
 void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
-  // Eqs. 8-9: project row i's blocks onto the bases, then free the row's
-  // inputs — the projection is their last consumer (fill and basis of this
-  // row are ordered before it in both executors).
+  // Eqs. 8-9: project row i's blocks onto the bases, then (release_blocks)
+  // free the row's inputs — the projection is their last consumer (fill and
+  // basis of this row are ordered before it in both executors).
   const Timer t;
   Level& ld = levels_[level];
   auto project_dense = [&](int j) {
     const Matrix tmp =
         matmul(ld.q[i], w.cur[level].at({i, j}), Trans::Yes, Trans::No);
-    ld.dense.at({i, j}) = matmul(tmp, ld.q[j]);
+    track_store(ld.dense.at({i, j}), matmul(tmp, ld.q[j]));
   };
   project_dense(i);
   for (const int j : structure_.dense_cols(level, i)) project_dense(j);
   for (const int j : structure_.admissible_cols(level, i)) {
-    Matrix s(ld.rank[i], ld.rank[j]);
+    Matrix s;
     const Matrix& u = w.ucur[level].at({i, j});
     if (!u.empty() && ld.rank[i] > 0 && ld.rank[j] > 0) {
       const Matrix su = matmul(ld.q[i].block(0, 0, ld.size[i], ld.rank[i]), u,
@@ -275,15 +351,19 @@ void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
       const Matrix sv = matmul(ld.q[j].block(0, 0, ld.size[j], ld.rank[j]),
                                w.vcur[level].at({i, j}), Trans::Yes, Trans::No);
       s = matmul(su, sv, Trans::No, Trans::Yes);
+    } else {
+      s = BlockPool::global().make(ld.rank[i], ld.rank[j]);
     }
-    skel_[level].at({i, j}) = std::move(s);
+    track_store(skel_[level].at({i, j}), std::move(s));
   }
-  w.cur[level].at({i, i}) = Matrix();
-  for (const int j : structure_.dense_cols(level, i))
-    w.cur[level].at({i, j}) = Matrix();
-  for (const int j : structure_.admissible_cols(level, i)) {
-    w.ucur[level].at({i, j}) = Matrix();
-    w.vcur[level].at({i, j}) = Matrix();
+  if (opt_.release_blocks) {
+    track_drop(w.cur[level].at({i, i}));
+    for (const int j : structure_.dense_cols(level, i))
+      track_drop(w.cur[level].at({i, j}));
+    for (const int j : structure_.admissible_cols(level, i)) {
+      track_drop(w.ucur[level].at({i, j}));
+      track_drop(w.vcur[level].at({i, j}));
+    }
   }
   record_task(level, "project", i, t.seconds());
 }
@@ -410,7 +490,7 @@ void UlvFactorization::body_merge(Workspace& w, int level, int pi, int pj) {
   Level& ld = levels_[level];
   const int rows = ld.rank[2 * pi] + ld.rank[2 * pi + 1];
   const int cols = ld.rank[2 * pj] + ld.rank[2 * pj + 1];
-  Matrix m(rows, cols);
+  Matrix m = BlockPool::global().make(rows, cols);
   int r0 = 0;
   for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci) {
     int c0 = 0;
@@ -428,13 +508,13 @@ void UlvFactorization::body_merge(Workspace& w, int level, int pi, int pj) {
     }
     r0 += ld.rank[ci];
   }
-  w.cur[level - 1].at({pi, pj}) = std::move(m);
+  track_store(w.cur[level - 1].at({pi, pj}), std::move(m));
   record_task(level - 1, "merge", pi, t.seconds());
 }
 
 void UlvFactorization::body_top(Workspace& w) {
   const Timer t;
-  top_lu_ = std::move(w.cur[0].at({0, 0}));
+  track_take(top_lu_, w.cur[0].at({0, 0}));
   getrf(top_lu_, top_piv_);
   record_task(0, "top", 0, t.seconds());
 }
@@ -451,7 +531,7 @@ void UlvFactorization::factorize(const H2Matrix& a) {
     ry_.resize(1);
     stats_.ranks.resize(1);
     const Timer t;
-    top_lu_ = a.dense_block(0, 0);
+    track_store(top_lu_, Matrix(a.dense_block(0, 0)));
     getrf(top_lu_, top_piv_);
     record_task(0, "top", 0, t.seconds());
     return;
@@ -464,6 +544,26 @@ void UlvFactorization::factorize(const H2Matrix& a) {
 }
 
 void UlvFactorization::factorize_loops(const H2Matrix& a) {
+  // Resolve the phase-loop pool from the SAME options the TaskDag executor
+  // dispatches on — an explicit pool, then n_workers, then (only for the
+  // deprecated use_threads alias) the process-wide pool. The historical
+  // dispatch keyed on use_threads alone, so `executor = PhaseLoops` with
+  // n_workers > 0 or a supplied pool silently ran serial.
+  std::unique_ptr<ThreadPool> owned;
+  if (opt_.mode == UlvMode::Parallel) {
+    ThreadPool* pool = opt_.pool;
+    if (pool == nullptr && opt_.n_workers > 0) {
+      owned = std::make_unique<ThreadPool>(opt_.n_workers, opt_.queue_policy());
+      pool = owned.get();
+    } else if (pool == nullptr && opt_.use_threads) {
+      pool = &ThreadPool::global();
+    }
+    // parallel_for blocks its caller; draining into our own pool could
+    // deadlock it (same guard as factorize_dag).
+    if (pool != nullptr && pool != ThreadPool::current()) loops_pool_ = pool;
+  }
+
+  blockmem::reset_peak();  // measurement window, like TaskGraph::execute
   Workspace w;
   w.a = &a;
   prepare(w);
@@ -473,6 +573,9 @@ void UlvFactorization::factorize_loops(const H2Matrix& a) {
               [&](int i) { body_assemble(w, depth_, i); });
   for (int level = depth_; level >= 1; --level) process_level(w, level);
   body_top(w);
+  loops_pool_ = nullptr;
+  stats_.peak_block_bytes = blockmem::peak();
+  stats_.final_block_bytes = blockmem::live();
 }
 
 void UlvFactorization::process_level(Workspace& w, int level) {
@@ -488,6 +591,15 @@ void UlvFactorization::process_level(Workspace& w, int level) {
 
   // ---- Phase B2 (Eqs. 27-28): shared basis per cluster.
   for_indices(nb, [&](int i) { body_basis(w, level, i); });
+
+  // ry_[level]'s readers are the basis phases of levels >= level (deeper
+  // levels ran first in the depth -> 1 sweep, this one just finished) and
+  // fill_p[level]'s are this level's bases alone — both are dead here, the
+  // bulk-synchronous mirror of the DAG's release tasks.
+  if (opt_.release_blocks) {
+    for (int i = 0; i < nb; ++i) release_ry_row(level, i);
+    for (Matrix& p : w.fill_p[level]) track_drop(p);
+  }
 
   // ---- Phase P1 (Eqs. 8-9): project everything onto the bases.
   for_indices(nb, [&](int i) { body_project_row(w, level, i); });
@@ -508,6 +620,9 @@ void UlvFactorization::process_level(Workspace& w, int level) {
   for_indices(static_cast<int>(parent_pairs.size()), [&](int p) {
     body_merge(w, level, parent_pairs[p].first, parent_pairs[p].second);
   });
+
+  // The merges were the skeletons' last consumers; the level is complete.
+  if (opt_.release_blocks) release_level_remnants(w, level);
 }
 
 void UlvFactorization::eliminate_parallel(int level) {
@@ -554,12 +669,27 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
 
   // Per-task output payloads for the distributed model (DagRecord::out_bytes,
   // charged by the alpha-beta CommModel on cross-rank edges). The byte counts
-  // depend on the skeleton ranks the numerics choose, so each site notes a
-  // deferred formula over the persistent factor state (levels_, ry_, fill_p)
-  // that is evaluated once execution finished, right before g.record().
-  std::vector<std::pair<TaskId, std::function<double()>>> payloads;
-  const auto note = [&](TaskId t, std::function<double()> bytes) {
-    if (opt_.record_tasks) payloads.emplace_back(t, std::move(bytes));
+  // depend on the skeleton ranks the numerics choose, so each task captures
+  // its formula at FREE time — inside its own closure, right after its body
+  // runs: its outputs exist and nothing it measures has been released yet
+  // (release tasks depend on it). The pre-release design evaluated the
+  // formulas post-hoc over retained state (ry_, fill_p) — exactly the blocks
+  // the release tasks now free mid-run.
+  const auto add_noted = [&](std::function<void()> body,
+                             std::function<double()> bytes, const char* label,
+                             int owner, int level) {
+    if (!opt_.record_tasks)
+      return g.add_task(std::move(body), label, owner, level);
+    // The closure needs its own TaskId, which add_task only mints afterwards.
+    auto id = std::make_shared<TaskId>(-1);
+    const TaskId t = g.add_task(
+        [body = std::move(body), bytes = std::move(bytes), &g, id] {
+          body();
+          g.set_out_bytes(*id, bytes());
+        },
+        label, owner, level);
+    *id = t;
+    return t;
   };
 
   // ry factors have no predecessors; every level's basis phase may consume
@@ -568,16 +698,17 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     const int nb = tree_->n_clusters(l);
     t_ry[l].resize(nb);
     for (int i = 0; i < nb; ++i) {
-      t_ry[l][i] =
-          g.add_task([this, &w, l, i] { body_ry(w, l, i); }, "ry", i, l);
-      note(t_ry[l][i], [this, l, i] {
-        double b = 0.0;  // rank x rank R factor per admissible partner
-        for (const int j : structure_.admissible_cols(l, i)) {
-          const Matrix& r = ry_[l].at({i, j});
-          b += static_cast<double>(r.rows()) * r.cols();
-        }
-        return 8.0 * b;
-      });
+      t_ry[l][i] = add_noted(
+          [this, &w, l, i] { body_ry(w, l, i); },
+          [this, l, i] {
+            double b = 0.0;  // rank x rank R factor per admissible partner
+            for (const int j : structure_.admissible_cols(l, i)) {
+              const Matrix& r = ry_[l].at({i, j});
+              b += static_cast<double>(r.rows()) * r.cols();
+            }
+            return 8.0 * b;
+          },
+          "ry", i, l);
     }
   }
 
@@ -586,15 +717,16 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     const int nb = tree_->n_clusters(d);
     std::vector<TaskId> t_asm(nb);
     for (int i = 0; i < nb; ++i) {
-      t_asm[i] = g.add_task([this, &w, i] { body_assemble(w, depth_, i); },
-                            "assemble", i, d);
-      note(t_asm[i], [this, i] {
-        const double pts = tree_->node(depth_, i).size();
-        double b = pts * pts;  // the diagonal block
-        for (const int j : structure_.dense_cols(depth_, i))
-          b += pts * tree_->node(depth_, j).size();
-        return 8.0 * b;
-      });
+      t_asm[i] = add_noted(
+          [this, &w, i] { body_assemble(w, depth_, i); },
+          [this, i] {
+            const double pts = tree_->node(depth_, i).size();
+            double b = pts * pts;  // the diagonal block
+            for (const int j : structure_.dense_cols(depth_, i))
+              b += pts * tree_->node(depth_, j).size();
+            return 8.0 * b;
+          },
+          "assemble", i, d);
     }
     for (const auto& [i, j] : structure_.inadmissible_pairs(d))
       t_producer[d][{i, j}] = t_asm[i];
@@ -610,23 +742,28 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     // P0: needs the subtree bases of row i and of every admissible partner.
     std::vector<TaskId> t_plr(nb);
     for (int i = 0; i < nb; ++i) {
-      const TaskId t = g.add_task(
-          [this, &w, level, i] { body_project_lr(w, level, i); }, "project_lr",
-          i, level);
+      const TaskId t = add_noted(
+          [this, &w, level, i] { body_project_lr(w, level, i); },
+          // Measured off the produced factors themselves ((size_i + size_j) x
+          // rank each): level sizes/ranks are not set yet when this task
+          // finishes, and the ry blocks it used to read get released.
+          [this, &w, level, i] {
+            double b = 0.0;  // U and V factors in current coordinates
+            for (const int j : structure_.admissible_cols(level, i)) {
+              const Matrix& u = w.ucur[level].at({i, j});
+              const Matrix& v = w.vcur[level].at({i, j});
+              b += static_cast<double>(u.rows()) * u.cols() +
+                   static_cast<double>(v.rows()) * v.cols();
+            }
+            return 8.0 * b;
+          },
+          "project_lr", i, level);
       dep(child_basis(2 * i), t);
       dep(child_basis(2 * i + 1), t);
       for (const int j : structure_.admissible_cols(level, i)) {
         dep(child_basis(2 * j), t);
         dep(child_basis(2 * j + 1), t);
       }
-      note(t, [this, level, i] {
-        const Level& ld = levels_[level];
-        double b = 0.0;  // U and V factors in current coordinates
-        for (const int j : structure_.admissible_cols(level, i))
-          b += static_cast<double>(ld.size[i] + ld.size[j]) *
-               ry_[level].at({i, j}).rows();
-        return 8.0 * b;
-      });
       t_plr[i] = t;
     }
 
@@ -635,15 +772,16 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     if (opt_.fillin_augmentation) {
       for (int k = 0; k < nb; ++k) {
         if (structure_.dense_cols(level, k).empty()) continue;
-        const TaskId t = g.add_task(
-            [this, &w, level, k] { body_fill(w, level, k); }, "fill", k, level);
+        const TaskId t = add_noted(
+            [this, &w, level, k] { body_fill(w, level, k); },
+            [&w, level, k] {
+              const Matrix& p = w.fill_p[level][k];
+              return 8.0 * static_cast<double>(p.rows()) * p.cols();
+            },
+            "fill", k, level);
         dep(t_producer[level].at({k, k}), t);
         for (const int j : structure_.dense_cols(level, k))
           dep(t_producer[level].at({k, j}), t);
-        note(t, [&w, level, k] {
-          const Matrix& p = w.fill_p[level][k];
-          return 8.0 * static_cast<double>(p.rows()) * p.cols();
-        });
         t_fill[level][k] = t;
       }
     }
@@ -652,8 +790,13 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     // the ry of this row and of every ancestor's row.
     t_basis[level].resize(nb);
     for (int i = 0; i < nb; ++i) {
-      const TaskId t = g.add_task(
-          [this, &w, level, i] { body_basis(w, level, i); }, "basis", i, level);
+      const TaskId t = add_noted(
+          [this, &w, level, i] { body_basis(w, level, i); },
+          [this, level, i] {
+            const double s = levels_[level].size[i];
+            return 8.0 * s * s;  // the square orthonormal basis Q
+          },
+          "basis", i, level);
       dep(t_plr[i], t);
       dep(child_basis(2 * i), t);
       dep(child_basis(2 * i + 1), t);
@@ -666,10 +809,6 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           dep(t_producer[level].at({i, k}), t);
         }
       }
-      note(t, [this, level, i] {
-        const double s = levels_[level].size[i];
-        return 8.0 * s * s;  // the square orthonormal basis Q
-      });
       t_basis[level][i] = t;
     }
 
@@ -678,9 +817,18 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     // pivot k reads row k before its projection recycles it).
     t_project[level].resize(nb);
     for (int i = 0; i < nb; ++i) {
-      const TaskId t = g.add_task(
-          [this, &w, level, i] { body_project_row(w, level, i); }, "project", i,
-          level);
+      const TaskId t = add_noted(
+          [this, &w, level, i] { body_project_row(w, level, i); },
+          [this, level, i] {
+            const Level& ld = levels_[level];
+            double b = static_cast<double>(ld.size[i]) * ld.size[i];
+            for (const int j : structure_.dense_cols(level, i))
+              b += static_cast<double>(ld.size[i]) * ld.size[j];
+            for (const int j : structure_.admissible_cols(level, i))
+              b += static_cast<double>(ld.rank[i]) * ld.rank[j];
+            return 8.0 * b;
+          },
+          "project", i, level);
       dep(t_basis[level][i], t);
       dep(t_fill[level][i], t);
       dep(t_producer[level].at({i, i}), t);
@@ -690,35 +838,26 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
       }
       for (const int j : structure_.admissible_cols(level, i))
         dep(t_basis[level][j], t);
-      note(t, [this, level, i] {
-        const Level& ld = levels_[level];
-        double b = static_cast<double>(ld.size[i]) * ld.size[i];
-        for (const int j : structure_.dense_cols(level, i))
-          b += static_cast<double>(ld.size[i]) * ld.size[j];
-        for (const int j : structure_.admissible_cols(level, i))
-          b += static_cast<double>(ld.rank[i]) * ld.rank[j];
-        return 8.0 * b;
-      });
       t_project[level][i] = t;
     }
 
     // E1: one independent task per block row — no edges among them.
     t_elim[level].resize(nb);
     for (int k = 0; k < nb; ++k) {
-      const TaskId t =
-          g.add_task([this, level, k] { body_eliminate(level, k); },
-                     "eliminate", k, level);
+      const TaskId t = add_noted(
+          [this, level, k] { body_eliminate(level, k); },
+          [this, level, k] {
+            const Level& ld = levels_[level];
+            const double nr = ld.size[k] - ld.rank[k];
+            // The factored diagonal (RR + its RS/SR strips) plus the solved
+            // redundant row strips of every dense neighbor.
+            double b = nr * ld.size[k] + static_cast<double>(ld.rank[k]) * nr;
+            for (const int j : structure_.dense_cols(level, k))
+              b += nr * ld.size[j];
+            return 8.0 * b;
+          },
+          "eliminate", k, level);
       dep(t_project[level][k], t);
-      note(t, [this, level, k] {
-        const Level& ld = levels_[level];
-        const double nr = ld.size[k] - ld.rank[k];
-        // The factored diagonal (RR + its RS/SR strips) plus the solved
-        // redundant row strips of every dense neighbor.
-        double b = nr * ld.size[k] + static_cast<double>(ld.rank[k]) * nr;
-        for (const int j : structure_.dense_cols(level, k))
-          b += nr * ld.size[j];
-        return 8.0 * b;
-      });
       t_elim[level][k] = t;
     }
 
@@ -726,33 +865,34 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     // neighbors (same-block exclusion, not a data chain).
     t_col[level].resize(nb);
     for (int k = 0; k < nb; ++k) {
-      const TaskId t = g.add_task(
-          [this, level, k] { body_col_solve(level, k); }, "col_solve", k, level);
+      const TaskId t = add_noted(
+          [this, level, k] { body_col_solve(level, k); },
+          [this, level, k] {
+            const Level& ld = levels_[level];
+            const double nr = ld.size[k] - ld.rank[k];
+            double b = 0.0;  // the solved redundant column strips
+            for (const int i : structure_.dense_rows(level, k))
+              b += static_cast<double>(ld.size[i]) * nr;
+            return 8.0 * b;
+          },
+          "col_solve", k, level);
       dep(t_elim[level][k], t);
       for (const int i : structure_.dense_rows(level, k)) dep(t_elim[level][i], t);
-      note(t, [this, level, k] {
-        const Level& ld = levels_[level];
-        const double nr = ld.size[k] - ld.rank[k];
-        double b = 0.0;  // the solved redundant column strips
-        for (const int i : structure_.dense_rows(level, k))
-          b += static_cast<double>(ld.size[i]) * nr;
-        return 8.0 * b;
-      });
       t_col[level][k] = t;
     }
 
     // E3: per stored target; reads the solved strips of every qualifying
     // pivot k, all final once col_solve(k) ran.
     auto emit_schur = [&](int i, int j, bool admissible) {
-      const TaskId t = g.add_task(
+      const TaskId t = add_noted(
           [this, level, i, j, admissible] { body_schur(level, i, j, admissible); },
+          [this, level, i, j] {
+            const Level& ld = levels_[level];
+            return 8.0 * static_cast<double>(ld.rank[i]) * ld.rank[j];
+          },
           "schur", i, level);
       dep(t_project[level][i], t);
       for (const int k : schur_k_list(level, i, j)) dep(t_col[level][k], t);
-      note(t, [this, level, i, j] {
-        const Level& ld = levels_[level];
-        return 8.0 * static_cast<double>(ld.rank[i]) * ld.rank[j];
-      });
       t_schur[level][{i, j}] = t;
     };
     for (const auto& [i, j] : structure_.inadmissible_pairs(level))
@@ -776,20 +916,20 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     // producer the next level's fill/basis/project wait on — and the only
     // cross-level synchronization there is.
     for (const auto& [pi, pj] : structure_.inadmissible_pairs(level - 1)) {
-      const TaskId t = g.add_task(
-          [this, &w, level, pi, pj] { body_merge(w, level, pi, pj); }, "merge",
-          pi, level - 1);
+      const TaskId t = add_noted(
+          [this, &w, level, pi, pj] { body_merge(w, level, pi, pj); },
+          [this, level, pi, pj] {
+            const Level& ld = levels_[level];
+            // The merged parent block: what actually crosses subtree
+            // boundaries on the way up the process tree.
+            return 8.0 *
+                   static_cast<double>(ld.rank[2 * pi] + ld.rank[2 * pi + 1]) *
+                   (ld.rank[2 * pj] + ld.rank[2 * pj + 1]);
+          },
+          "merge", pi, level - 1);
       for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci)
         for (int cj = 2 * pj; cj <= 2 * pj + 1; ++cj)
           dep(t_schur[level].at({ci, cj}), t);
-      note(t, [this, level, pi, pj] {
-        const Level& ld = levels_[level];
-        // The merged parent block: what actually crosses subtree boundaries
-        // on the way up the process tree.
-        return 8.0 *
-               static_cast<double>(ld.rank[2 * pi] + ld.rank[2 * pi + 1]) *
-               (ld.rank[2 * pj] + ld.rank[2 * pj + 1]);
-      });
       t_producer[level - 1][{pi, pj}] = t;
     }
   }
@@ -798,10 +938,79 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
       g.add_task([this, &w] { body_top(w); }, "top", 0, 0);
   dep(t_producer[0].at({0, 0}), t_top);
 
+  // Reference-counted block release: every edge added above is a read of its
+  // producer's output, so a block's consumer count IS its producer's
+  // successor count at this point. A release task depending on the producer
+  // plus a snapshot of those successors therefore fires the moment the last
+  // consumer retires — the TaskGraph's dependency counter is the block's
+  // reference count. This is what bounds peak memory at O(active levels):
+  // without it every ry factor, fill space, and skeleton block of the whole
+  // tree stays live until the factorization ends (the release_blocks=false
+  // ablation, which bench_fig9 baselines against).
+  std::vector<TaskId> releases;
+  if (opt_.release_blocks) {
+    // Per-level release tasks whose drops go through refs into pre-keyed
+    // containers; the level-complete remnant task below clears the
+    // containers themselves, so it must run after these.
+    std::vector<std::vector<TaskId>> level_releases(d + 1);
+    const auto add_release = [&](std::function<void()> fn, int owner, int level,
+                                 TaskId producer) {
+      const std::vector<TaskId> consumers = g.successors()[producer];
+      const TaskId t = g.add_task(std::move(fn), "release", owner, level);
+      g.add_dependency(producer, t);
+      for (const TaskId c : consumers) g.add_dependency(c, t);
+      releases.push_back(t);
+      level_releases[level].push_back(t);
+    };
+    for (int l = 1; l <= d; ++l) {
+      const int nb = tree_->n_clusters(l);
+      // ry factors: last readers are the basis tasks of this level and of
+      // every descendant level (ancestor gathers) — all in the snapshot.
+      for (int i = 0; i < nb; ++i)
+        add_release([this, l, i] { release_ry_row(l, i); }, i, l, t_ry[l][i]);
+      // Fill spaces: read by the basis tasks of their dense neighbors and
+      // anti-ordered against project(k).
+      for (int k = 0; k < nb; ++k)
+        if (t_fill[l][k] >= 0)
+          add_release([this, &w, l, k] { track_drop(w.fill_p[l][k]); }, k, l,
+                      t_fill[l][k]);
+      // Skeleton (SS) blocks of admissible pairs: last writer is the schur
+      // update, last reader the parent merge. (Inadmissible SS parts live in
+      // the dense blocks, which the solve needs — never released.)
+      for (const auto& [i, j] : structure_.admissible_pairs(l))
+        add_release([this, l, i, j] { release_skel_block(l, i, j); }, i, l,
+                    t_schur[l].at({i, j}));
+    }
+    // Level-complete cleanup: once every project of level l (the per-block
+    // cur/ucur/vcur frees), every per-block release of level l (the map
+    // values), and — transitively through the skel releases — every merge
+    // into level l-1 has retired, the level's containers are exclusively
+    // ours to clear.
+    for (int l = 1; l <= d; ++l) {
+      const TaskId t = g.add_task(
+          [this, &w, l] { release_level_remnants(w, l); }, "release_level", 0, l);
+      for (const TaskId p : t_project[l]) g.add_dependency(p, t);
+      for (const TaskId r : level_releases[l]) g.add_dependency(r, t);
+      for (const auto& [key, mt] : t_producer[l - 1]) g.add_dependency(mt, t);
+      releases.push_back(t);
+    }
+  }
+
   // Bottom-level priorities: the same ranking the scheduling simulator
   // list-schedules by, now driving the real executor.
-  if (opt_.priority == UlvPriority::CriticalPath)
+  if (opt_.priority == UlvPriority::CriticalPath) {
     g.set_critical_path_priorities();
+    // Releases preempt compute the moment they fire: a ready release is
+    // microseconds of pointer work that returns megabytes. Left at their
+    // structural rank (sinks: bottom level 1) they would queue behind a
+    // whole level's compute and hold blocks exactly as long as the
+    // no-release ablation does.
+    if (!releases.empty()) {
+      const double top_rank =
+          1.0 + *std::max_element(g.priorities().begin(), g.priorities().end());
+      for (const TaskId t : releases) g.set_priority(t, top_rank);
+    }
+  }
 
   // Execute on the configured pool: the caller's, a private one of
   // n_workers, or the process-wide pool — never one the graph spawns
@@ -854,10 +1063,9 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     stats_.setup_seconds += setup;
   }
+  stats_.peak_block_bytes = ex.peak_block_bytes;
+  stats_.final_block_bytes = ex.live_block_bytes;
   if (opt_.record_tasks) {
-    // The noted payload formulas can only be evaluated now: they read the
-    // skeleton ranks and block sizes the execution just determined.
-    for (const auto& [t, bytes] : payloads) g.set_out_bytes(t, bytes());
     stats_.dag = g.record();
     stats_.exec = std::move(ex);
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -49,6 +50,10 @@ namespace h2 {
 class UlvFactorization {
  public:
   UlvFactorization(const H2Matrix& a, const UlvOptions& opt);
+  /// Discharges the factor's persistent blocks from the process-wide
+  /// blockmem live-byte counter (runtime/block_pool): live bytes track
+  /// blocks that exist, and the factor's cease to with the object.
+  ~UlvFactorization();
 
   /// In-place solve A x = b; b is n x nrhs in TREE ordering (the ordering of
   /// ClusterTree::points(), NOT the caller's original point order — use
@@ -165,8 +170,32 @@ class UlvFactorization {
 
   void record_task(int level, const char* kind, int owner, double seconds);
   void add_dropped(double fro2);
-  /// Serial or pool-parallel loop over [0, n), by options.
+  /// Loop over [0, n): pool-parallel when factorize_loops resolved a pool
+  /// from the executor options (loops_pool_), serial otherwise.
   void for_indices(int n, const std::function<void(int)>& fn) const;
+
+  // ---- Block lifetime (docs/ARCHITECTURE.md "Block lifetime & memory").
+  // Every block stored into factor or workspace state goes through these, so
+  // the blockmem live/peak counters and the per-factorization total stay
+  // exact. All three only assign through the caller's (pre-keyed, stable)
+  // reference — map structure is never mutated during execution.
+  /// Store a freshly built block into a tracked slot (charges its bytes).
+  void track_store(Matrix& dst, Matrix&& fresh);
+  /// Move a block between two tracked slots (net accounting unchanged).
+  void track_take(Matrix& dst, Matrix& src);
+  /// Free a tracked block: discharge its bytes and recycle the storage
+  /// through the BlockPool arena. The slot is left empty.
+  void track_drop(Matrix& m);
+
+  // Per-resource releases, fired by the DAG's release tasks (TaskDag) or at
+  // the equivalent end-of-phase points (PhaseLoops). All gated on
+  // opt_.release_blocks by the callers.
+  void release_ry_row(int level, int i);
+  void release_skel_block(int level, int i, int j);
+  /// Drop whatever the per-resource releases left in `level`'s containers
+  /// (already-empty values, map nodes, the fill_p vector) once the level has
+  /// fully drained — the level-complete remnant cleanup.
+  void release_level_remnants(Workspace& w, int level);
 
   // ---- Solve (ulv_solve.cpp). Like the factorization, the numerics live in
   // per-cluster sbody_* methods — one source of truth consumed by the
@@ -197,6 +226,13 @@ class UlvFactorization {
   BlockStructure structure_;  // copied: the H2Matrix may be discarded
   UlvOptions opt_;
   int depth_ = 0;
+  /// Pool the bulk-synchronous phase loops parallelize on, resolved by
+  /// factorize_loops from executor/pool/n_workers (null = serial). Only
+  /// non-null while factorize_loops runs.
+  ThreadPool* loops_pool_ = nullptr;
+  /// Total tracked block bytes owned by THIS factorization — what the
+  /// destructor discharges from the process-wide blockmem counter.
+  std::atomic<std::uint64_t> tracked_bytes_{0};
 
   std::vector<Level> levels_;  ///< index = level; [0] unused (top is dense)
   /// Admissible skeleton blocks per level (filled during projection, updated

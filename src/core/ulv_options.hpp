@@ -114,6 +114,16 @@ struct UlvOptions {
   /// `executor = solve_executor = PhaseLoops` (no silent behavior left in
   /// the executor dispatch). Prefer `executor`/`n_workers`.
   bool use_threads = false;
+  /// Free every workspace block the moment its last consumer retires — as
+  /// reference-counted release tasks wired into the factorization DAG
+  /// (TaskDag), or as end-of-phase frees at the equivalent points of the
+  /// bulk-synchronous sweep (PhaseLoops) — with freed storage recycled
+  /// through the BlockPool arena. This is what keeps peak factorization
+  /// memory at O(a few active levels) instead of O(whole tree). `false`
+  /// retains every block until the factorization ends: the retain-everything
+  /// ablation the peak-memory bench baselines against. Results are bitwise
+  /// identical either way — releases only ever free dead blocks.
+  bool release_blocks = true;
   /// Accumulate the Frobenius mass of all dropped (non-SS) Schur update
   /// components — the quantity the paper argues is negligible once the bases
   /// contain the fill-ins. Costs extra GEMMs; enable in tests/ablations.
@@ -178,6 +188,14 @@ struct UlvStats {
   double factor_seconds = 0.0;
   double setup_seconds = 0.0;  ///< fills + bases + projections
   std::uint64_t factor_flops = 0;
+  /// High-water mark of tracked block bytes during the factorization
+  /// (blockmem window over the executor's span — both executors fill it),
+  /// and the bytes still live when it finished (the persistent factor:
+  /// projected dense blocks, bases, pivots — what solve() needs). With
+  /// release_blocks the peak stays near the final footprint; without it the
+  /// whole workspace stacks on top.
+  std::uint64_t peak_block_bytes = 0;
+  std::uint64_t final_block_bytes = 0;
   /// Flat per-task timing log (only when record_tasks). Under TaskDag the
   /// same tasks also appear in `exec` with wall-clock spans and in `dag`
   /// with their true edge structure — the flat list stays for consumers

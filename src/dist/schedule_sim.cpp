@@ -81,12 +81,19 @@ ScheduleResult list_schedule(const ScheduleInput& in, int workers,
                : 0.0;
   };
   // Earliest start of task i on worker w: the worker must be free and every
-  // input must have arrived (cross-worker inputs pay the alpha-beta cost).
+  // input must have arrived (cross-worker inputs pay the alpha-beta cost —
+  // unless i is a control sink, whose edges synchronize without moving data).
+  const auto is_control_sink = [&](int i) {
+    return static_cast<std::size_t>(i) < in.control_sink.size() &&
+           in.control_sink[static_cast<std::size_t>(i)] != 0;
+  };
   const auto earliest_start = [&](int i, int w) {
     double t = worker_free[static_cast<std::size_t>(w)];
+    const bool sink = is_control_sink(i);
     for (const int q : preds[i]) {
       const double arrival =
-          res.finish[q] + (res.worker[q] == w ? 0.0 : comm.cost(bytes_of(q)));
+          res.finish[q] +
+          (sink || res.worker[q] == w ? 0.0 : comm.cost(bytes_of(q)));
       t = std::max(t, arrival);
     }
     return t;

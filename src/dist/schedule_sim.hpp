@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace h2 {
@@ -45,6 +46,14 @@ struct ScheduleInput {
   /// 2-D block-cyclic tile owner). Empty or negative entries mean the
   /// scheduler is free to place the task anywhere.
   std::vector<int> owner;
+  /// control_sink[i] != 0 marks task i as pure control flow: its incoming
+  /// edges synchronize but carry no payload, so cross-worker predecessors
+  /// are NOT charged the alpha-beta cost into it. The ULV release tasks are
+  /// the motivating case — a release is a local reference-count decrement
+  /// triggered by its consumers retiring, not a message carrying their
+  /// outputs (those were already charged on the real consumer edges). May
+  /// be shorter than durations (missing entries mean "not a sink").
+  std::vector<std::uint8_t> control_sink;
   /// Runtime overhead added to every task's occupancy (the paper's Fig. 13
   /// "red tasks"); it extends the worker's busy time and the successors'
   /// release time but does not count as useful work in efficiency().

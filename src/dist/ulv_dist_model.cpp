@@ -22,6 +22,16 @@ ScheduleInput UlvDistModel::replay_input() const {
       if (r.id >= 0 && r.id < n) in.durations[r.id] = r.duration();
     in.successors = stats->dag.successors;
     in.out_bytes = stats->dag.out_bytes;  // empty when none were recorded
+    // The factorization's release tasks ("release"/"release_level") are pure
+    // control flow: their edges only say "the last consumer retired, the
+    // blocks may be freed" — no data crosses ranks on them (the consumers'
+    // real outputs were charged on the consumer edges already). Mark them so
+    // list_schedule skips the alpha-beta charge into them.
+    in.control_sink.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i)
+      if (stats->dag.meta[static_cast<std::size_t>(i)].label.rfind(
+              "release", 0) == 0)
+        in.control_sink[static_cast<std::size_t>(i)] = 1;
     return in;
   }
   if (stats->tasks.empty()) return in;

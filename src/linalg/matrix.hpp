@@ -90,6 +90,14 @@ class Matrix {
         data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
     assert(rows >= 0 && cols >= 0);
   }
+  /// Adopt `storage` (size must be rows * cols; its values are the matrix
+  /// entries, column-major) — the recycling hook BlockPool::make builds on.
+  Matrix(int rows, int cols, std::vector<double>&& storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    assert(rows >= 0 && cols >= 0);
+    assert(data_.size() ==
+           static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
 
   static Matrix identity(int n);
   /// Entries i.i.d. uniform in [-1, 1).
@@ -135,6 +143,14 @@ class Matrix {
   void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
   [[nodiscard]] Matrix transposed() const;
+
+  /// Move out the backing storage (capacity intact — what a pool recycles);
+  /// the matrix is left empty (0 x 0). Rvalue-qualified so call sites spell
+  /// the consumption: std::move(m).take_storage().
+  [[nodiscard]] std::vector<double> take_storage() && {
+    rows_ = cols_ = 0;
+    return std::move(data_);
+  }
 
  private:
   int rows_ = 0, cols_ = 0;

@@ -1,0 +1,118 @@
+#include "runtime/block_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace h2 {
+
+namespace blockmem {
+namespace {
+
+std::atomic<std::uint64_t> g_live{0};
+std::atomic<std::uint64_t> g_peak{0};
+
+}  // namespace
+
+void charge(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  const std::uint64_t now =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t seen = g_peak.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !g_peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+void discharge(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t live() noexcept { return g_live.load(std::memory_order_relaxed); }
+
+std::uint64_t peak() noexcept { return g_peak.load(std::memory_order_relaxed); }
+
+void reset_peak() noexcept {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+}  // namespace blockmem
+
+namespace {
+
+int bucket_of(std::size_t n_elems) {
+  return n_elems == 0 ? 0 : std::bit_width(n_elems);
+}
+
+}  // namespace
+
+BlockPool::BlockPool(std::size_t cap_bytes) : cap_bytes_(cap_bytes) {}
+
+BlockPool& BlockPool::global() {
+  // Immortal (never destroyed): release tasks may run on pool workers that
+  // outlive main()'s statics during teardown, like ThreadPool::global().
+  static auto* pool = new BlockPool(
+      static_cast<std::size_t>(env::get_int("H2_BLOCK_POOL_MB", 256)) << 20);
+  return *pool;
+}
+
+Matrix BlockPool::make(int rows, int cols) {
+  const std::size_t n =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (n == 0) return Matrix(rows, cols);
+  std::vector<double> storage;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    // A parked buffer's capacity shares the request's bit_width, so it can
+    // still undershoot n within the bucket — scan for the first that fits.
+    auto& bucket = bucket_[std::min(bucket_of(n), kBuckets - 1)];
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      if (bucket[b].capacity() >= n) {
+        storage = std::move(bucket[b]);
+        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(b));
+        cached_bytes_ -= storage.capacity() * sizeof(double);
+        stats_.cached_bytes = cached_bytes_;
+        ++stats_.reused;
+        break;
+      }
+    }
+    if (storage.capacity() < n) ++stats_.fresh;
+  }
+  storage.assign(n, 0.0);  // zero-filled, like Matrix(rows, cols)
+  return Matrix(rows, cols, std::move(storage));
+}
+
+void BlockPool::recycle(Matrix&& m) {
+  std::vector<double> storage = std::move(m).take_storage();
+  const std::size_t bytes = storage.capacity() * sizeof(double);
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (cached_bytes_ + bytes > cap_bytes_) {
+    ++stats_.dropped;
+    return;  // storage frees on scope exit — the cap bounds the cache
+  }
+  bucket_[std::min(bucket_of(storage.capacity()), kBuckets - 1)].push_back(
+      std::move(storage));
+  cached_bytes_ += bytes;
+  stats_.cached_bytes = cached_bytes_;
+  ++stats_.parked;
+}
+
+void BlockPool::trim() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& bucket : bucket_) bucket.clear();
+  cached_bytes_ = 0;
+  stats_.cached_bytes = 0;
+}
+
+BlockPool::Stats BlockPool::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return stats_;
+}
+
+}  // namespace h2

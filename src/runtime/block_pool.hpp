@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Process-wide live/peak accounting of tracked factorization block bytes.
+///
+/// Every block the ULV factorization stores (workspace blocks, skeletons,
+/// ry factors, the persistent factor itself) is charged here when stored and
+/// discharged when released — so `live()` is the method's actual block
+/// footprint and `peak()` its high-water mark, the number the paper's
+/// linear-memory claim is about. Unlike util/flops (per-thread retired
+/// slots), the counters are a single atomic pair: a peak of a SUM cannot be
+/// reconstructed from per-thread parts after the fact, it has to be observed
+/// on the coherent global value at every charge. Charges are per-block (a
+/// handful per task), so the shared-cache-line traffic is noise next to the
+/// BLAS work between them.
+///
+/// Windows: TaskGraph::execute calls reset_peak() at entry and snapshots
+/// peak()/live() into ExecStats at exit. Like ExecStats::worker_counters,
+/// the window is meaningful when one tracked graph runs at a time — which is
+/// how every executor in this repo uses it.
+namespace blockmem {
+
+/// live += bytes; peak = max(peak, live).
+void charge(std::uint64_t bytes) noexcept;
+/// live -= bytes (bytes must have been charged).
+void discharge(std::uint64_t bytes) noexcept;
+[[nodiscard]] std::uint64_t live() noexcept;
+[[nodiscard]] std::uint64_t peak() noexcept;
+/// Start a measurement window: peak = live.
+void reset_peak() noexcept;
+
+}  // namespace blockmem
+
+/// Pooled allocator for Matrix backing storage: released blocks park their
+/// std::vector<double> buffers in power-of-two size-class free lists, and
+/// make() re-uses a parked buffer instead of hitting the allocator. The ULV
+/// release tasks free a level's blocks while the next level allocates
+/// comparably-sized ones, so without the pool the factorization churns
+/// malloc at exactly its hottest moment.
+///
+/// A buffer parks in bucket bit_width(capacity), so any reused buffer wastes
+/// < 2x the requested capacity — bounded slack, never a 4 KB block riding a
+/// megabyte buffer. Cached bytes are capped (H2_BLOCK_POOL_MB, default 256):
+/// a release beyond the cap frees to the allocator, so the pool can never
+/// silently re-grow the footprint the release tasks just bounded. Cached
+/// buffers are NOT counted by blockmem — they are capacity, not live blocks.
+///
+/// Thread-safe: one mutex over the free lists (taken per block release /
+/// acquire, not per element).
+class BlockPool {
+ public:
+  explicit BlockPool(std::size_t cap_bytes);
+
+  /// The process-wide pool every tracked factorization block routes through
+  /// (capacity from H2_BLOCK_POOL_MB). Immortal, like ThreadPool::global().
+  static BlockPool& global();
+
+  /// Zero-filled rows x cols matrix, backed by a recycled buffer when one of
+  /// a fitting size class is parked.
+  [[nodiscard]] Matrix make(int rows, int cols);
+
+  /// Park `m`'s backing storage for reuse (frees it instead when the cache
+  /// cap is reached or the buffer is empty). `m` is left empty (0 x 0).
+  void recycle(Matrix&& m);
+
+  /// Drop every cached buffer back to the allocator.
+  void trim();
+
+  struct Stats {
+    std::uint64_t reused = 0;   ///< make() calls served from the cache
+    std::uint64_t fresh = 0;    ///< make() calls that hit the allocator
+    std::uint64_t parked = 0;   ///< recycle() calls that cached the buffer
+    std::uint64_t dropped = 0;  ///< recycle() calls past the cap (freed)
+    std::size_t cached_bytes = 0;  ///< bytes currently parked
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  static constexpr int kBuckets = 48;  // bit_width of element counts
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> bucket_[kBuckets];
+  std::size_t cap_bytes_ = 0;
+  std::size_t cached_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace h2

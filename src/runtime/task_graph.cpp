@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/block_pool.hpp"
 #include "util/timer.hpp"
 
 namespace h2 {
@@ -69,13 +70,15 @@ TaskId TaskGraph::add_task(std::function<void()> fn, std::string label,
 void TaskGraph::set_out_bytes(TaskId id, double bytes) {
   assert(id >= 0 && id < n_tasks());
   out_bytes_[id] = bytes;
-  out_bytes_set_ = true;
+  out_bytes_set_.store(true, std::memory_order_release);
 }
 
 void TaskGraph::set_priority(TaskId id, double priority) {
   assert(id >= 0 && id < n_tasks());
   priority_[id] = priority;
-  priority_policy_ = "custom";
+  // Refinements on top of a structural policy keep its classification; only
+  // hand-assigned priorities from scratch are "custom".
+  if (std::string_view(priority_policy_) == "none") priority_policy_ = "custom";
 }
 
 void TaskGraph::set_critical_path_priorities() {
@@ -153,6 +156,8 @@ ExecStats TaskGraph::execute(ThreadPool& pool) {
   std::condition_variable done_cv;
   bool done = (n == 0);
 
+  // Block-byte measurement window (see ExecStats::peak_block_bytes).
+  blockmem::reset_peak();
   const Timer wall;
 
   // Declared before `run` so it can be captured by reference.
@@ -198,6 +203,8 @@ ExecStats TaskGraph::execute(ThreadPool& pool) {
     done_cv.wait(lk, [&] { return done; });
   }
   stats.wall_seconds = wall.seconds();
+  stats.peak_block_bytes = blockmem::peak();
+  stats.live_block_bytes = blockmem::live();
 
   if (remaining.load() != 0)
     throw std::logic_error("TaskGraph: tasks left unexecuted after drain");

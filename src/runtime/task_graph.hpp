@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -49,6 +51,14 @@ struct ExecStats {
   /// pool's cumulative counters; meaningful when the pool runs one graph at
   /// a time, which is how every executor in this repo uses it).
   std::vector<ThreadPool::WorkerCounters> worker_counters;
+  /// High-water mark of the tracked block bytes (runtime/block_pool's
+  /// blockmem counters) during this execution's window, and the live bytes
+  /// at its end. The factorization's release tasks exist to keep the peak at
+  /// O(active levels); this is where that bound is measured. Same caveat as
+  /// worker_counters: the window is per-process, so it is meaningful when
+  /// one block-tracking graph executes at a time.
+  std::uint64_t peak_block_bytes = 0;
+  std::uint64_t live_block_bytes = 0;
 
   /// Tasks that arrived at their worker by stealing (0 under Fifo or with a
   /// single worker — a worker cannot steal from itself).
@@ -122,14 +132,22 @@ class TaskGraph {
   /// default 0). Under a Fifo pool the shared queue is a priority queue;
   /// under WorkSteal the executor releases a task's ready successors lowest
   /// priority first, so the highest sits on top of the worker's LIFO deque.
+  /// Classifies the policy as "custom" when no structural policy ran;
+  /// called after set_critical_path_priorities it refines individual ranks
+  /// without reclassifying (the factorization overlays its release tasks on
+  /// top of the critical-path ranking this way — the record's priority
+  /// vector always carries the actual values either way).
   void set_priority(TaskId id, double priority);
 
   /// Output payload of one task in bytes (what a cross-rank consumer of its
   /// result would receive). Purely descriptive — execution ignores it; it is
   /// exported by record() for the dist-layer simulator, which charges the
-  /// alpha-beta CommModel on cross-rank DAG edges. May be called after
-  /// execute(): payloads (skeleton ranks) are often only known once the
-  /// numerics ran.
+  /// alpha-beta CommModel on cross-rank DAG edges. Payloads (skeleton ranks)
+  /// are only known once the numerics ran, so tasks capture them at FREE
+  /// time: a task may call this on its OWN id from inside its body (each
+  /// slot is pre-sized by add_task and written by exactly one task, so
+  /// concurrent captures never touch the same element), or the owner may
+  /// call it after execute().
   void set_out_bytes(TaskId id, double bytes);
 
   /// Set every task's priority to its bottom level — the length (in tasks)
@@ -163,7 +181,9 @@ class TaskGraph {
     const bool assigned = std::string_view(priority_policy_) != "none";
     return {meta_, successors_,
             assigned ? priority_ : std::vector<double>{},
-            out_bytes_set_ ? out_bytes_ : std::vector<double>{}};
+            out_bytes_set_.load(std::memory_order_acquire)
+                ? out_bytes_
+                : std::vector<double>{}};
   }
 
   /// Execute the whole DAG on `pool`'s workers — the pool is borrowed, not
@@ -194,7 +214,11 @@ class TaskGraph {
   std::vector<double> priority_;
   std::vector<double> out_bytes_;
   const char* priority_policy_ = "none";  // "none" / "custom" / "critical-path"
-  bool out_bytes_set_ = false;
+  /// Atomic because tasks may record their own payload mid-execution; the
+  /// release store pairs with record()'s acquire load (record() runs after
+  /// execute() returns, so the values themselves are already synchronized —
+  /// the atomic keeps the flag itself race-free).
+  std::atomic<bool> out_bytes_set_{false};
   bool executed_ = false;
 };
 

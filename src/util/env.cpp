@@ -1,5 +1,6 @@
 #include "util/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace h2::env {
@@ -8,7 +9,12 @@ long get_int(const char* name, long fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;  // strtol only writes errno on failure; clear stale values
   const long parsed = std::strtol(v, &end, 10);
+  // ERANGE means strtol silently saturated to LONG_MIN/LONG_MAX — a
+  // saturated value is not what the user configured, so treat overflow the
+  // same as any other unparsable input and keep the fallback.
+  if (errno == ERANGE) return fallback;
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
@@ -16,7 +22,11 @@ double get_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v, &end);
+  // Overflow saturates to +/-HUGE_VAL and underflow to ~0 with ERANGE set;
+  // both silently misrepresent the configured value — keep the fallback.
+  if (errno == ERANGE) return fallback;
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 

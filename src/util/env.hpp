@@ -6,10 +6,13 @@
 /// (e.g. H2_BENCH_SCALE to enlarge problem sizes on bigger machines).
 namespace h2::env {
 
-/// Integer env var, or `fallback` when unset/unparsable.
+/// Integer env var, or `fallback` when unset, unparsable, or out of `long`
+/// range (strtol's silent ERANGE saturation to LONG_MIN/LONG_MAX counts as
+/// unparsable — a saturated value is not what was configured).
 long get_int(const char* name, long fallback);
 
-/// Floating-point env var, or `fallback` when unset/unparsable.
+/// Floating-point env var, or `fallback` when unset, unparsable, or out of
+/// range (ERANGE overflow to +/-HUGE_VAL or underflow toward 0).
 double get_double(const char* name, double fallback);
 
 /// String env var, or `fallback` when unset.

@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <thread>
 
+#include "runtime/block_pool.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -318,11 +320,20 @@ TEST(ThreadPool, EnvThreadsInvalidValuesAllFallBackToHardware) {
 }
 
 TEST(ThreadPool, EnvThreadsHugeValuesClampToCap) {
-  // Including values past LONG_MAX, which strtol saturates.
-  for (const char* huge : {"4097", "999999", "99999999999999999999999"}) {
+  for (const char* huge : {"4097", "999999", "9223372036854775807"}) {
     const ScopedEnv guard("H2_THREADS", huge);
     EXPECT_EQ(ThreadPool::env_threads(), 1024) << '"' << huge << '"';
   }
+}
+
+TEST(ThreadPool, EnvThreadsOverflowFallsBackToHardware) {
+  // Past LONG_MAX strtol saturates and sets ERANGE; env::get_int treats that
+  // as unparsable (the saturated value is not what was configured), so the
+  // hardware fallback applies instead of the 1024 clamp.
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const ScopedEnv guard("H2_THREADS", "99999999999999999999999");
+  EXPECT_EQ(ThreadPool::env_threads(), hw);
 }
 
 TEST(ThreadPool, EnvThreadsExplicitSignAccepted) {
@@ -481,6 +492,101 @@ TEST(TaskGraph, PrioritizedExecutionStillRespectsDependencies) {
   const ExecStats stats = g.execute(4);
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
   EXPECT_STREQ(stats.priority_policy, "custom");
+}
+
+TEST(TaskGraph, SetPriorityRefinesCriticalPathWithoutReclassifying) {
+  // The factorization boosts its release tasks AFTER the structural policy
+  // ran; the record must keep reporting "critical-path" (refinement, not a
+  // hand-rolled ordering) while carrying the overridden value.
+  TaskGraph g;
+  const TaskId a = g.add_task([] {}, "a");
+  const TaskId b = g.add_task([] {}, "b");
+  g.add_dependency(a, b);
+  g.set_critical_path_priorities();
+  g.set_priority(b, 99.0);
+  const ExecStats stats = g.execute(1);
+  EXPECT_STREQ(stats.priority_policy, "critical-path");
+  const DagRecord rec = g.record();
+  ASSERT_EQ(rec.priority.size(), 2u);
+  EXPECT_EQ(rec.priority[b], 99.0);
+}
+
+TEST(TaskGraph, OutBytesCapturedInsideTasksReachTheRecord) {
+  // Free-time capture: a task may report its own payload from inside its
+  // body (the ULV tasks do — their byte counts depend on ranks the numerics
+  // just chose, and the inputs of a post-hoc sweep get released mid-run).
+  TaskGraph g;
+  std::vector<TaskId> ids(8, -1);
+  for (int i = 0; i < 8; ++i) {
+    const auto id = std::make_shared<TaskId>(-1);
+    ids[i] = g.add_task([&g, id, i] { g.set_out_bytes(*id, 100.0 + i); });
+    *id = ids[i];
+  }
+  g.execute(4);
+  const DagRecord rec = g.record();
+  ASSERT_EQ(rec.out_bytes.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rec.out_bytes[ids[i]], 100.0 + i);
+}
+
+TEST(TaskGraph, ExecStatsTrackBlockMemoryWindow) {
+  // execute() opens a blockmem window: peak_block_bytes is the high-water
+  // mark of charges made by the tasks, live_block_bytes what they left
+  // allocated.
+  blockmem::discharge(blockmem::live());  // isolate from prior tests
+  TaskGraph g;
+  const TaskId a = g.add_task([] { blockmem::charge(1000); }, "alloc");
+  const TaskId b = g.add_task([] { blockmem::discharge(600); }, "free");
+  g.add_dependency(a, b);
+  const ExecStats stats = g.execute(1);
+  EXPECT_GE(stats.peak_block_bytes, 1000u);
+  EXPECT_EQ(stats.live_block_bytes, 400u);
+  blockmem::discharge(400);  // leave the process-global counter clean
+}
+
+TEST(BlockPool, RecyclesStorageAndTracksStats) {
+  BlockPool pool(64 << 20);
+  Matrix m = pool.make(10, 20);
+  EXPECT_EQ(m.rows(), 10);
+  EXPECT_EQ(m.cols(), 20);
+  for (int i = 0; i < m.rows(); ++i)
+    for (int j = 0; j < m.cols(); ++j) EXPECT_EQ(m(i, j), 0.0);
+  EXPECT_EQ(pool.stats().fresh, 1u);
+  pool.recycle(std::move(m));
+  EXPECT_EQ(pool.stats().parked, 1u);
+  EXPECT_GE(pool.stats().cached_bytes, 200u * 8u);
+  // A smaller block in the same power-of-two class reuses the parked
+  // storage — and comes back zeroed.
+  Matrix r = pool.make(12, 16);  // 192 <= 200 doubles, same bucket
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+  for (int i = 0; i < r.rows(); ++i)
+    for (int j = 0; j < r.cols(); ++j) EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(BlockPool, CapBoundsCachedBytesAndTrimEmpties) {
+  BlockPool pool(1000 * 8);  // cap: 1000 doubles
+  Matrix big = pool.make(40, 40);  // 1600 doubles: over the cap
+  Matrix ok = pool.make(10, 10);
+  pool.recycle(std::move(big));
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+  pool.recycle(std::move(ok));
+  EXPECT_EQ(pool.stats().parked, 1u);
+  EXPECT_GT(pool.stats().cached_bytes, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+  // Empty matrices are a no-op, not a cache entry.
+  pool.recycle(Matrix());
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+}
+
+TEST(BlockPool, MakeNeverHandsBackTooSmallStorage) {
+  BlockPool pool(64 << 20);
+  pool.recycle(pool.make(4, 4));  // park 16 doubles
+  Matrix m = pool.make(5, 5);     // same size-class bucket, but 25 > 16
+  EXPECT_EQ(m.rows() * m.cols(), 25);
+  EXPECT_EQ(pool.stats().fresh, 2u);  // the 4x4 and the 5x5
+  EXPECT_EQ(pool.stats().reused, 0u);
 }
 
 }  // namespace

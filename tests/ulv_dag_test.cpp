@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "runtime/thread_pool.hpp"
 #include "test_helpers.hpp"
@@ -311,6 +313,220 @@ TEST(UlvDag, RecordedDagCoversEveryPhaseAndLevel) {
     EXPECT_EQ(r.level, dag.meta[r.id].level);
     EXPECT_LE(r.t_start, r.t_end);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Block lifetime & peak memory (the release tasks wired into the DAG).
+// ---------------------------------------------------------------------------
+
+// Sanitizer builds pay a 2-10x slowdown; the memory properties below hold at
+// every size (measured ratios ~0.37-0.41 from N=1024 to N=4096), so they run
+// scaled down there and at the full regression size everywhere else.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int kMemN = 1024;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr int kMemN = 1024;
+#else
+constexpr int kMemN = 4096;
+#endif
+#else
+constexpr int kMemN = 4096;
+#endif
+
+/// Factor + solve without the dense-kernel residual (too heavy at kMemN).
+struct MemRun {
+  Matrix x;
+  double logabsdet = 0.0;
+  UlvStats stats;
+};
+
+MemRun mem_run(const H2Matrix& h, int n, UlvOptions u) {
+  const UlvFactorization f(h, u);
+  Rng rng(7);
+  MemRun r;
+  r.x = Matrix::random(n, 1, rng);
+  f.solve(r.x);
+  r.logabsdet = f.logabsdet();
+  r.stats = f.stats();
+  return r;
+}
+
+TEST(UlvDag, ReleaseTasksBoundPeakFactorizationMemory) {
+  // The memory regression gate: with release tasks the factorization's peak
+  // tracked block bytes must stay (a) under half of the retain-everything
+  // ablation's peak and (b) under the summed task payloads of the two
+  // heaviest adjacent levels — the "O(two active levels), not O(whole
+  // tree)" bound the release design exists for. Results must be bitwise
+  // identical across release x executor x worker count throughout.
+  const Problem p =
+      make_problem(kMemN, 128, Geometry::Sphere, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-6));
+
+  UlvOptions retain;
+  retain.tol = 1e-6;
+  retain.n_workers = 1;
+  retain.release_blocks = false;
+  const MemRun base = mem_run(h, kMemN, retain);
+  // Retaining everything means the high-water mark IS the end state.
+  EXPECT_EQ(base.stats.peak_block_bytes, base.stats.final_block_bytes);
+  ASSERT_GT(base.stats.peak_block_bytes, 0u);
+
+  DagRecord recorded;  // from the 1-worker TaskDag release run below
+  std::uint64_t recorded_peak = 0;
+  std::uint64_t released_final = 0;
+  for (const UlvExecutor ex : {UlvExecutor::TaskDag, UlvExecutor::PhaseLoops}) {
+    for (const int workers : {1, 4}) {
+      UlvOptions u = retain;
+      u.release_blocks = true;
+      u.executor = ex;
+      u.n_workers = workers;
+      u.record_tasks = (ex == UlvExecutor::TaskDag && workers == 1);
+      const MemRun r = mem_run(h, kMemN, u);
+      const std::string cell =
+          std::string(ex == UlvExecutor::TaskDag ? "TaskDag" : "PhaseLoops") +
+          " x " + std::to_string(workers) + " workers";
+      // Releases only ever free dead blocks: bitwise identical results.
+      EXPECT_EQ(rel_error_fro(r.x, base.x), 0.0) << cell;
+      EXPECT_EQ(r.logabsdet, base.logabsdet) << cell;
+      // The 50% acceptance gate (measured ~0.37-0.41 across sizes).
+      EXPECT_LE(r.stats.peak_block_bytes, base.stats.peak_block_bytes / 2)
+          << cell;
+      // What survives is exactly the persistent factor, identical across
+      // executors and worker counts (same bitwise blocks), and the peak
+      // hugs it — releases fire as soon as the last consumer retires.
+      EXPECT_GE(r.stats.peak_block_bytes, r.stats.final_block_bytes) << cell;
+      if (released_final == 0)
+        released_final = r.stats.final_block_bytes;
+      else
+        EXPECT_EQ(r.stats.final_block_bytes, released_final) << cell;
+      if (u.record_tasks) {
+        recorded = r.stats.dag;
+        recorded_peak = r.stats.peak_block_bytes;
+      }
+    }
+  }
+  // The retained ablation holds the factor PLUS the whole workspace.
+  EXPECT_LT(released_final, base.stats.final_block_bytes);
+
+  // Adjacent-levels bound, from the recorded per-task payloads: peak tracked
+  // bytes <= sum of the two heaviest adjacent levels' task output bytes
+  // (measured ~0.4x of it; C = 1 leaves >2x headroom without letting an
+  // O(whole tree) regression through).
+  ASSERT_FALSE(recorded.empty());
+  ASSERT_FALSE(recorded.out_bytes.empty());
+  std::vector<double> level_bytes;
+  for (int t = 0; t < recorded.n_tasks(); ++t) {
+    const int l = recorded.meta[t].level;
+    if (l < 0) continue;
+    if (l >= static_cast<int>(level_bytes.size()))
+      level_bytes.resize(l + 1, 0.0);
+    level_bytes[l] += recorded.out_bytes[t];
+  }
+  ASSERT_GE(level_bytes.size(), 2u);
+  double heaviest_adjacent = 0.0;
+  for (std::size_t l = 0; l + 1 < level_bytes.size(); ++l)
+    heaviest_adjacent =
+        std::max(heaviest_adjacent, level_bytes[l] + level_bytes[l + 1]);
+  ASSERT_GT(heaviest_adjacent, 0.0);
+  ASSERT_GT(recorded_peak, 0u);
+  EXPECT_LE(static_cast<double>(recorded_peak), heaviest_adjacent);
+}
+
+TEST(UlvDag, RecordedReleaseTasksHaveConsumerEdgesAndNoPayload) {
+  // Structure of the recorded DAG with releases: every per-resource release
+  // depends on its producer AND each consumer (the dependency counter is the
+  // block's reference count), carries no payload, and is absent entirely
+  // when release_blocks is off.
+  const Problem p = make_problem(512, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions u;
+  u.tol = 1e-8;
+  u.record_tasks = true;
+  u.n_workers = 2;
+  const UlvFactorization f(h, u);
+  const DagRecord& dag = f.stats().dag;
+  ASSERT_FALSE(dag.empty());
+
+  std::vector<int> preds(dag.n_tasks(), 0);
+  for (TaskId t = 0; t < dag.n_tasks(); ++t)
+    for (const TaskId s : dag.successors[t]) ++preds[s];
+
+  int n_release = 0, n_release_level = 0;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t) {
+    const std::string& label = dag.meta[t].label;
+    if (label == "release") {
+      ++n_release;
+      // Producer + at least one consumer: ry factors, fill spaces and
+      // skeleton blocks all have real readers.
+      EXPECT_GE(preds[t], 2) << "release #" << t;
+    } else if (label == "release_level") {
+      ++n_release_level;
+      EXPECT_GE(preds[t], 1) << "release_level #" << t;
+    } else {
+      continue;
+    }
+    EXPECT_EQ(dag.out_bytes[t], 0.0) << "release tasks move no data";
+    EXPECT_GE(dag.meta[t].level, 1);
+  }
+  EXPECT_GT(n_release, 0);
+  EXPECT_EQ(n_release_level, f.depth());
+
+  // Release tasks outrank every compute task under the critical-path
+  // policy: a ready release (microseconds, frees megabytes) must not queue
+  // behind a level's compute.
+  ASSERT_FALSE(dag.priority.empty());
+  double max_compute = 0.0, min_release = 0.0;
+  bool first_release = true;
+  for (TaskId t = 0; t < dag.n_tasks(); ++t) {
+    if (dag.meta[t].label.rfind("release", 0) == 0) {
+      min_release = first_release ? dag.priority[t]
+                                  : std::min(min_release, dag.priority[t]);
+      first_release = false;
+    } else {
+      max_compute = std::max(max_compute, dag.priority[t]);
+    }
+  }
+  EXPECT_GT(min_release, max_compute);
+
+  // The retain-everything ablation records a release-free DAG.
+  UlvOptions keep = u;
+  keep.release_blocks = false;
+  const UlvFactorization fk(h, keep);
+  for (const TaskMeta& m : fk.stats().dag.meta)
+    EXPECT_NE(m.label.rfind("release", 0), 0u) << m.label;
+}
+
+TEST(UlvDag, FreeTimePayloadCaptureMatchesRetainEverything) {
+  // out_bytes used to be computed post-execution over retained state; they
+  // are now captured inside each task the moment its outputs exist. With
+  // release_blocks off nothing is ever freed, so the free-time values must
+  // equal what the post-hoc sweep would have read — and the release run's
+  // compute prefix (task ids are allocated before any release task) must
+  // carry exactly the same payloads, or releasing corrupted the capture.
+  const Problem p = make_problem(384, 32, Geometry::Cube, KernelKind::Laplace);
+  const H2Matrix h(*p.tree, *p.kernel, strong_opts(1e-8));
+  UlvOptions rel;
+  rel.tol = 1e-8;
+  rel.record_tasks = true;
+  rel.n_workers = 4;
+  UlvOptions keep = rel;
+  keep.release_blocks = false;
+  const UlvFactorization fr(h, rel);
+  const UlvFactorization fk(h, keep);
+  const DagRecord& dr = fr.stats().dag;
+  const DagRecord& dk = fk.stats().dag;
+  ASSERT_FALSE(dr.out_bytes.empty());
+  ASSERT_FALSE(dk.out_bytes.empty());
+  ASSERT_GT(dr.n_tasks(), dk.n_tasks());  // the release tasks
+  double total = 0.0;
+  for (TaskId t = 0; t < dk.n_tasks(); ++t) {
+    ASSERT_EQ(dr.meta[t].label, dk.meta[t].label);
+    EXPECT_EQ(dr.out_bytes[t], dk.out_bytes[t])
+        << dk.meta[t].label << " #" << t;
+    total += dk.out_bytes[t];
+  }
+  EXPECT_GT(total, 0.0);
 }
 
 }  // namespace

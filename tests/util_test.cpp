@@ -88,6 +88,27 @@ TEST(Env, FallbacksAndParsing) {
   unsetenv("H2_TEST_SET_VAR");
 }
 
+TEST(Env, OutOfRangeValuesFallBack) {
+  // strtol/strtod saturate out-of-range inputs (LONG_MAX, +/-HUGE_VAL, or
+  // ~0 on underflow) and only report it via errno == ERANGE. A saturated
+  // value is not what was configured, so these keep the fallback rather
+  // than silently returning the clamp.
+  setenv("H2_TEST_SET_VAR", "99999999999999999999999", 1);
+  EXPECT_EQ(env::get_int("H2_TEST_SET_VAR", 7), 7);
+  setenv("H2_TEST_SET_VAR", "-99999999999999999999999", 1);
+  EXPECT_EQ(env::get_int("H2_TEST_SET_VAR", 7), 7);
+  setenv("H2_TEST_SET_VAR", "1e400", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("H2_TEST_SET_VAR", 3.5), 3.5);
+  setenv("H2_TEST_SET_VAR", "-1e400", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("H2_TEST_SET_VAR", 3.5), 3.5);
+  setenv("H2_TEST_SET_VAR", "1e-400", 1);  // underflow, also ERANGE
+  EXPECT_DOUBLE_EQ(env::get_double("H2_TEST_SET_VAR", 3.5), 3.5);
+  // In-range values still parse after the errno checks.
+  setenv("H2_TEST_SET_VAR", "1024", 1);
+  EXPECT_EQ(env::get_int("H2_TEST_SET_VAR", 7), 1024);
+  unsetenv("H2_TEST_SET_VAR");
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   const double a = t.seconds();
