@@ -1,15 +1,46 @@
-/// google-benchmark micro-benchmarks of the dense linear-algebra substrate —
-/// the kernels every solver in this repository is built from. Useful for
-/// calibrating the absolute times in the figure benches against the paper's
-/// MKL-based numbers.
+/// Micro-benchmarks of the dense linear-algebra substrate — the kernels every
+/// solver in this repository is built from.
+///
+/// Two modes:
+///   (default)  google-benchmark cells, for interactive kernel work.
+///   --gate     self-timed naive-vs-blocked sweep. Writes BENCH_LINALG.json
+///              (one JSON object per line, awk-parseable like
+///              BENCH_MEMORY.json) and exits nonzero unless the blocked gemm
+///              sustains >= 2x the naive GFlop/s at n in {64, 128, 256} —
+///              the PR acceptance bar CI's bench-smoke job enforces. Ratios
+///              (not absolute rates) are what the gate and the committed
+///              trajectory compare: both sides of each ratio run on the same
+///              host in the same process, so the number is portable across
+///              machines in a way raw GFlop/s never is.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "linalg/batch.hpp"
+#include "linalg/gemm_kernel.hpp"
 #include "linalg/linalg.hpp"
+#include "linalg/naive.hpp"
+#include "util/flops.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace h2;
+
+// ---------------------------------------------------------------------------
+// google-benchmark cells
+// ---------------------------------------------------------------------------
+
+void set_gflops(benchmark::State& state, double flops_per_iter) {
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
 
 void BM_Gemm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -21,11 +52,25 @@ void BM_Gemm(benchmark::State& state) {
     gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      2.0 * n * n * n * static_cast<double>(state.iterations()) * 1e-9,
-      benchmark::Counter::kIsRate);
+  set_gflops(state, 2.0 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  // The pre-blocked kernels (linalg/naive.hpp): the baseline the --gate
+  // ratios measure against.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    naive::gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Getrf(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -37,6 +82,7 @@ void BM_Getrf(benchmark::State& state) {
     getrf(a, piv);
     benchmark::DoNotOptimize(a.data());
   }
+  set_gflops(state, static_cast<double>(flops::getrf(n, n)));
 }
 BENCHMARK(BM_Getrf)->Arg(64)->Arg(128)->Arg(256);
 
@@ -51,6 +97,7 @@ void BM_Potrf(benchmark::State& state) {
     potrf(a);
     benchmark::DoNotOptimize(a.data());
   }
+  set_gflops(state, static_cast<double>(flops::potrf(n)));
 }
 BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
 
@@ -65,6 +112,20 @@ void BM_PivotedQr(benchmark::State& state) {
 }
 BENCHMARK(BM_PivotedQr)->Arg(64)->Arg(128);
 
+void BM_HouseholderQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const Matrix a0 = Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    Matrix a = a0;
+    std::vector<double> tau;
+    householder_qr(a, tau);
+    benchmark::DoNotOptimize(a.data());
+  }
+  set_gflops(state, static_cast<double>(flops::geqrf(n, n)));
+}
+BENCHMARK(BM_HouseholderQr)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_Trsm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(5);
@@ -76,9 +137,211 @@ void BM_Trsm(benchmark::State& state) {
     trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
     benchmark::DoNotOptimize(b.data());
   }
+  set_gflops(state, static_cast<double>(flops::trsm_left(n, n)));
 }
 BENCHMARK(BM_Trsm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmBatch(benchmark::State& state) {
+  // The ULV leaf pattern: many small products sharing one left operand.
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kTasks = 32;
+  Rng rng(7);
+  const Matrix a = Matrix::random(n, n, rng);
+  std::vector<Matrix> bs, cs;
+  for (int t = 0; t < kTasks; ++t) {
+    bs.push_back(Matrix::random(n, n, rng));
+    cs.emplace_back(n, n);
+  }
+  std::vector<GemmTask> tasks;
+  for (int t = 0; t < kTasks; ++t)
+    tasks.push_back(
+        {1.0, a, Trans::No, bs[t], Trans::No, 0.0, cs[t]});
+  for (auto _ : state) {
+    gemm_batch(tasks);
+    benchmark::DoNotOptimize(cs[0].data());
+  }
+  set_gflops(state, 2.0 * n * n * n * kTasks);
+}
+BENCHMARK(BM_GemmBatch)->Arg(64)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// --gate mode
+// ---------------------------------------------------------------------------
+
+/// Best seconds/call over several timed trials (each trial long enough to
+/// dwarf clock resolution). Best-of, not mean-of: the gate wants the kernels'
+/// capability, not the host's scheduling noise.
+template <typename F>
+double time_best(F&& f) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate reps to ~30 ms per trial.
+  int reps = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (int r = 0; r < reps; ++r) f();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    if (dt > 0.03 || reps > (1 << 20)) break;
+    reps *= 4;
+  }
+  double best = 1e300;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto t0 = clock::now();
+    for (int r = 0; r < reps; ++r) f();
+    const double dt =
+        std::chrono::duration<double>(clock::now() - t0).count() / reps;
+    best = std::min(best, dt);
+  }
+  return best;
+}
+
+/// The pre-PR Householder QR: plain reflector loop, default compile flags —
+/// reproduced here as the baseline for the qr ratio cell (qr.cpp's own
+/// unblocked path only runs below the blocking threshold).
+void reference_qr(MatrixView a, std::vector<double>& tau) {
+  const int m = a.rows(), n = a.cols();
+  const int k = m < n ? m : n;
+  tau.assign(k, 0.0);
+  for (int p = 0; p < k; ++p) {
+    double* cp = a.col(p);
+    double xnorm2 = 0.0;
+    for (int i = p + 1; i < m; ++i) xnorm2 += cp[i] * cp[i];
+    if (xnorm2 != 0.0) {
+      const double alpha = cp[p];
+      double beta = std::sqrt(alpha * alpha + xnorm2);
+      if (alpha > 0.0) beta = -beta;
+      tau[p] = (beta - alpha) / beta;
+      const double inv = 1.0 / (alpha - beta);
+      for (int i = p + 1; i < m; ++i) cp[i] *= inv;
+      cp[p] = beta;
+    }
+    if (tau[p] == 0.0) continue;
+    for (int j = p + 1; j < n; ++j) {
+      double* cj = a.col(j);
+      double w = cj[p];
+      for (int i = p + 1; i < m; ++i) w += cp[i] * cj[i];
+      w *= tau[p];
+      cj[p] -= w;
+      for (int i = p + 1; i < m; ++i) cj[i] -= w * cp[i];
+    }
+  }
+}
+
+struct Cell {
+  std::string op;
+  int n;
+  double naive_gflops, blocked_gflops;
+  double ratio() const { return blocked_gflops / naive_gflops; }
+};
+
+int run_gate() {
+  const GemmTiling tiling = gemm_tiling();
+  std::printf("# BENCH_LINALG gate (isa=%s mr=%d nr=%d mc=%d kc=%d nc=%d)\n",
+              tiling.isa, tiling.mr, tiling.nr, tiling.mc, tiling.kc,
+              tiling.nc);
+  std::printf("| op | n | naive GF/s | blocked GF/s | ratio |\n");
+  std::printf("|---|---|---|---|---|\n");
+
+  std::vector<Cell> cells;
+  Rng rng(1);
+  for (const int n : {64, 128, 256}) {
+    const Matrix a = Matrix::random(n, n, rng);
+    const Matrix b = Matrix::random(n, n, rng);
+    Matrix c(n, n);
+    const double fl = 2.0 * n * n * n;
+    const double tn = time_best(
+        [&] { naive::gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c); });
+    const double tb = time_best(
+        [&] { gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c); });
+    cells.push_back({"gemm", n, fl / tn * 1e-9, fl / tb * 1e-9});
+  }
+  for (const int n : {128, 256}) {
+    Matrix l = Matrix::random(n, n, rng);
+    add_identity(l, 2.0 * n);
+    const Matrix b0 = Matrix::random(n, n, rng);
+    Matrix b(n, n);
+    const double fl = static_cast<double>(flops::trsm_left(n, n));
+    const double tn = time_best([&] {
+      copy_into(b0, b);
+      naive::trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
+    });
+    const double tb = time_best([&] {
+      copy_into(b0, b);
+      trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
+    });
+    cells.push_back({"trsm", n, fl / tn * 1e-9, fl / tb * 1e-9});
+  }
+  for (const int n : {128, 256}) {
+    const Matrix a0 = Matrix::random(n, n, rng);
+    Matrix a(n, n);
+    std::vector<double> tau;
+    const double fl = static_cast<double>(flops::geqrf(n, n));
+    const double tn = time_best([&] {
+      copy_into(a0, a);
+      reference_qr(a, tau);
+    });
+    const double tb = time_best([&] {
+      copy_into(a0, a);
+      householder_qr(a, tau);
+    });
+    cells.push_back({"qr", n, fl / tn * 1e-9, fl / tb * 1e-9});
+  }
+  {
+    // Batched vs looped gemm, shared left operand (the pack-cache case).
+    const int n = 64;
+    constexpr int kTasks = 32;
+    const Matrix a = Matrix::random(n, n, rng);
+    std::vector<Matrix> bs, cs;
+    for (int t = 0; t < kTasks; ++t) {
+      bs.push_back(Matrix::random(n, n, rng));
+      cs.emplace_back(n, n);
+    }
+    std::vector<GemmTask> tasks;
+    for (int t = 0; t < kTasks; ++t)
+      tasks.push_back({1.0, a, Trans::No, bs[t], Trans::No, 0.0, cs[t]});
+    const double fl = 2.0 * n * n * n * kTasks;
+    const double tl = time_best([&] {
+      for (int t = 0; t < kTasks; ++t)
+        gemm(1.0, a, Trans::No, bs[t], Trans::No, 0.0, cs[t]);
+    });
+    const double tb = time_best([&] { gemm_batch(tasks); });
+    cells.push_back({"gemm_batch_vs_loop", n, fl / tl * 1e-9, fl / tb * 1e-9});
+  }
+
+  std::FILE* json = std::fopen("BENCH_LINALG.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_LINALG.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\"bench\": \"micro_linalg\", \"isa\": \"%s\"}\n",
+               tiling.isa);
+  bool ok = true;
+  for (const Cell& cell : cells) {
+    std::printf("| %s | %d | %.2f | %.2f | %.2f |\n", cell.op.c_str(), cell.n,
+                cell.naive_gflops, cell.blocked_gflops, cell.ratio());
+    std::fprintf(json,
+                 "{\"op\": \"%s\", \"n\": %d, \"naive_gflops\": %.3f, "
+                 "\"blocked_gflops\": %.3f, \"ratio\": %.3f}\n",
+                 cell.op.c_str(), cell.n, cell.naive_gflops,
+                 cell.blocked_gflops, cell.ratio());
+    if (cell.op == "gemm" && cell.ratio() < 2.0) {
+      std::printf("GATE FAIL: gemm n=%d ratio %.2f < 2.0\n", cell.n,
+                  cell.ratio());
+      ok = false;
+    }
+  }
+  std::fclose(json);
+  std::printf("linalg gate: %s (gemm >= 2x naive at n in {64,128,256})\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--gate") == 0) return run_gate();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

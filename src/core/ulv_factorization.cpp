@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "linalg/batch.hpp"
 #include "runtime/block_pool.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
@@ -225,15 +226,23 @@ void UlvFactorization::body_assemble(Workspace& w, int level, int i) {
 void UlvFactorization::body_ry(Workspace& w, int level, int i) {
   // R factors of the QR of every admissible block's V factor: the magnitude-
   // preserving right factor used when a block's column space enters a basis
-  // concatenation (u * ry^T has the same Gram matrix as u * v^T).
+  // concatenation (u * ry^T has the same Gram matrix as u * v^T). The row's
+  // factorizations go down as one qr_batch.
+  std::vector<int> js;
+  std::vector<Matrix> vqs;
   for (const int j : structure_.admissible_cols(level, i)) {
     const LowRank& lr = w.a->lowrank_block(level, i, j);
     if (lr.rank() == 0) continue;
-    Matrix vq = lr.v;
-    std::vector<double> tau;
-    householder_qr(vq, tau);
-    track_store(ry_[level].at({i, j}), extract_r(vq));  // rank x rank R
+    js.push_back(j);
+    vqs.push_back(lr.v);
   }
+  std::vector<std::vector<double>> taus(js.size());
+  std::vector<QrTask> tasks;
+  tasks.reserve(js.size());
+  for (std::size_t t = 0; t < js.size(); ++t) tasks.push_back({vqs[t], &taus[t]});
+  qr_batch(tasks);
+  for (std::size_t t = 0; t < js.size(); ++t)
+    track_store(ry_[level].at({i, js[t]}), extract_r(vqs[t]));  // rank x rank
 }
 
 void UlvFactorization::body_project_lr(Workspace& w, int level, int i) {
@@ -263,11 +272,21 @@ void UlvFactorization::body_fill(Workspace& w, int level, int k) {
   getrf(lu, piv);
   std::vector<Matrix> tblocks;
   tblocks.reserve(dcols.size());
-  for (const int j : dcols) {
-    Matrix tj = w.cur[level].at({k, j});
-    getrs(lu, piv, tj);
-    tblocks.push_back(std::move(tj));
+  for (const int j : dcols) tblocks.push_back(w.cur[level].at({k, j}));
+  // getrs unrolled into batches (laswp + L solve + U solve per block, same
+  // per-block operation order) so the LU triangle's panels pack once.
+  std::vector<TrsmTask> lsolves, usolves;
+  lsolves.reserve(tblocks.size());
+  usolves.reserve(tblocks.size());
+  for (Matrix& tb : tblocks) {
+    laswp(tb, piv, /*forward=*/true);
+    lsolves.push_back(
+        {Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, lu, tb});
+    usolves.push_back(
+        {Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, lu, tb});
   }
+  trsm_batch(lsolves);
+  trsm_batch(usolves);
   std::vector<ConstMatrixView> views(tblocks.begin(), tblocks.end());
   const Matrix tc = hconcat(views);
   // Keep fill directions somewhat below the basis tolerance.
@@ -290,16 +309,23 @@ void UlvFactorization::body_basis(Workspace& w, int level, int i) {
   ld.size[i] = (level == depth_) ? tree_->node(level, i).size()
                                  : levels_[level + 1].rank[2 * i] +
                                        levels_[level + 1].rank[2 * i + 1];
+  // Collect every contribution as one gemm batch (outputs preallocated, a
+  // Matrix move never invalidates views into its heap storage).
   std::vector<Matrix> parts;
+  std::vector<Matrix> xis;  // ancestor row-slice temporaries
+  std::vector<GemmTask> tasks;
+  auto add_part = [&](ConstMatrixView a, ConstMatrixView b, Trans tb) {
+    parts.emplace_back(a.rows(), tb == Trans::No ? b.cols() : b.rows());
+    tasks.push_back({1.0, a, Trans::No, b, tb, 0.0, parts.back()});
+  };
   if (opt_.fillin_augmentation) {
     for (const int k : structure_.dense_cols(level, i))
       if (!w.fill_p[level][k].empty())
-        parts.push_back(matmul(w.cur[level].at({i, k}), w.fill_p[level][k]));
+        add_part(w.cur[level].at({i, k}), w.fill_p[level][k], Trans::No);
   }
   for (const int j : structure_.admissible_cols(level, i)) {
     const Matrix& u = w.ucur[level].at({i, j});
-    if (!u.empty())
-      parts.push_back(matmul(u, ry_[level].at({i, j}), Trans::No, Trans::Yes));
+    if (!u.empty()) add_part(u, ry_[level].at({i, j}), Trans::Yes);
   }
   for (int lambda = 1; lambda < level; ++lambda) {
     const int anc = i >> (level - lambda);
@@ -309,12 +335,12 @@ void UlvFactorization::body_basis(Workspace& w, int level, int i) {
     for (const int j : structure_.admissible_cols(lambda, anc)) {
       const LowRank& lr = w.a->lowrank_block(lambda, anc, j);
       if (lr.rank() == 0) continue;
-      const Matrix xi =
-          current_rows(level, i, lr.u.block(row0 - anc0, 0, npts, lr.rank()));
-      parts.push_back(
-          matmul(xi, ry_[lambda].at({anc, j}), Trans::No, Trans::Yes));
+      xis.push_back(
+          current_rows(level, i, lr.u.block(row0 - anc0, 0, npts, lr.rank())));
+      add_part(xis.back(), ry_[lambda].at({anc, j}), Trans::Yes);
     }
   }
+  gemm_batch(tasks);
   if (parts.empty()) {
     track_store(ld.q[i], Matrix::identity(ld.size[i]));
     ld.rank[i] = 0;
@@ -335,25 +361,65 @@ void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
   // basis of this row are ordered before it in both executors).
   const Timer t;
   Level& ld = levels_[level];
-  auto project_dense = [&](int j) {
-    const Matrix tmp =
-        matmul(ld.q[i], w.cur[level].at({i, j}), Trans::Yes, Trans::No);
-    track_store(ld.dense.at({i, j}), matmul(tmp, ld.q[j]));
-  };
-  project_dense(i);
-  for (const int j : structure_.dense_cols(level, i)) project_dense(j);
-  for (const int j : structure_.admissible_cols(level, i)) {
-    Matrix s;
+  // Dense blocks in two batched passes (Q_i^T A, then * Q_j): Q_i is the
+  // shared left operand of the whole first pass, so it packs once.
+  std::vector<int> djs{i};
+  const auto& dcols = structure_.dense_cols(level, i);
+  djs.insert(djs.end(), dcols.begin(), dcols.end());
+  std::vector<Matrix> tmps, outs;
+  std::vector<GemmTask> pass1, pass2;
+  for (const int j : djs) {
+    const Matrix& cij = w.cur[level].at({i, j});
+    tmps.emplace_back(ld.q[i].cols(), cij.cols());
+    pass1.push_back(
+        {1.0, ld.q[i], Trans::Yes, cij, Trans::No, 0.0, tmps.back()});
+  }
+  gemm_batch(pass1);
+  for (std::size_t x = 0; x < djs.size(); ++x) {
+    outs.emplace_back(tmps[x].rows(), ld.q[djs[x]].cols());
+    pass2.push_back(
+        {1.0, tmps[x], Trans::No, ld.q[djs[x]], Trans::No, 0.0, outs.back()});
+  }
+  gemm_batch(pass2);
+  for (std::size_t x = 0; x < djs.size(); ++x)
+    track_store(ld.dense.at({i, djs[x]}), std::move(outs[x]));
+
+  // Admissible skeletons: su / sv / s passes, each batched (su shares the
+  // Q_i column block, sv varies, s is rank x rank).
+  const auto& ajs = structure_.admissible_cols(level, i);
+  std::vector<int> bjs;
+  for (const int j : ajs) {
     const Matrix& u = w.ucur[level].at({i, j});
-    if (!u.empty() && ld.rank[i] > 0 && ld.rank[j] > 0) {
-      const Matrix su = matmul(ld.q[i].block(0, 0, ld.size[i], ld.rank[i]), u,
-                               Trans::Yes, Trans::No);
-      const Matrix sv = matmul(ld.q[j].block(0, 0, ld.size[j], ld.rank[j]),
-                               w.vcur[level].at({i, j}), Trans::Yes, Trans::No);
-      s = matmul(su, sv, Trans::No, Trans::Yes);
-    } else {
-      s = BlockPool::global().make(ld.rank[i], ld.rank[j]);
-    }
+    if (!u.empty() && ld.rank[i] > 0 && ld.rank[j] > 0) bjs.push_back(j);
+  }
+  std::vector<Matrix> sus, svs, ss;
+  std::vector<GemmTask> tsu, tsv, ts;
+  for (const int j : bjs) {
+    const Matrix& u = w.ucur[level].at({i, j});
+    sus.emplace_back(ld.rank[i], u.cols());
+    tsu.push_back({1.0, ld.q[i].block(0, 0, ld.size[i], ld.rank[i]),
+                   Trans::Yes, u, Trans::No, 0.0, sus.back()});
+  }
+  gemm_batch(tsu);
+  for (std::size_t x = 0; x < bjs.size(); ++x) {
+    const int j = bjs[x];
+    const Matrix& v = w.vcur[level].at({i, j});
+    svs.emplace_back(ld.rank[j], v.cols());
+    tsv.push_back({1.0, ld.q[j].block(0, 0, ld.size[j], ld.rank[j]),
+                   Trans::Yes, v, Trans::No, 0.0, svs.back()});
+  }
+  gemm_batch(tsv);
+  for (std::size_t x = 0; x < bjs.size(); ++x) {
+    ss.emplace_back(sus[x].rows(), svs[x].rows());
+    ts.push_back(
+        {1.0, sus[x], Trans::No, svs[x], Trans::Yes, 0.0, ss.back()});
+  }
+  gemm_batch(ts);
+  std::size_t bx = 0;
+  for (const int j : ajs) {
+    const bool batched = bx < bjs.size() && bjs[bx] == j;
+    Matrix s = batched ? std::move(ss[bx++])
+                       : BlockPool::global().make(ld.rank[i], ld.rank[j]);
     track_store(skel_[level].at({i, j}), std::move(s));
   }
   if (opt_.release_blocks) {
@@ -383,11 +449,15 @@ void UlvFactorization::eliminate_block(int level, int k) {
     MatrixView sr = dkk.block(0, r, r, nr);
     trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr, sr);
   }
+  // Row strips share the pivot triangle: batch them so it packs once.
+  std::vector<TrsmTask> tasks;
   for (const int j : structure_.dense_cols(level, k)) {
     MatrixView strip = ld.dense.at({k, j}).block(r, 0, nr, ld.size[j]);
     laswp(strip, ld.rr_piv[k], true);
-    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, rr, strip);
+    tasks.push_back(
+        {Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, rr, strip});
   }
+  trsm_batch(tasks);
 }
 
 void UlvFactorization::body_eliminate(int level, int k) {
@@ -406,10 +476,13 @@ void UlvFactorization::body_col_solve(int level, int k) {
   if (nr == 0) return;
   const Timer t;
   ConstMatrixView rr = ld.dense.at({k, k}).block(r, r, nr, nr);
+  std::vector<TrsmTask> tasks;
   for (const int i : structure_.dense_rows(level, k)) {
     MatrixView strip = ld.dense.at({i, k}).block(0, r, ld.size[i], nr);
-    trsm(Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr, strip);
+    tasks.push_back(
+        {Side::Right, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, rr, strip});
   }
+  trsm_batch(tasks);
   record_task(level, "col_solve", k, t.seconds());
 }
 
@@ -438,13 +511,15 @@ void UlvFactorization::body_schur(int level, int i, int j, bool admissible) {
   if (ri == 0 || rj == 0) return;
   MatrixView tgt = admissible ? MatrixView(skel_[level].at({i, j}))
                               : ld.dense.at({i, j}).block(0, 0, ri, rj);
+  std::vector<GemmTask> tasks;
   for (const int k : schur_k_list(level, i, j)) {
     const int rk = ld.rank[k], nrk = ld.size[k] - rk;
     if (nrk == 0) continue;
     ConstMatrixView left = ld.dense.at({i, k}).block(0, rk, ri, nrk);
     ConstMatrixView right = ld.dense.at({k, j}).block(rk, 0, nrk, rj);
-    gemm(-1.0, left, Trans::No, right, Trans::No, 1.0, tgt);
+    tasks.push_back({-1.0, left, Trans::No, right, Trans::No, 1.0, tgt});
   }
+  gemm_batch(tasks);
   record_task(level, "schur", i, t.seconds());
 }
 

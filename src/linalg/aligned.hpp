@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace h2 {
+
+/// Minimal alignment every Matrix / BlockPool buffer and every packed panel
+/// is allocated at. 64 bytes = one x86 cache line and the widest vector
+/// register (AVX-512), so the gemm microkernel can assume aligned loads from
+/// packed panels and matrix storage never straddles a line at element 0.
+inline constexpr std::size_t kMatrixAlign = 64;
+
+/// std::vector-compatible allocator handing out kMatrixAlign-aligned blocks
+/// through the aligned operator new (C++17). Stateless, so any two instances
+/// compare equal and buffers can move freely between containers.
+template <class T, std::size_t Align = kMatrixAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// The one backing-storage type for Matrix and BlockPool: a vector whose
+/// data() is always kMatrixAlign-aligned.
+using AlignedBuffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace h2

@@ -1,0 +1,25 @@
+#include "linalg/batch.hpp"
+
+#include "linalg/gemm_kernel.hpp"
+#include "linalg/qr.hpp"
+
+namespace h2 {
+
+void gemm_batch(std::span<const GemmTask> tasks) {
+  detail::PackCacheScope scope;
+  for (const GemmTask& t : tasks)
+    gemm(t.alpha, t.a, t.ta, t.b, t.tb, t.beta, t.c);
+}
+
+void trsm_batch(std::span<const TrsmTask> tasks) {
+  detail::PackCacheScope scope;
+  for (const TrsmTask& t : tasks)
+    trsm(t.side, t.uplo, t.trans, t.diag, t.alpha, t.a, t.b);
+}
+
+void qr_batch(std::span<const QrTask> tasks) {
+  detail::PackCacheScope scope;
+  for (const QrTask& t : tasks) householder_qr(t.a, *t.tau);
+}
+
+}  // namespace h2

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+/// Batched linalg entry points for the ULV leaf phases: a leaf task that
+/// performs many small gemm/trsm/qr calls over sibling blocks submits them as
+/// one batch. Each batch runs the SAME deterministic code path as the
+/// equivalent loop of single calls — results are bitwise identical and flop
+/// accounting is unchanged — but the batch enables the packed-panel
+/// memoization (detail::PackCacheScope), so an operand shared across entries
+/// (the eliminate triangle, a basis factor) is packed once instead of per
+/// entry. Entries execute in order; aliasing between an entry's output and a
+/// later entry's input is allowed (the pack cache invalidates on overlap).
+namespace h2 {
+
+struct GemmTask {
+  double alpha;
+  ConstMatrixView a;
+  Trans ta;
+  ConstMatrixView b;
+  Trans tb;
+  double beta;
+  MatrixView c;
+};
+
+struct TrsmTask {
+  Side side;
+  UpLo uplo;
+  Trans trans;
+  Diag diag;
+  double alpha;
+  ConstMatrixView a;
+  MatrixView b;
+};
+
+struct QrTask {
+  MatrixView a;               ///< factored in place (QR layout)
+  std::vector<double>* tau;   ///< reflector scales, resized by the call
+};
+
+/// Run every task as gemm(alpha, a, ta, b, tb, beta, c), in order.
+void gemm_batch(std::span<const GemmTask> tasks);
+
+/// Run every task as trsm(side, uplo, trans, diag, alpha, a, b), in order.
+void trsm_batch(std::span<const TrsmTask> tasks);
+
+/// Run every task as householder_qr(a, *tau), in order.
+void qr_batch(std::span<const QrTask> tasks);
+
+}  // namespace h2

@@ -1,73 +1,88 @@
 #include "linalg/blas.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "linalg/gemm_kernel.hpp"
+#include "linalg/naive.hpp"
 #include "util/flops.hpp"
 
 namespace h2 {
 namespace {
 
-// C(:,j) += sum_k A(:,k) * B(k,j): stride-1 inner loop (column-major sweet spot).
-void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const int m = c.rows(), n = c.cols(), k = a.cols();
-  for (int j = 0; j < n; ++j) {
-    double* cj = c.col(j);
-    int l = 0;
-    // Unroll over 4 columns of A to amortize the C column traffic.
-    for (; l + 4 <= k; l += 4) {
-      const double b0 = alpha * b(l, j), b1 = alpha * b(l + 1, j);
-      const double b2 = alpha * b(l + 2, j), b3 = alpha * b(l + 3, j);
-      const double* a0 = a.col(l);
-      const double* a1 = a.col(l + 1);
-      const double* a2 = a.col(l + 2);
-      const double* a3 = a.col(l + 3);
-      for (int i = 0; i < m; ++i)
-        cj[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
+/// Blocked triangular solves panel the triangle in NB steps: the diagonal
+/// block is solved by the unblocked kernel, the off-diagonal update is one
+/// gemm — so trsm inherits the packed microkernel's flop rate.
+constexpr int kTrsmNb = 64;
+
+/// op(A)[r0:r0+m, c0:c0+n] as a view of A plus the Trans tag gemm expects.
+ConstMatrixView op_block(ConstMatrixView a, Trans trans, int r0, int c0, int m,
+                         int n) {
+  return (trans == Trans::No) ? a.block(r0, c0, m, n) : a.block(c0, r0, n, m);
+}
+
+void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
+                       MatrixView b) {
+  const int m = b.rows();
+  const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
+  if (op_lower) {
+    // Forward sweep: solve the diagonal block, eliminate it from the rows
+    // below.
+    for (int i0 = 0; i0 < m; i0 += kTrsmNb) {
+      const int ib = std::min(kTrsmNb, m - i0);
+      naive::trsm(Side::Left, uplo, trans, diag, 1.0, a.block(i0, i0, ib, ib),
+                  b.block(i0, 0, ib, b.cols()));
+      const int rest = m - i0 - ib;
+      if (rest > 0) {
+        detail::gemm_nocount(-1.0, op_block(a, trans, i0 + ib, i0, rest, ib),
+                             trans, b.block(i0, 0, ib, b.cols()), Trans::No,
+                             1.0, b.block(i0 + ib, 0, rest, b.cols()));
+      }
     }
-    for (; l < k; ++l) {
-      const double bl = alpha * b(l, j);
-      const double* al = a.col(l);
-      for (int i = 0; i < m; ++i) cj[i] += bl * al[i];
+  } else {
+    // Backward sweep from the last panel.
+    for (int i1 = m; i1 > 0; i1 -= kTrsmNb) {
+      const int ib = std::min(kTrsmNb, i1);
+      const int i0 = i1 - ib;
+      naive::trsm(Side::Left, uplo, trans, diag, 1.0, a.block(i0, i0, ib, ib),
+                  b.block(i0, 0, ib, b.cols()));
+      if (i0 > 0) {
+        detail::gemm_nocount(-1.0, op_block(a, trans, 0, i0, i0, ib), trans,
+                             b.block(i0, 0, ib, b.cols()), Trans::No, 1.0,
+                             b.block(0, 0, i0, b.cols()));
+      }
     }
   }
 }
 
-// C(i,j) += alpha * dot(A(:,i), B(:,j)): stride-1 dot products.
-void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const int m = c.rows(), n = c.cols(), k = a.rows();
-  for (int j = 0; j < n; ++j) {
-    const double* bj = b.col(j);
-    for (int i = 0; i < m; ++i) {
-      const double* ai = a.col(i);
-      double s = 0.0;
-      for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
-      c(i, j) += alpha * s;
+void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
+                        MatrixView b) {
+  const int n = b.cols();
+  const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
+  if (op_lower) {
+    // X op(A) = B with op(A) lower: columns resolve back to front.
+    for (int j1 = n; j1 > 0; j1 -= kTrsmNb) {
+      const int jb = std::min(kTrsmNb, j1);
+      const int j0 = j1 - jb;
+      naive::trsm(Side::Right, uplo, trans, diag, 1.0, a.block(j0, j0, jb, jb),
+                  b.block(0, j0, b.rows(), jb));
+      if (j0 > 0) {
+        detail::gemm_nocount(-1.0, b.block(0, j0, b.rows(), jb), Trans::No,
+                             op_block(a, trans, j0, 0, jb, j0), trans, 1.0,
+                             b.block(0, 0, b.rows(), j0));
+      }
     }
-  }
-}
-
-// C(:,j) += sum_k A(:,k) * B(j,k).
-void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const int m = c.rows(), n = c.cols(), k = a.cols();
-  for (int j = 0; j < n; ++j) {
-    double* cj = c.col(j);
-    for (int l = 0; l < k; ++l) {
-      const double bl = alpha * b(j, l);
-      const double* al = a.col(l);
-      for (int i = 0; i < m; ++i) cj[i] += bl * al[i];
-    }
-  }
-}
-
-// C(i,j) += alpha * dot(A(:,i), B(j,:)) -- B accessed row-wise (strided).
-void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const int m = c.rows(), n = c.cols(), k = a.rows();
-  for (int j = 0; j < n; ++j) {
-    for (int i = 0; i < m; ++i) {
-      const double* ai = a.col(i);
-      double s = 0.0;
-      for (int l = 0; l < k; ++l) s += ai[l] * b(j, l);
-      c(i, j) += alpha * s;
+  } else {
+    for (int j0 = 0; j0 < n; j0 += kTrsmNb) {
+      const int jb = std::min(kTrsmNb, n - j0);
+      naive::trsm(Side::Right, uplo, trans, diag, 1.0, a.block(j0, j0, jb, jb),
+                  b.block(0, j0, b.rows(), jb));
+      const int rest = n - j0 - jb;
+      if (rest > 0) {
+        detail::gemm_nocount(-1.0, b.block(0, j0, b.rows(), jb), Trans::No,
+                             op_block(a, trans, j0, j0 + jb, jb, rest), trans,
+                             1.0, b.block(0, j0 + jb, b.rows(), rest));
+      }
     }
   }
 }
@@ -83,19 +98,14 @@ void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb
   assert(m == c.rows() && n == c.cols() && ka == kb);
   (void)kb;
 
-  if (beta == 0.0) {
-    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, 0.0);
-  } else if (beta != 1.0) {
-    scale(beta, c);
-  }
-  if (m == 0 || n == 0 || ka == 0 || alpha == 0.0) return;
+  detail::gemm_nocount(alpha, a, ta, b, tb, beta, c);
 
-  if (ta == Trans::No && tb == Trans::No) gemm_nn(alpha, a, b, c);
-  else if (ta == Trans::Yes && tb == Trans::No) gemm_tn(alpha, a, b, c);
-  else if (ta == Trans::No && tb == Trans::Yes) gemm_nt(alpha, a, b, c);
-  else gemm_tt(alpha, a, b, c);
-
-  flops::add(flops::gemm(m, n, ka));
+  // Same totals the pre-blocked entry point reported: the multiply-add count
+  // plus, when beta forced a real rescale, the scale() it used to call.
+  if (beta != 0.0 && beta != 1.0)
+    flops::add(static_cast<std::uint64_t>(m) * n);
+  if (m != 0 && n != 0 && ka != 0 && alpha != 0.0)
+    flops::add(flops::gemm(m, n, ka));
 }
 
 Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta, Trans tb) {
@@ -115,68 +125,17 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
   if (alpha != 1.0) scale(alpha, b);
   if (t == 0) return;
 
-  // Effective triangle after the transpose: op(A) lower iff
-  // (uplo==Lower) xor (trans==Yes).
-  const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
-  const bool unit = (diag == Diag::Unit);
-  auto at = [&](int i, int j) -> double {
-    return (trans == Trans::No) ? a(i, j) : a(j, i);
-  };
-
-  if (side == Side::Left) {
-    // Solve op(A) X = B column by column.
-    for (int j = 0; j < n; ++j) {
-      double* bj = b.col(j);
-      if (op_lower) {
-        for (int i = 0; i < m; ++i) {
-          double s = bj[i];
-          for (int l = 0; l < i; ++l) s -= at(i, l) * bj[l];
-          bj[i] = unit ? s : s / at(i, i);
-        }
-      } else {
-        for (int i = m - 1; i >= 0; --i) {
-          double s = bj[i];
-          for (int l = i + 1; l < m; ++l) s -= at(i, l) * bj[l];
-          bj[i] = unit ? s : s / at(i, i);
-        }
-      }
-    }
-    flops::add(flops::trsm_left(m, n));
+  if (t <= kTrsmNb) {
+    naive::trsm(side, uplo, trans, diag, 1.0, a, b);
+  } else if (side == Side::Left) {
+    trsm_left_blocked(uplo, trans, diag, a, b);
   } else {
-    // Solve X op(A) = B: process columns of X in dependency order, using
-    // stride-1 column updates.
-    if (op_lower) {
-      // X(:,j) determined from j = n-1 down to 0; X(:,j) then updates B(:,l<j).
-      for (int j = n - 1; j >= 0; --j) {
-        double* bj = b.col(j);
-        if (!unit) {
-          const double inv = 1.0 / at(j, j);
-          for (int i = 0; i < m; ++i) bj[i] *= inv;
-        }
-        for (int l = 0; l < j; ++l) {
-          const double f = at(j, l);
-          if (f == 0.0) continue;
-          double* bl = b.col(l);
-          for (int i = 0; i < m; ++i) bl[i] -= f * bj[i];
-        }
-      }
-    } else {
-      for (int j = 0; j < n; ++j) {
-        double* bj = b.col(j);
-        if (!unit) {
-          const double inv = 1.0 / at(j, j);
-          for (int i = 0; i < m; ++i) bj[i] *= inv;
-        }
-        for (int l = j + 1; l < n; ++l) {
-          const double f = at(j, l);
-          if (f == 0.0) continue;
-          double* bl = b.col(l);
-          for (int i = 0; i < m; ++i) bl[i] -= f * bj[i];
-        }
-      }
-    }
-    flops::add(flops::trsm_right(m, n));
+    trsm_right_blocked(uplo, trans, diag, a, b);
   }
+  detail::invalidate_packs(b);  // the naive sweeps wrote b without telling
+                                // the batch pack cache
+  flops::add(side == Side::Left ? flops::trsm_left(m, n)
+                                : flops::trsm_right(m, n));
 }
 
 void axpy(double alpha, ConstMatrixView x, MatrixView y) {

@@ -1,15 +1,25 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "linalg/error.hpp"
+#include "linalg/gemm_kernel.hpp"
+#include "linalg/naive.hpp"
 #include "util/flops.hpp"
 
 namespace h2 {
+namespace {
 
-void potrf(MatrixView a) {
-  assert(a.rows() == a.cols());
+/// Blocked Cholesky updates each column panel with one gemm against the
+/// already-factored columns, so the cubic term rides the packed microkernel.
+constexpr int kPotrfNb = 64;
+
+/// The pre-blocked left-looking column loop; no flop accounting (the public
+/// entry reports the analytic count once).
+void potrf_unblocked(MatrixView a) {
   const int n = a.rows();
   for (int j = 0; j < n; ++j) {
     // Update column j with previously computed columns (left-looking).
@@ -27,6 +37,46 @@ void potrf(MatrixView a) {
     const double inv = 1.0 / r;
     for (int i = j + 1; i < n; ++i) cj[i] *= inv;
   }
+}
+
+}  // namespace
+
+void potrf(MatrixView a) {
+  assert(a.rows() == a.cols());
+  const int n = a.rows();
+  if (n <= kPotrfNb) {
+    potrf_unblocked(a);
+    detail::invalidate_packs(a);
+    flops::add(flops::potrf(n));
+    return;
+  }
+
+  std::vector<double> upper;  // strict upper triangle of the diagonal block
+  for (int j0 = 0; j0 < n; j0 += kPotrfNb) {
+    const int jb = std::min(kPotrfNb, n - j0);
+    if (j0 > 0) {
+      // Left-looking panel update: A[j0:n, j0:j0+jb] -= L[j0:n, 0:j0] *
+      // L[j0:j0+jb, 0:j0]^T. The gemm writes the whole rectangle, including
+      // the diagonal block's strict upper triangle, which potrf's contract
+      // leaves untouched — save and restore it around the update.
+      upper.clear();
+      for (int j = 1; j < jb; ++j)
+        for (int i = 0; i < j; ++i) upper.push_back(a(j0 + i, j0 + j));
+      detail::gemm_nocount(-1.0, a.block(j0, 0, n - j0, j0), Trans::No,
+                           a.block(j0, 0, jb, j0), Trans::Yes, 1.0,
+                           a.block(j0, j0, n - j0, jb));
+      std::size_t u = 0;
+      for (int j = 1; j < jb; ++j)
+        for (int i = 0; i < j; ++i) a(j0 + i, j0 + j) = upper[u++];
+    }
+    potrf_unblocked(a.block(j0, j0, jb, jb));
+    const int rest = n - j0 - jb;
+    if (rest > 0) {
+      naive::trsm(Side::Right, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
+                  a.block(j0, j0, jb, jb), a.block(j0 + jb, j0, rest, jb));
+    }
+  }
+  detail::invalidate_packs(a);
   flops::add(flops::potrf(n));
 }
 

@@ -1,0 +1,377 @@
+#include "linalg/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "linalg/aligned.hpp"
+#include "linalg/naive.hpp"
+
+namespace h2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-arch tile constants. The microkernel keeps an MR x NR accumulator block
+// in registers: MR is a small multiple of the vector width, NR is bounded by
+// the register file (MR/W * NR + MR/W + 1 live vector registers).
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__)
+constexpr int MR = 16, NR = 8;  // 2 zmm x 8 accumulators = 16 of 32 regs
+constexpr const char* kIsa = "avx512";
+#elif defined(__AVX2__)
+constexpr int MR = 8, NR = 6;  // 2 ymm x 6 accumulators = 12 of 16 regs
+constexpr const char* kIsa = "avx2";
+#else
+constexpr int MR = 4, NR = 4;  // scalar/SSE fallback
+constexpr const char* kIsa = "generic";
+#endif
+
+// Cache blocking: the packed A tile (MC x KC doubles, ~0.3 MB) lives in L2
+// while the packed B panel streams through it one KC x NR sliver (~16 KB,
+// L1-resident) at a time.
+constexpr int MC = 128, KC = 256, NC = 1024;
+
+static_assert(MC % MR == 0, "A tile must hold whole row microtiles");
+
+// ---------------------------------------------------------------------------
+// Microkernel: C[0:MR, 0:NR] += sum_p Apanel[p*MR + i] * Bpanel[p*NR + j].
+// Explicit intrinsics per ISA: the accumulator block must live in registers
+// for the whole k-loop, and compilers reliably spill a plain double[NR][MR]
+// array to the stack (measured: ~2.5x slower than the naive kernels). The
+// A-panel loads are aligned: the pack buffer is kMatrixAlign-aligned and each
+// k-step advances a whole MR-row microtile.
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__)
+
+void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
+         double* __restrict c, int ldc) {
+  __m512d lo[NR], hi[NR];  // two zmm per C column: 16 of 32 registers
+  for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm512_setzero_pd();
+  for (int p = 0; p < kc; ++p) {
+    const __m512d a0 = _mm512_load_pd(ap);
+    const __m512d a1 = _mm512_load_pd(ap + 8);
+    ap += MR;
+#pragma GCC unroll 8
+    for (int j = 0; j < NR; ++j) {
+      const __m512d bv = _mm512_set1_pd(bp[j]);
+      lo[j] = _mm512_fmadd_pd(a0, bv, lo[j]);
+      hi[j] = _mm512_fmadd_pd(a1, bv, hi[j]);
+    }
+    bp += NR;
+  }
+  for (int j = 0; j < NR; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    _mm512_storeu_pd(cj, _mm512_add_pd(_mm512_loadu_pd(cj), lo[j]));
+    _mm512_storeu_pd(cj + 8, _mm512_add_pd(_mm512_loadu_pd(cj + 8), hi[j]));
+  }
+}
+
+#elif defined(__AVX2__)
+
+void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
+         double* __restrict c, int ldc) {
+  __m256d lo[NR], hi[NR];  // two ymm per C column: 12 of 16 registers
+  for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm256_setzero_pd();
+  for (int p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_load_pd(ap);
+    const __m256d a1 = _mm256_load_pd(ap + 4);
+    ap += MR;
+#pragma GCC unroll 6
+    for (int j = 0; j < NR; ++j) {
+      const __m256d bv = _mm256_set1_pd(bp[j]);
+      lo[j] = _mm256_fmadd_pd(a0, bv, lo[j]);
+      hi[j] = _mm256_fmadd_pd(a1, bv, hi[j]);
+    }
+    bp += NR;
+  }
+  for (int j = 0; j < NR; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    _mm256_storeu_pd(cj, _mm256_add_pd(_mm256_loadu_pd(cj), lo[j]));
+    _mm256_storeu_pd(cj + 4, _mm256_add_pd(_mm256_loadu_pd(cj + 4), hi[j]));
+  }
+}
+
+#else
+
+void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
+         double* __restrict c, int ldc) {
+  double acc[NR][MR];
+  for (int j = 0; j < NR; ++j)
+    for (int i = 0; i < MR; ++i) acc[j][i] = 0.0;
+  for (int p = 0; p < kc; ++p) {
+    const double* __restrict a = ap + static_cast<std::size_t>(p) * MR;
+    const double* __restrict b = bp + static_cast<std::size_t>(p) * NR;
+    for (int j = 0; j < NR; ++j) {
+      const double bv = b[j];
+      for (int i = 0; i < MR; ++i) acc[j][i] += a[i] * bv;
+    }
+  }
+  for (int j = 0; j < NR; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < MR; ++i) cj[i] += acc[j][i];
+  }
+}
+
+#endif
+
+// Edge variant: accumulate the full microtile into a scratch block, then add
+// only the valid mr x nr corner into C. The padded lanes multiply packed
+// zeros, so they never contaminate valid output.
+void ukr_edge(int kc, const double* ap, const double* bp, double* c, int ldc,
+              int mr, int nr) {
+  alignas(kMatrixAlign) double tmp[MR * NR];
+  for (int x = 0; x < MR * NR; ++x) tmp[x] = 0.0;
+  ukr(kc, ap, bp, tmp, MR);
+  for (int j = 0; j < nr; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i) cj[i] += tmp[i + j * MR];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packing. Apack: row-microtile panels, MR rows contiguous per k step,
+// zero-padded to a whole microtile. Bpack: column panels, NR columns
+// contiguous per k step, alpha folded in (so the A pack stays alpha-free and
+// shareable across batched calls with different alphas).
+// ---------------------------------------------------------------------------
+struct Workspace {
+  AlignedBuffer apack, bpack;
+};
+Workspace& workspace() {
+  thread_local Workspace w;
+  return w;
+}
+
+// Shared-operand pack memoization for the *_batch entry points: remembers
+// what the thread's apack/bpack currently hold. Consulted only inside a
+// PackCacheScope. A key matches when the identical source region would be
+// packed with identical geometry; [lo, hi) is the source view's address
+// range, used to drop the cache when a batched task writes into it.
+struct PackKey {
+  const double* data = nullptr;
+  const double* lo = nullptr;
+  const double* hi = nullptr;
+  int r0 = 0, c0 = 0, rows = 0, cols = 0, ld = 0;
+  bool trans = false;
+  double alpha = 1.0;  // only meaningful for B packs
+  bool valid = false;
+
+  void set(ConstMatrixView v, int r0_, int c0_, int rows_, int cols_,
+           bool trans_, double alpha_) {
+    data = v.data();
+    lo = v.data();
+    hi = v.data() + static_cast<std::size_t>(v.cols() - 1) * v.ld() + v.rows();
+    r0 = r0_;
+    c0 = c0_;
+    rows = rows_;
+    cols = cols_;
+    ld = v.ld();
+    trans = trans_;
+    alpha = alpha_;
+    valid = true;
+  }
+  [[nodiscard]] bool matches(ConstMatrixView v, int r0_, int c0_, int rows_,
+                             int cols_, bool trans_, double alpha_) const {
+    return valid && data == v.data() && ld == v.ld() && r0 == r0_ &&
+           c0 == c0_ && rows == rows_ && cols == cols_ && trans == trans_ &&
+           alpha == alpha_;
+  }
+};
+struct PackCache {
+  bool enabled = false;
+  PackKey a, b;
+};
+PackCache& pack_cache() {
+  thread_local PackCache c;
+  return c;
+}
+
+void invalidate_overlapping(ConstMatrixView c) {
+  PackCache& pc = pack_cache();
+  if (!pc.enabled || c.empty()) return;
+  const double* lo = c.data();
+  const double* hi =
+      c.data() + static_cast<std::size_t>(c.cols() - 1) * c.ld() + c.rows();
+  auto overlaps = [&](const PackKey& k) {
+    return k.valid && k.lo < hi && lo < k.hi;
+  };
+  if (overlaps(pc.a)) pc.a.valid = false;
+  if (overlaps(pc.b)) pc.b.valid = false;
+}
+
+/// Pack op(A)[i0:i0+mc, p0:p0+kcb] into MR-row microtile panels.
+/// `trans` means the source is stored transposed (op reads a(p, i)).
+void pack_a(ConstMatrixView a, bool trans, int i0, int p0, int mc, int kcb,
+            double* buf) {
+  const int mtiles = (mc + MR - 1) / MR;
+  for (int t = 0; t < mtiles; ++t) {
+    const int ir = t * MR;
+    const int mr = std::min(MR, mc - ir);
+    double* dst = buf + static_cast<std::size_t>(t) * MR * kcb;
+    if (!trans) {
+      for (int p = 0; p < kcb; ++p) {
+        const double* src = a.col(p0 + p) + i0 + ir;
+        double* d = dst + static_cast<std::size_t>(p) * MR;
+        for (int i = 0; i < mr; ++i) d[i] = src[i];
+        for (int i = mr; i < MR; ++i) d[i] = 0.0;
+      }
+    } else {
+      // op(A)(i, p) = a(p, i): a source column holds one op-row, so walk the
+      // contiguous source column per row i and scatter it across k slots.
+      if (mr < MR) {
+        for (int p = 0; p < kcb; ++p) {
+          double* d = dst + static_cast<std::size_t>(p) * MR;
+          for (int i = mr; i < MR; ++i) d[i] = 0.0;
+        }
+      }
+      for (int i = 0; i < mr; ++i) {
+        const double* src = a.col(i0 + ir + i) + p0;
+        double* d = dst + i;
+        for (int p = 0; p < kcb; ++p)
+          d[static_cast<std::size_t>(p) * MR] = src[p];
+      }
+    }
+  }
+}
+
+/// Pack alpha * op(B)[p0:p0+kcb, j0:j0+nc] into NR-column panels.
+void pack_b(double alpha, ConstMatrixView b, bool trans, int p0, int j0,
+            int kcb, int nc, double* buf) {
+  const int ntiles = (nc + NR - 1) / NR;
+  for (int t = 0; t < ntiles; ++t) {
+    const int jr = t * NR;
+    const int nr = std::min(NR, nc - jr);
+    double* dst = buf + static_cast<std::size_t>(t) * NR * kcb;
+    if (!trans) {
+      if (nr < NR) {
+        for (int p = 0; p < kcb; ++p) {
+          double* d = dst + static_cast<std::size_t>(p) * NR;
+          for (int j = nr; j < NR; ++j) d[j] = 0.0;
+        }
+      }
+      for (int j = 0; j < nr; ++j) {
+        const double* src = b.col(j0 + jr + j) + p0;
+        double* d = dst + j;
+        for (int p = 0; p < kcb; ++p)
+          d[static_cast<std::size_t>(p) * NR] = alpha * src[p];
+      }
+    } else {
+      // op(B)(p, j) = b(j, p): source column p0 + p holds op-row p.
+      for (int p = 0; p < kcb; ++p) {
+        const double* src = b.col(p0 + p) + j0 + jr;
+        double* d = dst + static_cast<std::size_t>(p) * NR;
+        for (int j = 0; j < nr; ++j) d[j] = alpha * src[j];
+        for (int j = nr; j < NR; ++j) d[j] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GemmTiling gemm_tiling() noexcept { return {MR, NR, MC, KC, NC, kIsa}; }
+
+namespace detail {
+
+bool use_blocked(int m, int n, int k) noexcept {
+  // Below one microtile in either output dimension, or with a trivial inner
+  // dimension, packing costs more than it saves.
+  if (m < MR || n < NR || k < 8) return false;
+  // Tiny totals: the naive sweep finishes before the panels are even packed.
+  return static_cast<long long>(m) * n * k >= 16LL * 1024;
+}
+
+void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
+                        ConstMatrixView b, Trans tb, MatrixView c) {
+  const int m = c.rows(), n = c.cols();
+  const int k = (ta == Trans::No) ? a.cols() : a.rows();
+  const bool at = (ta == Trans::Yes), bt = (tb == Trans::Yes);
+
+  Workspace& w = workspace();
+  w.apack.resize(static_cast<std::size_t>(MC) * KC);
+  w.bpack.resize(static_cast<std::size_t>(NC + NR) * KC);
+  PackCache& pc = pack_cache();
+
+  for (int jc = 0; jc < n; jc += NC) {
+    const int nc = std::min(NC, n - jc);
+    for (int p0 = 0; p0 < k; p0 += KC) {
+      const int kcb = std::min(KC, k - p0);
+      if (!pc.enabled || !pc.b.matches(b, p0, jc, kcb, nc, bt, alpha)) {
+        pack_b(alpha, b, bt, p0, jc, kcb, nc, w.bpack.data());
+        if (pc.enabled) pc.b.set(b, p0, jc, kcb, nc, bt, alpha);
+      }
+      for (int ic = 0; ic < m; ic += MC) {
+        const int mc = std::min(MC, m - ic);
+        if (!pc.enabled || !pc.a.matches(a, ic, p0, mc, kcb, at, 1.0)) {
+          pack_a(a, at, ic, p0, mc, kcb, w.apack.data());
+          if (pc.enabled) pc.a.set(a, ic, p0, mc, kcb, at, 1.0);
+        }
+        // Macrokernel: stream B slivers against the resident A tile.
+        for (int jr = 0; jr < nc; jr += NR) {
+          const int nr = std::min(NR, nc - jr);
+          const double* bp =
+              w.bpack.data() + static_cast<std::size_t>(jr / NR) * NR * kcb;
+          for (int ir = 0; ir < mc; ir += MR) {
+            const int mr = std::min(MR, mc - ir);
+            const double* ap =
+                w.apack.data() + static_cast<std::size_t>(ir / MR) * MR * kcb;
+            double* cp = c.col(jc + jr) + ic + ir;
+            if (mr == MR && nr == NR) {
+              ukr(kcb, ap, bp, cp, c.ld());
+            } else {
+              ukr_edge(kcb, ap, bp, cp, c.ld(), mr, nr);
+            }
+          }
+        }
+      }
+    }
+  }
+  if (pc.enabled) {
+    // The buffers hold only the LAST packed tile; a multi-tile operand's key
+    // must not survive into the next call.
+    if (m > MC || k > KC) pc.a.valid = false;
+    if (n > NC || k > KC) pc.b.valid = false;
+    invalidate_overlapping(c);
+  }
+}
+
+void gemm_nocount(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+                  Trans tb, double beta, MatrixView c) {
+  const int m = c.rows(), n = c.cols();
+  const int ka = (ta == Trans::No) ? a.cols() : a.rows();
+
+  if (beta == 0.0) {
+    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, 0.0);
+  } else if (beta != 1.0) {
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || ka == 0 || alpha == 0.0) return;
+
+  if (use_blocked(m, n, ka)) {
+    gemm_accum_blocked(alpha, a, ta, b, tb, c);
+  } else {
+    naive::gemm(alpha, a, ta, b, tb, 1.0, c);  // C pre-scaled above
+    invalidate_overlapping(c);
+  }
+}
+
+void invalidate_packs(ConstMatrixView written) {
+  invalidate_overlapping(written);
+}
+
+PackCacheScope::PackCacheScope() { pack_cache().enabled = true; }
+
+PackCacheScope::~PackCacheScope() {
+  PackCache& pc = pack_cache();
+  pc.enabled = false;
+  pc.a.valid = pc.b.valid = false;
+}
+
+}  // namespace detail
+}  // namespace h2

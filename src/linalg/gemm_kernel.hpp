@@ -1,0 +1,71 @@
+#pragma once
+
+#include "linalg/blas.hpp"
+
+/// The blocked gemm substrate: an MR x NR register-tiled microkernel fed by
+/// A/B panels packed into aligned contiguous buffers, with MC/KC/NC cache
+/// blocking (the BLIS/GotoBLAS decomposition). Public `gemm()` routes here
+/// for every shape above the small-size threshold; the blocked trsm / getrf /
+/// potrf / householder_qr are expressed in terms of these entry points so
+/// every hot factor kernel inherits the microkernel's flop rate.
+///
+/// This translation unit is compiled with the best SIMD flags the host
+/// compiler supports (-march=native when available, see CMakeLists), so the
+/// per-arch tile constants below are chosen by the instruction set actually
+/// in play. Results are deterministic for a given build, and both DAG
+/// executors share this single code path — bitwise identity across executors
+/// and worker counts is preserved. Results are NOT bitwise-stable against
+/// the retained naive kernels (different summation order); tests compare the
+/// two within floating-point tolerance.
+namespace h2 {
+
+/// The tile constants the blocked path was compiled with (per-arch):
+/// mr x nr is the register microtile, mc/kc/nc the cache-block sizes.
+struct GemmTiling {
+  int mr, nr;     ///< microkernel register tile
+  int mc, kc, nc; ///< cache blocking (A tile mc x kc, B panel kc x nc)
+  const char* isa; ///< "avx512" | "avx2" | "generic"
+};
+[[nodiscard]] GemmTiling gemm_tiling() noexcept;
+
+namespace detail {
+
+/// Dispatch predicate: true when (m, n, k) is worth packing. Tiny DAG leaf
+/// tasks (and degenerate shapes with a dimension below one microtile) stay
+/// on the naive path so they never pay the packing overhead.
+[[nodiscard]] bool use_blocked(int m, int n, int k) noexcept;
+
+/// C += alpha * op(A) * op(B) through the packed microkernel. No beta
+/// handling, no flop accounting — callers pre-scale C and report flops once.
+void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
+                        ConstMatrixView b, Trans tb, MatrixView c);
+
+/// Full gemm semantics (beta pre-scale, small-size dispatch to the naive
+/// kernels) WITHOUT flop accounting: what the blocked trsm/getrf/potrf/qr
+/// call internally so the public entry points count each operation exactly
+/// once (fig10's accounting stays truthful).
+void gemm_nocount(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+                  Trans tb, double beta, MatrixView c);
+
+/// Drop any memoized pack whose source range overlaps `written`. gemm itself
+/// invalidates its own C; kernels that write through non-gemm paths (naive
+/// trsm sweeps, panel factors, scratch refills) must call this after writing
+/// so a later batched gemm cannot reuse a stale panel.
+void invalidate_packs(ConstMatrixView written);
+
+/// RAII enable of the packed-panel memoization used by the *_batch entry
+/// points: while a scope is alive, a gemm whose A (or B) operand matches the
+/// previously packed panel re-uses it instead of repacking. Only safe when
+/// no task in the batch writes memory a later task reads through A/B — the
+/// batch entry points guarantee that by invalidating on output overlap.
+/// Scopes may not nest (the batch functions are the only intended users).
+class PackCacheScope {
+ public:
+  PackCacheScope();
+  ~PackCacheScope();
+  PackCacheScope(const PackCacheScope&) = delete;
+  PackCacheScope& operator=(const PackCacheScope&) = delete;
+};
+
+}  // namespace detail
+}  // namespace h2

@@ -1,15 +1,27 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
 
 #include "linalg/error.hpp"
+#include "linalg/gemm_kernel.hpp"
+#include "linalg/naive.hpp"
 #include "util/flops.hpp"
 
 namespace h2 {
+namespace {
 
-void getrf(MatrixView a, std::vector<int>& piv) {
+/// Blocked LU panels the columns in kGetrfNb steps: pivoted unblocked factor
+/// of the tall panel, then one unit-lower trsm for U12 and one gemm for the
+/// trailing submatrix (the cubic term rides the packed microkernel).
+constexpr int kGetrfNb = 64;
+
+/// The pre-blocked right-looking loop; `piv` entries are view-relative
+/// absolute row indices (the same convention getrf always exposed). No flop
+/// accounting — the public entry reports the analytic count once.
+void getrf_unblocked(MatrixView a, std::vector<int>& piv) {
   const int m = a.rows(), n = a.cols();
   const int k = m < n ? m : n;
   piv.assign(k, 0);
@@ -40,6 +52,47 @@ void getrf(MatrixView a, std::vector<int>& piv) {
       for (int i = p + 1; i < m; ++i) cj[i] -= cp[i] * upj;
     }
   }
+}
+
+}  // namespace
+
+void getrf(MatrixView a, std::vector<int>& piv) {
+  const int m = a.rows(), n = a.cols();
+  const int k = m < n ? m : n;
+  if (k <= kGetrfNb) {
+    getrf_unblocked(a, piv);
+    detail::invalidate_packs(a);
+    flops::add(flops::getrf(m, n));
+    return;
+  }
+
+  piv.assign(k, 0);
+  std::vector<int> ppiv;
+  for (int p0 = 0; p0 < k; p0 += kGetrfNb) {
+    const int pb = std::min(kGetrfNb, k - p0);
+    getrf_unblocked(a.block(p0, p0, m - p0, pb), ppiv);
+    // Merge panel-local pivots into absolute indices and mirror the panel's
+    // row swaps onto the columns outside it.
+    for (int i = 0; i < pb; ++i) {
+      piv[p0 + i] = p0 + ppiv[i];
+      const int r1 = p0 + i, r2 = p0 + ppiv[i];
+      if (r1 == r2) continue;
+      for (int j = 0; j < p0; ++j) std::swap(a(r1, j), a(r2, j));
+      for (int j = p0 + pb; j < n; ++j) std::swap(a(r1, j), a(r2, j));
+    }
+    const int rest = n - p0 - pb;
+    if (rest > 0) {
+      naive::trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0,
+                  a.block(p0, p0, pb, pb), a.block(p0, p0 + pb, pb, rest));
+      const int mrest = m - p0 - pb;
+      if (mrest > 0) {
+        detail::gemm_nocount(-1.0, a.block(p0 + pb, p0, mrest, pb), Trans::No,
+                             a.block(p0, p0 + pb, pb, rest), Trans::No, 1.0,
+                             a.block(p0 + pb, p0 + pb, mrest, rest));
+      }
+    }
+  }
+  detail::invalidate_packs(a);
   flops::add(flops::getrf(m, n));
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace h2 {
@@ -81,6 +82,8 @@ class MatrixView {
 
 /// Owning column-major dense matrix of doubles (leading dimension == rows).
 /// The single value type used throughout the library; vectors are n x 1.
+/// Storage is kMatrixAlign (64-byte) aligned — see aligned.hpp — so the
+/// blocked kernels' packed panels and vector loads start on a cache line.
 class Matrix {
  public:
   Matrix() = default;
@@ -92,7 +95,7 @@ class Matrix {
   }
   /// Adopt `storage` (size must be rows * cols; its values are the matrix
   /// entries, column-major) — the recycling hook BlockPool::make builds on.
-  Matrix(int rows, int cols, std::vector<double>&& storage)
+  Matrix(int rows, int cols, AlignedBuffer&& storage)
       : rows_(rows), cols_(cols), data_(std::move(storage)) {
     assert(rows >= 0 && cols >= 0);
     assert(data_.size() ==
@@ -147,14 +150,14 @@ class Matrix {
   /// Move out the backing storage (capacity intact — what a pool recycles);
   /// the matrix is left empty (0 x 0). Rvalue-qualified so call sites spell
   /// the consumption: std::move(m).take_storage().
-  [[nodiscard]] std::vector<double> take_storage() && {
+  [[nodiscard]] AlignedBuffer take_storage() && {
     rows_ = cols_ = 0;
     return std::move(data_);
   }
 
  private:
   int rows_ = 0, cols_ = 0;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 /// Copy `src` into `dst` (shapes must match).

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "linalg/blas.hpp"
+
+/// The pre-blocked reference kernels: straightforward column sweeps with no
+/// packing, no register tiling, no cache blocking. Retained for three jobs:
+///
+///  1. correctness oracle — the property tests compare every blocked kernel
+///     against these on random shapes;
+///  2. small-size fast path — tiny DAG leaf tasks dispatch here so they never
+///     pay packing overhead (see detail::use_blocked in gemm_kernel.hpp);
+///  3. the bench_micro_linalg baseline the ">= 2x blocked GFlop/s" gate in
+///     BENCH_LINALG.json measures against ("the current kernels" pre-PR).
+///
+/// None of these report to h2::flops — accounting happens once at the public
+/// gemm()/trsm() entry points, whichever path they dispatch to.
+namespace h2::naive {
+
+/// C = alpha * op(A) * op(B) + beta * C, triple-loop column sweeps.
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+          Trans tb, double beta, MatrixView c);
+
+/// Unblocked triangular solve (same contract as h2::trsm).
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+}  // namespace h2::naive

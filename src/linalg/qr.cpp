@@ -1,13 +1,21 @@
 #include "linalg/qr.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
 
+#include "linalg/gemm_kernel.hpp"
 #include "util/flops.hpp"
 
 namespace h2 {
 namespace {
+
+/// Blocked QR panel width: reflectors are accumulated into a compact-WY
+/// representation (V unit-lower trapezoid, T upper triangular) and the
+/// trailing matrix is updated with three gemms instead of 2*kQrNb rank-1
+/// sweeps.
+constexpr int kQrNb = 32;
 
 /// Generate an elementary reflector H = I - tau v v^T annihilating x(1:).
 /// x(0) is replaced by beta, x(1:) by the reflector tail (v(0) == 1 implicit).
@@ -42,17 +50,93 @@ void apply_reflector_left(MatrixView a, int k, const double* v, double tau,
   }
 }
 
+/// Reusable per-thread scratch for the compact-WY update, so qr_batch calls
+/// don't churn the allocator once the shapes repeat across leaf tasks.
+struct QrWorkspace {
+  Matrix v;    ///< explicit reflector panel (unit diag, zeros above)
+  Matrix t;    ///< compact-WY triangular factor
+  Matrix vtv;  ///< V^T V (what larft consumes)
+  Matrix w;    ///< V^T C staging block
+};
+QrWorkspace& qr_workspace() {
+  thread_local QrWorkspace ws;
+  return ws;
+}
+
 }  // namespace
 
 void householder_qr(MatrixView a, std::vector<double>& tau) {
   const int m = a.rows(), n = a.cols();
   const int k = m < n ? m : n;
   tau.assign(k, 0.0);
-  for (int p = 0; p < k; ++p) {
-    double* cp = a.col(p);
-    tau[p] = make_reflector(cp + p, m - p);
-    apply_reflector_left(a, p, cp, tau[p], p + 1, n);
+  if (k <= kQrNb) {
+    for (int p = 0; p < k; ++p) {
+      double* cp = a.col(p);
+      tau[p] = make_reflector(cp + p, m - p);
+      apply_reflector_left(a, p, cp, tau[p], p + 1, n);
+    }
+    detail::invalidate_packs(a);
+    flops::add(flops::geqrf(m, n));
+    return;
   }
+
+  QrWorkspace& ws = qr_workspace();
+  for (int p0 = 0; p0 < k; p0 += kQrNb) {
+    const int pb = std::min(kQrNb, k - p0);
+    // Factor the panel with the unblocked loop, applying each reflector only
+    // within the panel's own columns.
+    for (int p = p0; p < p0 + pb; ++p) {
+      double* cp = a.col(p);
+      tau[p] = make_reflector(cp + p, m - p);
+      apply_reflector_left(a, p, cp, tau[p], p + 1, p0 + pb);
+    }
+    const int rest = n - p0 - pb;
+    if (rest <= 0) continue;
+
+    // Materialize V (unit lower trapezoid of the panel) so the trailing
+    // update is expressible as plain gemms.
+    const int mm = m - p0;
+    ws.v.resize(mm, pb);
+    for (int j = 0; j < pb; ++j) {
+      ws.v(j, j) = 1.0;
+      const double* cj = a.col(p0 + j);
+      for (int i = j + 1; i < mm; ++i) ws.v(i, j) = cj[p0 + i];
+    }
+    detail::invalidate_packs(ws.v);  // scratch refilled in place
+
+    // larft: T(0:j, j) = -tau_j * T(0:j, 0:j) * (V^T V)(0:j, j). Because
+    // v_j vanishes above row j, the full dot products in V^T V are exactly
+    // the partial sums larft needs.
+    ws.vtv.resize(pb, pb);
+    detail::gemm_nocount(1.0, ws.v, Trans::Yes, ws.v, Trans::No, 0.0, ws.vtv);
+    ws.t.resize(pb, pb);
+    for (int j = 0; j < pb; ++j) {
+      const double tj = tau[p0 + j];
+      for (int i = 0; i < j; ++i) {
+        double s = 0.0;
+        for (int l = i; l < j; ++l) s += ws.t(i, l) * ws.vtv(l, j);
+        ws.t(i, j) = -tj * s;
+      }
+      ws.t(j, j) = tj;
+    }
+
+    // Trailing update C = (I - V T^T V^T) C in three steps:
+    // W = V^T C; W = T^T W (in-place triangular multiply); C -= V W.
+    MatrixView c = a.block(p0, p0 + pb, mm, rest);
+    ws.w.resize(pb, rest);
+    detail::gemm_nocount(1.0, ws.v, Trans::Yes, c, Trans::No, 0.0, ws.w);
+    for (int jc = 0; jc < rest; ++jc) {
+      double* wc = ws.w.view().col(jc);
+      for (int i = pb - 1; i >= 0; --i) {
+        double s = ws.t(i, i) * wc[i];
+        for (int l = 0; l < i; ++l) s += ws.t(l, i) * wc[l];
+        wc[i] = s;
+      }
+    }
+    detail::invalidate_packs(ws.w);  // rewritten in place after the gemm
+    detail::gemm_nocount(-1.0, ws.v, Trans::No, ws.w, Trans::No, 1.0, c);
+  }
+  detail::invalidate_packs(a);
   flops::add(flops::geqrf(m, n));
 }
 

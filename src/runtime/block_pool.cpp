@@ -65,7 +65,7 @@ Matrix BlockPool::make(int rows, int cols) {
   const std::size_t n =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
   if (n == 0) return Matrix(rows, cols);
-  std::vector<double> storage;
+  AlignedBuffer storage;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     // A parked buffer's capacity shares the request's bit_width, so it can
@@ -88,7 +88,7 @@ Matrix BlockPool::make(int rows, int cols) {
 }
 
 void BlockPool::recycle(Matrix&& m) {
-  std::vector<double> storage = std::move(m).take_storage();
+  AlignedBuffer storage = std::move(m).take_storage();
   const std::size_t bytes = storage.capacity() * sizeof(double);
   if (bytes == 0) return;
   std::lock_guard<std::mutex> lk(mutex_);

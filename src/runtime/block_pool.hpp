@@ -40,7 +40,8 @@ void reset_peak() noexcept;
 }  // namespace blockmem
 
 /// Pooled allocator for Matrix backing storage: released blocks park their
-/// std::vector<double> buffers in power-of-two size-class free lists, and
+/// AlignedBuffer (64-byte-aligned) buffers in power-of-two size-class free
+/// lists, and
 /// make() re-uses a parked buffer instead of hitting the allocator. The ULV
 /// release tasks free a level's blocks while the next level allocates
 /// comparably-sized ones, so without the pool the factorization churns
@@ -87,7 +88,7 @@ class BlockPool {
   static constexpr int kBuckets = 48;  // bit_width of element counts
 
   mutable std::mutex mutex_;
-  std::vector<std::vector<double>> bucket_[kBuckets];
+  std::vector<AlignedBuffer> bucket_[kBuckets];
   std::size_t cap_bytes_ = 0;
   std::size_t cached_bytes_ = 0;
   Stats stats_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -587,6 +588,24 @@ TEST(BlockPool, MakeNeverHandsBackTooSmallStorage) {
   EXPECT_EQ(m.rows() * m.cols(), 25);
   EXPECT_EQ(pool.stats().fresh, 2u);  // the 4x4 and the 5x5
   EXPECT_EQ(pool.stats().reused, 0u);
+}
+
+TEST(BlockPool, StorageIsCacheLineAligned) {
+  // The blocked kernels' aligned panel loads rely on every Matrix — fresh or
+  // recycled through the pool — starting on a kMatrixAlign boundary.
+  auto aligned = [](const Matrix& m) {
+    return reinterpret_cast<std::uintptr_t>(m.data()) % kMatrixAlign == 0;
+  };
+  BlockPool pool(64 << 20);
+  for (const int n : {1, 3, 17, 64, 129}) {
+    Matrix fresh(n, n);
+    EXPECT_TRUE(aligned(fresh)) << "fresh n=" << n;
+    Matrix pooled = pool.make(n, n);
+    EXPECT_TRUE(aligned(pooled)) << "pooled fresh n=" << n;
+    pool.recycle(std::move(pooled));
+    Matrix reused = pool.make(n, n);
+    EXPECT_TRUE(aligned(reused)) << "pooled reused n=" << n;
+  }
 }
 
 }  // namespace
