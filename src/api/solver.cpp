@@ -28,6 +28,7 @@ UlvOptions SolverOptions::ulv_options() const {
   u.n_workers = n_workers;
   u.pool = pool;
   u.record_tasks = record_tasks;
+  u.width_stable_solve = width_stable_solve;
   return u;
 }
 

@@ -96,6 +96,11 @@ struct SolverOptions {
   /// The paper's key idea: fold pre-computed fill-in directions into the
   /// shared bases (turn off only for the ablation).
   bool fillin_augmentation = true;
+  /// Make each solution column's bits independent of nrhs (ULV backends):
+  /// solving k right-hand sides as one n x k block is then bitwise equal to
+  /// k separate solve() calls. The batching contract h2::Server coalesces
+  /// under; see UlvOptions::width_stable_solve for mechanism and cost.
+  bool width_stable_solve = false;
 
   SolverOptions& with_structure(SolverStructure s) { structure = s; return *this; }  ///< chain-set structure
   SolverOptions& with_leaf_size(int v) { leaf_size = v; return *this; }  ///< chain-set leaf_size
@@ -113,6 +118,7 @@ struct SolverOptions {
   SolverOptions& with_workers(int v) { n_workers = v; return *this; }  ///< chain-set n_workers
   SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }  ///< chain-set pool
   SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }  ///< chain-set record_tasks
+  SolverOptions& with_width_stable_solve(bool v) { width_stable_solve = v; return *this; }  ///< chain-set width_stable_solve
 
   /// The UlvOptions this surface consolidates (H2/HSS structures).
   [[nodiscard]] UlvOptions ulv_options() const;

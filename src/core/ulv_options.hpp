@@ -133,6 +133,19 @@ struct UlvOptions {
   /// executor this additionally keeps the executed DAG (UlvStats::dag) and
   /// its execution trace (UlvStats::exec).
   bool record_tasks = false;
+  /// Make every solve's per-column bits independent of nrhs: the solve
+  /// bodies run their gemms under a width-stable dispatch scope
+  /// (detail::WidthStableScope), so the blocked/naive choice — the ONE
+  /// nrhs-dependent decision in the solve arithmetic — ignores the column
+  /// count. With this on, solving k right-hand sides as one n x k block is
+  /// bitwise identical to k separate single-column solves: the contract the
+  /// server tier's admission batching is built on (coalesced batch ==
+  /// serial requests, bit for bit). Cost: single-column solves above the
+  /// dispatch threshold run the packed microkernel at partial lane
+  /// occupancy instead of the naive sweep — measured by
+  /// bench_server_traffic's latency mode. Off by default: a standalone
+  /// solve has no batch to be consistent with.
+  bool width_stable_solve = false;
 
   /// The ThreadPool queue discipline `schedule` maps onto — the ONE place
   /// the mapping lives (executors and the api facade all size/spawn pools

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/ulv_factorization.hpp"
+#include "linalg/gemm_kernel.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/env.hpp"
@@ -77,11 +78,20 @@ void UlvFactorization::init_solve_scratch(SolveScratch& s, int nrhs) const {
 // (transform -> subst -> y for z, transform -> down for s, ...), so any
 // executor that respects the recorded edges reproduces the level sweep
 // bitwise.
+//
+// Every body doing arithmetic opens a WidthStableScope gated on
+// opt_.width_stable_solve, making its gemm dispatch independent of nrhs
+// (see UlvOptions::width_stable_solve). The scope lives INSIDE the bodies —
+// not around the solve() entry point — because the dispatch flag is
+// thread_local and the DAG executor runs bodies on arbitrary pool workers;
+// only the body itself executes on the thread whose flag matters.
+// (sbody_merge and sbody_xsplit are pure copies and need none.)
 // ---------------------------------------------------------------------------
 
 void UlvFactorization::sbody_transform(SolveScratch& s, ConstMatrixView b,
                                        int level, int c) const {
   // b_hat = Q^T b, split into skeleton and redundant parts.
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   const Level& ld = levels_[level];
   const int nrhs = s.nrhs;
   ConstMatrixView src =
@@ -100,6 +110,7 @@ void UlvFactorization::sbody_subst(SolveScratch& s, int level, int k) const {
   // strips were pre-solved by the factorization, so the diagonal solve comes
   // first and the dense-neighbor couplings (i < k only) are subtracted with
   // already-final z_i — the one sequential chain of the sweep, O(N) total.
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   const Level& ld = levels_[level];
   auto& zl = s.z[level];
   const int rk = ld.rank[k], nrk = ld.size[k] - rk;
@@ -120,6 +131,7 @@ void UlvFactorization::sbody_subst(SolveScratch& s, int level, int k) const {
 void UlvFactorization::sbody_down(SolveScratch& s, int level, int i) const {
   // Downdate the skeleton rhs with the L_SR strips: b^S_i -= sum_k
   // D(i,k)[S,R] z_k over the diagonal and every dense partner.
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   const Level& ld = levels_[level];
   auto& zl = s.z[level];
   const int ri = ld.rank[i];
@@ -142,6 +154,7 @@ void UlvFactorization::sbody_merge(SolveScratch& s, int level, int p) const {
 }
 
 void UlvFactorization::sbody_top(SolveScratch& s) const {
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   getrs(top_lu_, top_piv_, s.rhs[0][0]);
 }
 
@@ -159,6 +172,7 @@ void UlvFactorization::sbody_y(SolveScratch& s, int level, int k) const {
   // it reads are final (their own RR and RS updates done), pre-triangular-
   // solve values — the triangular solve happens out of place in
   // sbody_combine, so z keeps holding y.
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   const Level& ld = levels_[level];
   auto& zl = s.z[level];
   auto& xsl = s.xs[level];
@@ -188,6 +202,7 @@ void UlvFactorization::sbody_combine(SolveScratch& s, MatrixView b, int level,
   // x^R_c = U_c^-1 y_c (out of place — see SolveScratch::z), then
   // x = Q [x^S; x^R] back in current coordinates; the leaf level scatters
   // straight into b.
+  const detail::WidthStableScope ws(opt_.width_stable_solve);
   const Level& ld = levels_[level];
   const int nrhs = s.nrhs, rc = ld.rank[c], nrc = ld.size[c] - rc;
   Matrix xhat(ld.size[c], nrhs);
@@ -411,6 +426,9 @@ std::uint64_t UlvFactorization::solve_stats_generation() const {
 void UlvFactorization::solve(MatrixView b) const {
   assert(b.rows() == tree_->n_points());
   if (depth_ == 0) {
+    // Degenerate one-cluster tree: the whole solve is this getrs, so the
+    // width-stable scope wraps it here (no DAG, runs on the caller's thread).
+    const detail::WidthStableScope ws(opt_.width_stable_solve);
     getrs(top_lu_, top_piv_, b);
     return;
   }

@@ -276,7 +276,19 @@ GemmTiling gemm_tiling() noexcept { return {MR, NR, MC, KC, NC, kIsa}; }
 
 namespace detail {
 
+// Per-thread width-stable dispatch mode (detail::WidthStableScope). Kept
+// thread_local because the solve bodies that open the scope execute on
+// arbitrary pool workers — the mode must travel with the body, not with the
+// caller that queued it.
+thread_local bool width_stable_mode = false;
+
 bool use_blocked(int m, int n, int k) noexcept {
+  if (width_stable_mode) {
+    // Width-stable: decide as if the gemm were NR columns wide, so the path
+    // (and each column's summation order) cannot depend on how many columns
+    // actually ride along. n == 0 still short-circuits in gemm itself.
+    return m >= MR && k >= 8 && static_cast<long long>(m) * k * NR >= 16LL * 1024;
+  }
   // Below one microtile in either output dimension, or with a trivial inner
   // dimension, packing costs more than it saves.
   if (m < MR || n < NR || k < 8) return false;
@@ -372,6 +384,14 @@ PackCacheScope::~PackCacheScope() {
   pc.enabled = false;
   pc.a.valid = pc.b.valid = false;
 }
+
+WidthStableScope::WidthStableScope(bool enable) : prev_(width_stable_mode) {
+  // enable == false leaves the thread's current mode untouched (the scope
+  // degenerates to a no-op), so call sites can gate on an option bool.
+  if (enable) width_stable_mode = true;
+}
+
+WidthStableScope::~WidthStableScope() { width_stable_mode = prev_; }
 
 }  // namespace detail
 }  // namespace h2

@@ -32,7 +32,10 @@ namespace detail {
 
 /// Dispatch predicate: true when (m, n, k) is worth packing. Tiny DAG leaf
 /// tasks (and degenerate shapes with a dimension below one microtile) stay
-/// on the naive path so they never pay the packing overhead.
+/// on the naive path so they never pay the packing overhead. Inside a
+/// WidthStableScope the predicate ignores n entirely (see below), so a
+/// gemm's path — and hence each output column's bits — cannot depend on how
+/// many right-hand-side columns ride along.
 [[nodiscard]] bool use_blocked(int m, int n, int k) noexcept;
 
 /// C += alpha * op(A) * op(B) through the packed microkernel. No beta
@@ -65,6 +68,35 @@ class PackCacheScope {
   ~PackCacheScope();
   PackCacheScope(const PackCacheScope&) = delete;
   PackCacheScope& operator=(const PackCacheScope&) = delete;
+};
+
+/// RAII enable (per thread) of WIDTH-STABLE gemm dispatch: while a scope
+/// constructed with `enable = true` is alive on this thread, use_blocked
+/// ignores the real column count and decides as if every gemm were NR
+/// columns wide (`m >= MR && k >= 8 && m*k*NR >= threshold`). The blocked
+/// path is perfectly column-local — each output column's bits depend only
+/// on A and its own B column (edge microtiles compute the full zero-padded
+/// NR-wide tile through the same microkernel) — so under a width-stable
+/// scope a solve's per-column results are bitwise independent of how many
+/// right-hand sides were batched together. This is the primitive behind
+/// UlvOptions::width_stable_solve and the server's determinism contract:
+/// a deadline-coalesced batch must equal the same requests solved serially.
+///
+/// Cost: single-column gemms above the width-stable threshold run the
+/// packed microkernel at 1/NR useful lane occupancy instead of the naive
+/// sweep. Scopes nest (each restores the previous state); a scope
+/// constructed with `enable = false` is a no-op that leaves the thread's
+/// current mode untouched, so call sites can gate on an option bool
+/// without branching around the object.
+class WidthStableScope {
+ public:
+  explicit WidthStableScope(bool enable);
+  ~WidthStableScope();
+  WidthStableScope(const WidthStableScope&) = delete;
+  WidthStableScope& operator=(const WidthStableScope&) = delete;
+
+ private:
+  bool prev_;
 };
 
 }  // namespace detail
