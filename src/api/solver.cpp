@@ -11,8 +11,19 @@
 #include "hmatrix/h2_matrix.hpp"
 #include "hodlr/hodlr.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/env.hpp"
 
 namespace h2 {
+
+std::string solver_default_spill_dir() {
+  return env::get_string("H2_SPILL_DIR", std::string());
+}
+
+double solver_default_spill_mb() { return env::get_double("H2_SPILL_MB", 256.0); }
+
+int solver_default_spill_threads() {
+  return env::get_int("H2_SPILL_THREADS", 2);
+}
 
 UlvOptions SolverOptions::ulv_options() const {
   UlvOptions u;
@@ -29,6 +40,10 @@ UlvOptions SolverOptions::ulv_options() const {
   u.pool = pool;
   u.record_tasks = record_tasks;
   u.width_stable_solve = width_stable_solve;
+  u.spill_dir = spill_dir;
+  u.spill_budget_bytes =
+      static_cast<std::uint64_t>(spill_budget_mb * (1ull << 20));
+  u.spill_threads = spill_threads;
   return u;
 }
 
@@ -44,6 +59,11 @@ void SolverOptions::validate() const {
     throw std::invalid_argument(
         "SolverOptions: build_tol_factor must be > 0 (got " +
         std::to_string(build_tol_factor) + ")");
+  if (spill_budget_mb < 0.0)
+    throw std::invalid_argument(
+        "SolverOptions: spill_budget_mb must be >= 0 (got " +
+        std::to_string(spill_budget_mb) +
+        "); it is the resident byte budget of the spill tier (H2_SPILL_MB)");
   UlvOptions u = ulv_options();
   u.validate();  // tol, fill_tol_factor, n_workers checks live there
 }
@@ -227,6 +247,18 @@ int Solver::max_rank_used() const {
   if (impl_->ulv) return impl_->ulv->stats().max_rank;
   if (impl_->blr) return impl_->blr->max_rank_used();
   return impl_->hodlr->max_rank_used();
+}
+
+SpillStats Solver::spill_stats() const {
+  return impl_->ulv ? impl_->ulv->spill_stats() : SpillStats{};
+}
+
+bool Solver::demote_to_disk(const std::string& dir) {
+  return impl_->ulv ? impl_->ulv->demote_to_disk(dir) : false;
+}
+
+void Solver::promote() {
+  if (impl_->ulv) impl_->ulv->promote();
 }
 
 Matrix SolveHandle::get() {

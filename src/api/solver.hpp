@@ -2,9 +2,11 @@
 
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/ulv_options.hpp"
+#include "storage/spill_store.hpp"
 #include "geometry/cloud.hpp"
 #include "geometry/cluster_tree.hpp"
 #include "kernels/kernel.hpp"
@@ -19,6 +21,16 @@
 namespace h2 {
 
 class ThreadPool;
+
+/// Environment default of SolverOptions::spill_dir: $H2_SPILL_DIR, else ""
+/// (spilling off).
+[[nodiscard]] std::string solver_default_spill_dir();
+/// Environment default of SolverOptions::spill_budget_mb: $H2_SPILL_MB,
+/// else 256.
+[[nodiscard]] double solver_default_spill_mb();
+/// Environment default of SolverOptions::spill_threads: $H2_SPILL_THREADS,
+/// else 2.
+[[nodiscard]] int solver_default_spill_threads();
 
 /// Which rank-structured representation (and hence which direct solver)
 /// backs an h2::Solver — the paper's Table I families over one geometry.
@@ -102,6 +114,19 @@ struct SolverOptions {
   /// under; see UlvOptions::width_stable_solve for mechanism and cost.
   bool width_stable_solve = false;
 
+  // ---- Out-of-core factor store (src/storage; knobs in docs/TUNING.md).
+  /// Existing writable directory for the spill tier; empty (the default
+  /// unless $H2_SPILL_DIR is set) keeps the whole factor resident. When
+  /// set, factor blocks spill to checksummed files at their release points
+  /// and are prefetched ahead of each solve sweep — decoupling solvable N
+  /// from RAM while keeping results bitwise identical to the in-RAM run
+  /// (ULV structures only; BLR/HODLR ignore it).
+  std::string spill_dir = solver_default_spill_dir();
+  /// Resident budget for spilled factor blocks in MiB ($H2_SPILL_MB, 256).
+  double spill_budget_mb = solver_default_spill_mb();
+  /// Background spill-writer threads ($H2_SPILL_THREADS, 2).
+  int spill_threads = solver_default_spill_threads();
+
   SolverOptions& with_structure(SolverStructure s) { structure = s; return *this; }  ///< chain-set structure
   SolverOptions& with_leaf_size(int v) { leaf_size = v; return *this; }  ///< chain-set leaf_size
   SolverOptions& with_partitioner(Partitioner p) { partitioner = p; return *this; }  ///< chain-set partitioner
@@ -119,6 +144,9 @@ struct SolverOptions {
   SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }  ///< chain-set pool
   SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }  ///< chain-set record_tasks
   SolverOptions& with_width_stable_solve(bool v) { width_stable_solve = v; return *this; }  ///< chain-set width_stable_solve
+  SolverOptions& with_spill_dir(std::string d) { spill_dir = std::move(d); return *this; }  ///< chain-set spill_dir
+  SolverOptions& with_spill_budget_mb(double v) { spill_budget_mb = v; return *this; }  ///< chain-set spill_budget_mb
+  SolverOptions& with_spill_threads(int v) { spill_threads = v; return *this; }  ///< chain-set spill_threads
 
   /// The UlvOptions this surface consolidates (H2/HSS structures).
   [[nodiscard]] UlvOptions ulv_options() const;
@@ -231,6 +259,27 @@ class Solver {
   /// Largest rank the factorization kept (skeleton / tile / off-diagonal
   /// rank, by structure).
   [[nodiscard]] int max_rank_used() const;
+
+  /// Counters of the out-of-core factor store: adopted blocks, spill-file
+  /// writes, evictions, demand faults vs. prefetch hits, and the resident
+  /// high-water mark (see SpillStats for the budget bound). All zero when
+  /// spilling is off and the solver was never demoted, and for BLR/HODLR
+  /// backends.
+  [[nodiscard]] SpillStats spill_stats() const;
+
+  /// Demote the factorization to the disk tier under `dir`: every factor
+  /// block is persisted to a checksummed spill file and its resident
+  /// payload dropped, after in-flight solves drain. The solver stays fully
+  /// usable — each solve faults its read set back in chunk by chunk — at
+  /// near-zero resident factor bytes, which is how h2::Server turns its
+  /// cache eviction into demotion. Affects every copy sharing this
+  /// factorization. Returns false for BLR/HODLR backends (not demotable;
+  /// the server erases those instead). Throws std::runtime_error if the
+  /// spill directory cannot be created or a spill write fails.
+  bool demote_to_disk(const std::string& dir);
+  /// Undo demote_to_disk(): restore the previous resident budget and fault
+  /// the factor back into RAM. No-op unless currently demoted.
+  void promote();
 
  private:
   struct Impl;

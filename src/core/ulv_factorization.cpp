@@ -46,6 +46,10 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
       opt_(opt),
       depth_(a.tree().depth()) {
   opt_.validate();  // rejects nonsense, maps use_threads onto PhaseLoops
+  // Out-of-core tier: the store must exist before factorize() so factor
+  // blocks can spill at their release points instead of stacking up.
+  if (!opt_.spill_dir.empty())
+    spill_attach(opt_.spill_dir, opt_.spill_budget_bytes, opt_.spill_threads);
   const Timer total;
   const std::uint64_t flops0 = flops::total();
   factorize(a);
@@ -54,6 +58,14 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
   for (const auto& level_ranks : stats_.ranks)
     for (const int r : level_ranks) stats_.max_rank = std::max(stats_.max_rank, r);
   if (solve_dag_mode()) build_solve_plan();
+  if (store_ != nullptr) {
+    spill_finish_registration();
+    build_spill_plan();  // seals the store; rethrows any recorded IO error
+    const SpillStats ss = store_->stats();
+    stats_.spilled_blocks = ss.blocks;
+    stats_.spilled_bytes = ss.block_bytes;
+    stats_.spill_budget_bytes = ss.budget_bytes;
+  }
 }
 
 UlvFactorization::~UlvFactorization() {
@@ -120,6 +132,121 @@ void UlvFactorization::release_level_remnants(Workspace& w, int level) {
   ry_[level].clear();
   for (auto& [key, m] : skel_[level]) track_drop(m);
   skel_[level].clear();
+  // The level's projected dense blocks are final once it drained: hand them
+  // to the out-of-core tier here — its release point — so the factorization
+  // never holds more spilled-tier bytes than the resident budget. (The q
+  // bases are NOT final-read yet: current_rows reads every deeper level's
+  // bases until the last level merges, so they adopt at the end.)
+  if (store_ != nullptr) spill_register_dense(level);
+}
+
+void UlvFactorization::spill_attach(const std::string& dir,
+                                    std::uint64_t budget_bytes,
+                                    int io_threads) {
+  SpillStore::Options so;
+  so.dir = dir;
+  so.budget_bytes = budget_bytes;
+  so.io_threads = io_threads;
+  store_ = std::make_unique<SpillStore>(so);
+  dslot_.assign(depth_ + 1, {});
+  qslot_.assign(depth_ + 1, {});
+}
+
+void UlvFactorization::spill_register_dense(int level) {
+  std::lock_guard<std::mutex> lk(spill_mu_);
+  auto& slots = dslot_[level];
+  for (auto& [key, m] : levels_[level].dense) {
+    if (m.empty() || slots.count(key) != 0) continue;
+    const std::uint64_t b = bytes_of(m);
+    SpillStore::SlotId id;
+    try {
+      id = store_->adopt(&m, "dense L" + std::to_string(level) + " (" +
+                                 std::to_string(key.first) + "," +
+                                 std::to_string(key.second) + ")");
+    } catch (const std::exception&) {
+      // Possibly on a DAG worker, where a throw would terminate the pool.
+      // The store recorded the error; spill_finish_registration / seal
+      // rethrows it on the constructor's thread.
+      return;
+    }
+    // Accounting ownership moves to the store (adopt charged it); dropping
+    // ours second keeps the blockmem counter from dipping below live.
+    blockmem::discharge(b);
+    tracked_bytes_.fetch_sub(b, std::memory_order_relaxed);
+    slots.emplace(key, std::make_pair(id, b));
+  }
+}
+
+void UlvFactorization::spill_finish_registration() {
+  if (depth_ == 0) return;  // degenerate tree: one dense LU, keep it in RAM
+  for (int l = 1; l <= depth_; ++l) spill_register_dense(l);
+  std::lock_guard<std::mutex> lk(spill_mu_);
+  for (int l = 1; l <= depth_; ++l) {
+    auto& qs = qslot_[l];
+    qs.assign(levels_[l].nb, {SpillStore::kNoSlot, 0});
+    for (int c = 0; c < levels_[l].nb; ++c) {
+      Matrix& q = levels_[l].q[c];
+      if (q.empty()) continue;
+      const std::uint64_t b = bytes_of(q);
+      const SpillStore::SlotId id =
+          store_->adopt(&q, "q L" + std::to_string(l) + " c" + std::to_string(c));
+      blockmem::discharge(b);
+      tracked_bytes_.fetch_sub(b, std::memory_order_relaxed);
+      qs[c] = {id, b};
+    }
+  }
+  if (!top_lu_.empty()) {
+    const std::uint64_t b = bytes_of(top_lu_);
+    topslot_ = store_->adopt(&top_lu_, "top_lu");
+    blockmem::discharge(b);
+    tracked_bytes_.fetch_sub(b, std::memory_order_relaxed);
+  }
+}
+
+UlvFactorization::SolveGuard::SolveGuard(const UlvFactorization& u)
+    : u_(u.store_ != nullptr ? &u : nullptr) {
+  if (u_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(u_->solve_gate_mu_);
+  ++u_->active_solves_;
+}
+
+UlvFactorization::SolveGuard::~SolveGuard() {
+  if (u_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(u_->solve_gate_mu_);
+  --u_->active_solves_;
+  u_->solve_gate_cv_.notify_all();
+}
+
+SpillStats UlvFactorization::spill_stats() const {
+  return store_ != nullptr ? store_->stats() : SpillStats{};
+}
+
+bool UlvFactorization::demote_to_disk(const std::string& dir) {
+  // Hold the solve gate across the whole demotion: in-flight solves drain
+  // first (their pins would keep blocks resident anyway), and solves
+  // arriving meanwhile block in their SolveGuard until the factor is cold.
+  std::unique_lock<std::mutex> lk(solve_gate_mu_);
+  solve_gate_cv_.wait(lk, [&] { return active_solves_ == 0; });
+  if (store_ == nullptr) {
+    promote_budget_ = ~0ull;  // promotion = fully resident again
+    spill_attach(dir, /*budget_bytes=*/0, opt_.spill_threads);
+    spill_finish_registration();
+    build_spill_plan();
+  } else if (!demoted_) {
+    promote_budget_ = store_->stats().budget_bytes;
+    store_->set_budget(0);
+  }
+  store_->drop_all();
+  demoted_ = true;
+  return true;
+}
+
+void UlvFactorization::promote() {
+  std::lock_guard<std::mutex> lk(solve_gate_mu_);
+  if (store_ == nullptr || !demoted_) return;
+  store_->set_budget(promote_budget_);
+  if (promote_budget_ == ~0ull) store_->fetch_all();
+  demoted_ = false;
 }
 
 void UlvFactorization::record_task(int level, const char* kind, int owner,
@@ -1212,6 +1339,18 @@ void UlvFactorization::eliminate_sequential(int level) {
 }
 
 double UlvFactorization::logabsdet() const {
+  // Reads outside the solve sweep pin explicitly: every diagonal block plus
+  // the top factor, faulted in as needed and released when done.
+  std::vector<SpillStore::SlotId> pinned;
+  if (store_ != nullptr) {
+    for (int level = 1; level <= depth_; ++level)
+      for (int k = 0; k < levels_[level].nb; ++k) {
+        const auto it = dslot_[level].find({k, k});
+        if (it != dslot_[level].end()) pinned.push_back(it->second.first);
+      }
+    if (topslot_ != SpillStore::kNoSlot) pinned.push_back(topslot_);
+    store_->pin(pinned);
+  }
   double acc = 0.0;
   for (int level = depth_; level >= 1; --level) {
     const Level& ld = levels_[level];
@@ -1224,6 +1363,7 @@ double UlvFactorization::logabsdet() const {
   }
   for (int d = 0; d < top_lu_.rows(); ++d)
     acc += std::log(std::fabs(top_lu_(d, d)));
+  if (store_ != nullptr) store_->unpin(pinned);
   return acc;
 }
 

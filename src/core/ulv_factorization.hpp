@@ -1,17 +1,21 @@
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/ulv_options.hpp"
 #include "hmatrix/h2_matrix.hpp"
 #include "linalg/linalg.hpp"
+#include "storage/spill_store.hpp"
 
 namespace h2 {
 
@@ -107,6 +111,27 @@ class UlvFactorization {
   /// bwd_y <- bwd_combine). DagRecord::priority carries the critical-path
   /// (bottom-level) ranks that drive the executor.
   [[nodiscard]] const DagRecord& solve_dag() const { return solve_dag_; }
+
+  /// Counters of the out-of-core factor store (src/storage). All zero when
+  /// the factorization runs in RAM (UlvOptions::spill_dir empty and never
+  /// demoted).
+  [[nodiscard]] SpillStats spill_stats() const;
+
+  /// Demote the factor to disk under `dir`: every factor block is persisted
+  /// and its resident payload dropped, leaving the factorization solvable
+  /// (each solve faults its read set back in chunk by chunk) at near-zero
+  /// resident factor bytes — the serving cache's cold tier. Creates the
+  /// store on first call when the factorization was built without
+  /// spill_dir. Waits for in-flight solves to drain (new solves block until
+  /// the demotion finished), so it is safe under concurrent traffic.
+  /// Returns true (the ULV factor is always demotable). Throws
+  /// std::runtime_error if the spill directory cannot be created or a spill
+  /// write fails.
+  bool demote_to_disk(const std::string& dir);
+  /// Undo demote_to_disk(): restore the resident budget the factor ran with
+  /// (everything, for a store that only exists because of the demotion) and
+  /// fault the blocks back in. No-op unless currently demoted.
+  void promote();
 
  private:
   using Key = std::pair<int, int>;
@@ -222,6 +247,43 @@ class UlvFactorization {
   void sbody_y(SolveScratch& s, int level, int k) const;
   void sbody_combine(SolveScratch& s, MatrixView b, int level, int c) const;
 
+  // ---- Out-of-core tier (src/storage; docs/ARCHITECTURE.md "Storage
+  // tier"). Active when opt_.spill_dir is set (store created before the
+  // factorization so blocks spill at their release points) or after
+  // demote_to_disk(). Spilling moves bytes, never transforms them, so every
+  // spill/fault/prefetch decision is bitwise-invisible to the results.
+  /// Create store_ (used by the constructor and by a first demotion).
+  void spill_attach(const std::string& dir, std::uint64_t budget_bytes,
+                    int io_threads);
+  /// Hand level's final dense blocks to the store (called at the level's
+  /// remnant-release point; idempotent). Swallows store errors when running
+  /// inside a DAG task — they resurface from the next store entry point on
+  /// the constructor's thread.
+  void spill_register_dense(int level);
+  /// Adopt everything the per-level hook does not cover (q bases — read by
+  /// current_rows until the last level drains — top_lu_, and all dense
+  /// levels when release_blocks is off). Called once, after factorize().
+  void spill_finish_registration();
+  /// Chunk the solve sweep into an ordered list of pin steps (per level and
+  /// phase, clusters grouped to ~budget/4 bytes of factor reads), assign
+  /// every recorded solve task its step, and seal the store with the
+  /// step->slots plan — the prefetcher's oracle. Defined in ulv_solve.cpp.
+  void build_spill_plan();
+  /// Step chunking of one (level, phase): step_of[cluster] -> global step,
+  /// plus the chunks in execution order as {step, first, last} ranges in
+  /// iteration space (descending phases iterate cluster nb-1-j).
+  struct SpillChunks {
+    std::vector<int> step_of;
+    std::vector<std::array<int, 3>> chunks;
+  };
+  /// RAII solve gate: demote_to_disk() drains these before evicting.
+  struct SolveGuard {
+    explicit SolveGuard(const UlvFactorization& u);
+    ~SolveGuard();
+    const UlvFactorization* u_;
+  };
+  void solve_loops_spill(SolveScratch& s, MatrixView b) const;
+
   const ClusterTree* tree_ = nullptr;
   BlockStructure structure_;  // copied: the H2Matrix may be discarded
   UlvOptions opt_;
@@ -257,6 +319,34 @@ class UlvFactorization {
   /// right-hand side, and a factorize-only user should pay nothing.
   mutable std::once_flag solve_pool_once_;
   mutable std::unique_ptr<ThreadPool> solve_pool_;
+
+  // ---- Out-of-core tier state. Declared after levels_/top_lu_ so the
+  // store (whose threads may hold pointers into them) is destroyed first.
+  std::unique_ptr<SpillStore> store_;
+  /// dslot_[level][key] = (slot, payload bytes) of each adopted dense block;
+  /// bytes are recorded here because the block itself may be evicted (empty)
+  /// by the time the plan is chunked.
+  std::vector<std::map<Key, std::pair<SpillStore::SlotId, std::uint64_t>>>
+      dslot_;
+  /// qslot_[level][c] = (slot, bytes) of each adopted basis (kNoSlot gaps).
+  std::vector<std::vector<std::pair<SpillStore::SlotId, std::uint64_t>>>
+      qslot_;
+  SpillStore::SlotId topslot_ = SpillStore::kNoSlot;
+  /// spill_plan_[level][phase] for phases 0 fwd_xform / 1 fwd_subst /
+  /// 2 fwd_down (merges ride on it) / 3 bwd_y (descending) / 4 bwd_combine.
+  std::vector<std::array<SpillChunks, 5>> spill_plan_;
+  int top_step_ = -1;
+  int n_spill_steps_ = 0;
+  /// Step of every solve_dag_ task (parallel to solve_dag_.meta; empty under
+  /// the PhaseLoops solve executor) — solve_via_dag wires one barrier task
+  /// per step from it so a sweep never outruns the pinned window.
+  std::vector<int> task_step_;
+  std::uint64_t promote_budget_ = 0;
+  bool demoted_ = false;
+  std::mutex spill_mu_;  ///< registration tables (release tasks may race)
+  mutable std::condition_variable solve_gate_cv_;
+  mutable int active_solves_ = 0;  ///< guarded by solve_gate_mu_
+  mutable std::mutex solve_gate_mu_;
 
   UlvStats stats_;
   /// Trace of the most recent DAG solve (see last_solve_stats()) and its

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -133,6 +135,22 @@ struct UlvOptions {
   /// executor this additionally keeps the executed DAG (UlvStats::dag) and
   /// its execution trace (UlvStats::exec).
   bool record_tasks = false;
+  /// Existing writable directory for the out-of-core factor store
+  /// (src/storage). Empty (the default) keeps every factor block resident.
+  /// Non-empty hands each factor block to a SpillStore at its release point:
+  /// background writers persist it, eviction keeps resident factor bytes at
+  /// or under spill_budget_bytes, and a prefetcher reads blocks back ahead
+  /// of each solve sweep's cursor. Spilling moves bytes, never transforms
+  /// them — results stay bitwise identical to the in-RAM run across both
+  /// executors and worker counts. Env default: H2_SPILL_DIR.
+  std::string spill_dir;
+  /// Resident budget (bytes) for spilled factor blocks; only meaningful with
+  /// spill_dir set. 0 keeps nothing resident between sweeps (pure disk
+  /// tier). Env default: H2_SPILL_MB (mebibytes).
+  std::uint64_t spill_budget_bytes = 256ull << 20;
+  /// Background writer threads of the spill store (>= 1 when spilling).
+  /// Env default: H2_SPILL_THREADS.
+  int spill_threads = 2;
   /// Make every solve's per-column bits independent of nrhs: the solve
   /// bodies run their gemms under a width-stable dispatch scope
   /// (detail::WidthStableScope), so the blocked/naive choice — the ONE
@@ -176,6 +194,21 @@ struct UlvOptions {
           "UlvOptions: n_workers must be >= 0 (got " +
           std::to_string(n_workers) +
           "); 0 selects the process-wide pool, > 0 a private pool");
+    if (!spill_dir.empty()) {
+      if (::access(spill_dir.c_str(), W_OK) != 0)
+        throw std::invalid_argument(
+            "UlvOptions: spill_dir must name an existing writable directory "
+            "(got '" +
+            spill_dir +
+            "'); the out-of-core store creates its files under it "
+            "(H2_SPILL_DIR)");
+      if (spill_threads < 1)
+        throw std::invalid_argument(
+            "UlvOptions: spill_threads must be >= 1 when spill_dir is set "
+            "(got " +
+            std::to_string(spill_threads) +
+            "); someone has to write the spill files (H2_SPILL_THREADS)");
+    }
     if (use_threads) {
       executor = UlvExecutor::PhaseLoops;
       solve_executor = UlvExecutor::PhaseLoops;
@@ -209,6 +242,13 @@ struct UlvStats {
   /// whole workspace stacks on top.
   std::uint64_t peak_block_bytes = 0;
   std::uint64_t final_block_bytes = 0;
+  /// Out-of-core store (only nonzero when UlvOptions::spill_dir is set):
+  /// factor blocks handed to the spill tier, their payload bytes, and the
+  /// resident budget they are kept under. The live spill counters (faults,
+  /// prefetch hits, resident high-water mark) are on Solver::spill_stats().
+  std::uint64_t spilled_blocks = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t spill_budget_bytes = 0;
   /// Flat per-task timing log (only when record_tasks). Under TaskDag the
   /// same tasks also appear in `exec` with wall-clock spans and in `dag`
   /// with their true edge structure — the flat list stays for consumers

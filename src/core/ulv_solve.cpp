@@ -1,7 +1,10 @@
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "core/ulv_factorization.hpp"
@@ -240,6 +243,10 @@ void UlvFactorization::solve_loops(MatrixView b) const {
   // exactly the bodies the DAG executes, in one fixed serial order.
   SolveScratch s;
   init_solve_scratch(s, b.cols());
+  if (store_ != nullptr && n_spill_steps_ > 0) {
+    solve_loops_spill(s, b);
+    return;
+  }
   for (int level = depth_; level >= 1; --level) {
     const int nb = levels_[level].nb;
     for (int c = 0; c < nb; ++c) sbody_transform(s, b, level, c);
@@ -254,6 +261,170 @@ void UlvFactorization::solve_loops(MatrixView b) const {
     for (int k = nb - 1; k >= 0; --k) sbody_y(s, level, k);
     for (int c = 0; c < nb; ++c) sbody_combine(s, b, level, c);
   }
+}
+
+void UlvFactorization::solve_loops_spill(SolveScratch& s, MatrixView b) const {
+  // The level sweep walking the spill plan: the SAME bodies in the SAME
+  // order, with a Pass advancing the pinned window one chunk at a time so
+  // each phase only needs its current chunk of factor blocks resident.
+  // sbody_merge and sbody_xsplit read no factor blocks and run unpinned.
+  SpillStore::Pass pass(*store_);
+  for (int level = depth_; level >= 1; --level) {
+    const int nb = levels_[level].nb;
+    for (const auto& ch : spill_plan_[level][0].chunks) {
+      pass.advance(ch[0]);
+      for (int j = ch[1]; j < ch[2]; ++j) sbody_transform(s, b, level, j);
+    }
+    for (const auto& ch : spill_plan_[level][1].chunks) {
+      pass.advance(ch[0]);
+      for (int j = ch[1]; j < ch[2]; ++j) sbody_subst(s, level, j);
+    }
+    for (const auto& ch : spill_plan_[level][2].chunks) {
+      pass.advance(ch[0]);
+      for (int j = ch[1]; j < ch[2]; ++j) sbody_down(s, level, j);
+    }
+    for (int p = 0; p < nb / 2; ++p) sbody_merge(s, level, p);
+  }
+  pass.advance(top_step_);
+  sbody_top(s);
+  for (int level = 1; level <= depth_; ++level) {
+    const int nb = levels_[level].nb;
+    for (int c = 0; c < nb; ++c) sbody_xsplit(s, level, c);
+    // bwd_y's substitution chain runs k = nb-1 .. 0; its chunks were laid
+    // out in that (descending) iteration order.
+    for (const auto& ch : spill_plan_[level][3].chunks) {
+      pass.advance(ch[0]);
+      for (int j = ch[1]; j < ch[2]; ++j) sbody_y(s, level, nb - 1 - j);
+    }
+    for (const auto& ch : spill_plan_[level][4].chunks) {
+      pass.advance(ch[0]);
+      for (int j = ch[1]; j < ch[2]; ++j) sbody_combine(s, b, level, j);
+    }
+  }
+}
+
+void UlvFactorization::build_spill_plan() {
+  // Chunk the solve sweep into pin steps. Per level the forward phases
+  // (xform, subst, down) and backward phases (y descending, combine) each
+  // chunk their clusters to ~budget/4 bytes of factor reads — small enough
+  // that one pinned chunk plus the prefetcher's read-ahead fit the budget,
+  // large enough to amortize the step barrier. Every solve body's factor
+  // reads are row-local ({row,*} dense keys plus the row's basis), so a
+  // chunk's slot list is exact, and the phase orders match the recorded
+  // solve edges (subst ascends, y descends), so the per-step barrier tasks
+  // solve_via_dag adds can never create a cycle.
+  std::vector<std::vector<SpillStore::SlotId>> steps;
+  if (depth_ == 0) {
+    n_spill_steps_ = 0;
+    store_->seal(std::move(steps));
+    return;
+  }
+  const std::uint64_t target =
+      std::max<std::uint64_t>(store_->stats().budget_bytes / 4, 1);
+  spill_plan_.assign(depth_ + 1, {});
+  auto add_step = [&steps](std::vector<SpillStore::SlotId>&& ids) {
+    steps.push_back(std::move(ids));
+    return static_cast<int>(steps.size()) - 1;
+  };
+  // append_cluster(c, ids) appends cluster c's slots, returning their bytes.
+  auto chunked = [&](int nb, bool desc, auto&& append_cluster) {
+    SpillChunks P;
+    P.step_of.assign(nb, -1);
+    int i = 0;
+    while (i < nb) {
+      std::vector<SpillStore::SlotId> ids;
+      std::uint64_t got = 0;
+      const int first = i;
+      do {
+        got += append_cluster(desc ? nb - 1 - i : i, ids);
+        ++i;
+      } while (i < nb && got < target);
+      const int step = add_step(std::move(ids));
+      for (int j = first; j < i; ++j) P.step_of[desc ? nb - 1 - j : j] = step;
+      P.chunks.push_back({step, first, i});
+    }
+    return P;
+  };
+  auto row_slots = [&](int l) {
+    return [this, l](int r, std::vector<SpillStore::SlotId>& ids) {
+      std::uint64_t b = 0;
+      auto it = dslot_[l].lower_bound({r, std::numeric_limits<int>::min()});
+      for (; it != dslot_[l].end() && it->first.first == r; ++it) {
+        ids.push_back(it->second.first);
+        b += it->second.second;
+      }
+      return b;
+    };
+  };
+  for (int l = depth_; l >= 1; --l) {
+    const int nb = levels_[l].nb;
+    spill_plan_[l][0] = chunked(
+        nb, false, [&](int c, std::vector<SpillStore::SlotId>& ids) {
+          if (qslot_[l][c].first != SpillStore::kNoSlot)
+            ids.push_back(qslot_[l][c].first);
+          return qslot_[l][c].second;
+        });
+    spill_plan_[l][1] = chunked(nb, false, row_slots(l));
+    spill_plan_[l][2] = chunked(nb, false, row_slots(l));
+  }
+  top_step_ = add_step(topslot_ != SpillStore::kNoSlot
+                           ? std::vector<SpillStore::SlotId>{topslot_}
+                           : std::vector<SpillStore::SlotId>{});
+  for (int l = 1; l <= depth_; ++l) {
+    const int nb = levels_[l].nb;
+    spill_plan_[l][3] = chunked(nb, true, row_slots(l));
+    spill_plan_[l][4] = chunked(
+        nb, false, [&](int c, std::vector<SpillStore::SlotId>& ids) {
+          std::uint64_t b = qslot_[l][c].second;
+          if (qslot_[l][c].first != SpillStore::kNoSlot)
+            ids.push_back(qslot_[l][c].first);
+          const auto it = dslot_[l].find({c, c});
+          if (it != dslot_[l].end()) {
+            ids.push_back(it->second.first);
+            b += it->second.second;
+          }
+          return b;
+        });
+  }
+  n_spill_steps_ = static_cast<int>(steps.size());
+  // Step of every recorded solve task. Tasks without factor reads ride on a
+  // step that respects their edges: merges on the down chunk of their odd
+  // child; bwd_split/bwd_xs on their level's first y step (every y step of
+  // the level is at or after it, every combine strictly after).
+  if (!solve_dag_.empty()) {
+    task_step_.assign(solve_dag_.n_tasks(), -1);
+    for (TaskId t = 0; t < solve_dag_.n_tasks(); ++t) {
+      const int l = solve_dag_.meta[t].level, o = solve_dag_.meta[t].owner;
+      switch (solve_kind_[t]) {
+        case SolveKind::kFwdXform:
+          task_step_[t] = spill_plan_[l][0].step_of[o];
+          break;
+        case SolveKind::kFwdSubst:
+          task_step_[t] = spill_plan_[l][1].step_of[o];
+          break;
+        case SolveKind::kFwdDown:
+          task_step_[t] = spill_plan_[l][2].step_of[o];
+          break;
+        case SolveKind::kFwdMerge:
+          task_step_[t] = spill_plan_[l][2].step_of[2 * o + 1];
+          break;
+        case SolveKind::kTop:
+          task_step_[t] = top_step_;
+          break;
+        case SolveKind::kBwdSplit:
+        case SolveKind::kBwdXs:
+          task_step_[t] = spill_plan_[l][3].chunks.front()[0];
+          break;
+        case SolveKind::kBwdY:
+          task_step_[t] = spill_plan_[l][3].step_of[o];
+          break;
+        case SolveKind::kBwdCombine:
+          task_step_[t] = spill_plan_[l][4].step_of[o];
+          break;
+      }
+    }
+  }
+  store_->seal(std::move(steps));
 }
 
 void UlvFactorization::build_solve_plan() {
@@ -357,6 +528,18 @@ void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
   SolveScratch s;
   init_solve_scratch(s, b.cols());
   TaskGraph g;
+  // Out-of-core: one barrier task per spill step advances the Pass (release
+  // step s-1, pin step s); every solve task runs between its step's barrier
+  // and the next, so the sweep's reads are always pinned and the prefetcher
+  // always knows the cursor. A store failure must not throw on a pool
+  // worker — the barrier catches it, later tasks degrade to no-ops, and the
+  // exception rethrows on this (the calling) thread after execution drains.
+  const bool ooc = store_ != nullptr && n_spill_steps_ > 0;
+  std::optional<SpillStore::Pass> pass;
+  std::atomic<bool> aborted{false};
+  std::exception_ptr spill_err;
+  std::mutex spill_err_mu;
+  if (ooc) pass.emplace(*store_);
   for (TaskId t = 0; t < solve_dag_.n_tasks(); ++t) {
     const TaskMeta& m = solve_dag_.meta[t];
     const int level = m.level, id = m.owner;
@@ -390,13 +573,59 @@ void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
         fn = [this, &s, b, level, id] { sbody_combine(s, b, level, id); };
         break;
     }
+    if (ooc)
+      fn = [body = std::move(fn), &aborted] {
+        if (!aborted.load(std::memory_order_acquire)) body();
+      };
     g.add_task(std::move(fn), m.label, m.owner, m.level);
   }
   for (TaskId u = 0; u < solve_dag_.n_tasks(); ++u)
     for (const TaskId v : solve_dag_.successors[u]) g.add_dependency(u, v);
   for (std::size_t t = 0; t < solve_dag_.priority.size(); ++t)
     g.set_priority(static_cast<TaskId>(t), solve_dag_.priority[t]);
+  SpillStats ss0;
+  if (ooc) {
+    ss0 = store_->stats();
+    // Barriers outrank every real task: once a step's work is done, the
+    // window must move before stragglers of the same priority band run.
+    double bar_priority = 0.0;
+    if (!solve_dag_.priority.empty())
+      bar_priority = 1.0 + *std::max_element(solve_dag_.priority.begin(),
+                                             solve_dag_.priority.end());
+    std::vector<TaskId> bar(n_spill_steps_);
+    for (int st = 0; st < n_spill_steps_; ++st) {
+      bar[st] = g.add_task(
+          [&pass, &aborted, &spill_err, &spill_err_mu, st] {
+            if (aborted.load(std::memory_order_acquire)) return;
+            try {
+              pass->advance(st);
+            } catch (...) {
+              {
+                std::lock_guard<std::mutex> lk(spill_err_mu);
+                if (!spill_err) spill_err = std::current_exception();
+              }
+              aborted.store(true, std::memory_order_release);
+            }
+          },
+          "spill_step", st, -1);
+      if (st > 0) g.add_dependency(bar[st - 1], bar[st]);
+      if (!solve_dag_.priority.empty()) g.set_priority(bar[st], bar_priority);
+    }
+    for (TaskId t = 0; t < solve_dag_.n_tasks(); ++t) {
+      const int st = task_step_[t];
+      g.add_dependency(bar[st], t);
+      if (st + 1 < n_spill_steps_) g.add_dependency(t, bar[st + 1]);
+    }
+  }
   ExecStats ex = g.execute(pool);
+  if (ooc) {
+    pass.reset();  // release the last step before surfacing anything
+    if (spill_err) std::rethrow_exception(spill_err);
+    const SpillStats ss1 = store_->stats();
+    ex.prefetch_hits = ss1.step_hits - ss0.step_hits;
+    ex.prefetch_misses = ss1.step_misses - ss0.step_misses;
+    ex.spill_fault_bytes = ss1.fault_bytes - ss0.fault_bytes;
+  }
   // Surface what the execution measured instead of discarding it: the
   // H2_SOLVE_TRACE hook mirrors the factorization's fig13 trace (rewritten
   // per solve — point it at a per-run path when batching), and
@@ -425,6 +654,9 @@ std::uint64_t UlvFactorization::solve_stats_generation() const {
 
 void UlvFactorization::solve(MatrixView b) const {
   assert(b.rows() == tree_->n_points());
+  // Out-of-core only: registers this solve with the gate demote_to_disk()
+  // drains, so a demotion never evicts under a sweep that predates it.
+  const SolveGuard guard(*this);
   if (depth_ == 0) {
     // Degenerate one-cluster tree: the whole solve is this getrs, so the
     // width-stable scope wraps it here (no DAG, runs on the caller's thread).

@@ -59,6 +59,14 @@ struct ExecStats {
   /// one block-tracking graph executes at a time.
   std::uint64_t peak_block_bytes = 0;
   std::uint64_t live_block_bytes = 0;
+  /// Out-of-core traffic of this execution's window (solve sweeps on a
+  /// spill-enabled factorization; all zero otherwise): step-acquired blocks
+  /// that were already resident when the sweep reached them vs. blocks the
+  /// sweep had to demand-read, and the payload bytes of those demand reads.
+  /// A healthy prefetcher keeps prefetch_misses near zero.
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_misses = 0;
+  std::uint64_t spill_fault_bytes = 0;
 
   /// Tasks that arrived at their worker by stealing (0 under Fifo or with a
   /// single worker — a worker cannot steal from itself).

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unistd.h>
+
 #include "util/env.hpp"
 
 namespace h2 {
@@ -148,6 +150,12 @@ struct Server::FactorHandle::Entry {
   std::optional<Solver> solver;
   std::uint64_t bytes = 0;
   bool coalesce_ok = false;  ///< admission batching applies (see Server ctor)
+  /// True while the entry lives in the spill tier: its factor blocks are on
+  /// disk (Solver::demote_to_disk), it is in the map but not the LRU, and
+  /// its bytes are off resident_bytes. Guarded by Cache::mu. Held handles
+  /// may still solve a demoted entry (each sweep demand-faults its blocks);
+  /// the next acquire hit promotes it back wholesale.
+  bool demoted = false;
 
   // Admission queue (one per factorization — requests only coalesce with
   // requests for the SAME bits).
@@ -171,8 +179,10 @@ struct Server::Cache {
   using Entry = Server::FactorHandle::Entry;
   std::mutex mu;
   std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map;
-  std::list<CacheKey> lru;  ///< front = most recently acquired
+  std::list<CacheKey> lru;  ///< front = most recently acquired; demoted entries leave it
   std::uint64_t resident_bytes = 0;
+  std::uint64_t demoted_entries = 0;  ///< entries in the map with demoted set
+  std::uint64_t demoted_bytes = 0;    ///< bytes those entries held when resident
 
   void touch(const CacheKey& k) {
     // O(entries) walk; the cache holds few, large objects by design.
@@ -185,6 +195,7 @@ struct Server::Metrics {
   static constexpr std::size_t kWindow = 4096;  ///< latency sliding window
   mutable std::mutex mu;
   std::uint64_t hits = 0, misses = 0, evictions = 0;
+  std::uint64_t demotions = 0, promotions = 0;
   std::uint64_t requests = 0, rhs_served = 0, backend_solves = 0;
   std::uint64_t coalesced_requests = 0;
   std::uint64_t queue_depth = 0;
@@ -232,6 +243,10 @@ int server_default_max_batch() {
   return static_cast<int>(std::max(1L, env::get_int("H2_SERVER_MAX_BATCH", 64)));
 }
 
+std::string server_default_spill_dir() {
+  return env::get_string("H2_SPILL_DIR", std::string());
+}
+
 void ServerOptions::validate() const {
   if (batch_deadline_us < 0)
     throw std::invalid_argument(
@@ -244,6 +259,11 @@ void ServerOptions::validate() const {
     throw std::invalid_argument(
         "ServerOptions: cache_budget_bytes must be > 0; the budget is a "
         "high-water mark, not a way to disable caching");
+  if (!spill_dir.empty() && ::access(spill_dir.c_str(), W_OK) != 0)
+    throw std::invalid_argument(
+        "ServerOptions: spill_dir must name an existing writable directory "
+        "(got '" + spill_dir +
+        "'); demoted factorizations are spilled under it (H2_SPILL_DIR)");
 }
 
 Server::Server(ServerOptions opt)
@@ -280,9 +300,38 @@ Server::FactorHandle Server::acquire(const PointCloud& points,
     auto it = cache_->map.find(key);
     if (it != cache_->map.end()) {
       entry = it->second;
-      cache_->touch(key);
-      std::lock_guard<std::mutex> mlk(metrics_->mu);
-      ++metrics_->hits;
+      if (entry->demoted) {
+        // Promotion (single-flight by construction: the cache mutex is held
+        // for the whole fault-in, so concurrent acquires of this key queue
+        // behind it and find the entry already resident). A failed
+        // promotion drops the entry — the next acquire rebuilds from
+        // scratch rather than serving a half-read factor.
+        try {
+          entry->solver->promote();
+        } catch (...) {
+          cache_->demoted_entries -= 1;
+          cache_->demoted_bytes -= entry->bytes;
+          cache_->map.erase(it);
+          throw;
+        }
+        entry->demoted = false;
+        cache_->demoted_entries -= 1;
+        cache_->demoted_bytes -= entry->bytes;
+        cache_->lru.push_front(key);
+        cache_->resident_bytes += entry->bytes;
+        {
+          std::lock_guard<std::mutex> mlk(metrics_->mu);
+          ++metrics_->promotions;
+          ++metrics_->hits;
+        }
+        // The promoted bytes may push the cache back over budget; shed
+        // older entries, never the one just promoted.
+        shed_cache_locked(entry.get());
+      } else {
+        cache_->touch(key);
+        std::lock_guard<std::mutex> mlk(metrics_->mu);
+        ++metrics_->hits;
+      }
     } else {
       entry = std::make_shared<FactorHandle::Entry>();
       cache_->map.emplace(key, entry);
@@ -316,39 +365,7 @@ Server::FactorHandle Server::acquire(const PointCloud& points,
 
       std::lock_guard<std::mutex> lk(cache_->mu);
       cache_->resident_bytes += bytes;
-      // Evict least-recently-acquired READY entries until we fit — never
-      // the key just inserted, so one over-budget factorization still
-      // serves. Dropping the map's shared_ptr is all eviction is: handles
-      // and in-flight solves keep the entry alive.
-      while (cache_->resident_bytes > opt_.cache_budget_bytes &&
-             cache_->lru.size() > 1) {
-        bool evicted = false;
-        for (auto it = std::prev(cache_->lru.end());; --it) {
-          if (*it == key) {
-            if (it == cache_->lru.begin()) break;
-            continue;
-          }
-          auto mit = cache_->map.find(*it);
-          bool victim_ready;
-          {
-            std::lock_guard<std::mutex> block(mit->second->build_mu);
-            victim_ready = mit->second->ready;
-          }
-          if (victim_ready) {
-            cache_->resident_bytes -= mit->second->bytes;
-            cache_->map.erase(mit);
-            cache_->lru.erase(it);
-            {
-              std::lock_guard<std::mutex> mlk(metrics_->mu);
-              ++metrics_->evictions;
-            }
-            evicted = true;
-            break;
-          }
-          if (it == cache_->lru.begin()) break;
-        }
-        if (!evicted) break;  // nothing evictable (everything building/newest)
-      }
+      shed_cache_locked(entry.get());
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(entry->build_mu);
@@ -370,6 +387,67 @@ Server::FactorHandle Server::acquire(const PointCloud& points,
     if (entry->error) std::rethrow_exception(entry->error);
   }
   return FactorHandle(entry);
+}
+
+void Server::shed_cache_locked(const FactorHandle::Entry* protect) {
+  // Evict least-recently-acquired READY entries until we fit — never
+  // `protect` (the newest or just-promoted entry), so one over-budget
+  // factorization still serves (the budget acts as a high-water mark).
+  //
+  // With a spill directory configured, eviction DEMOTES instead of
+  // destroying: the victim's factor blocks move to spill files
+  // (Solver::demote_to_disk blocks until the entry's in-flight solves
+  // retire, then drains its store to disk) and the entry stays in the map —
+  // off the LRU and the resident books, but promotable on the next hit for
+  // the price of a disk read instead of a refactorization. Backends with no
+  // disk tier (BLR/HODLR, demote_to_disk returns false) and demotion
+  // failures fall back to the legacy destroy-on-evict; either way handles
+  // and in-flight solves keep the entry alive.
+  while (cache_->resident_bytes > opt_.cache_budget_bytes &&
+         cache_->lru.size() > 1) {
+    bool evicted = false;
+    for (auto it = std::prev(cache_->lru.end());; --it) {
+      auto mit = cache_->map.find(*it);
+      if (mit->second.get() == protect) {
+        if (it == cache_->lru.begin()) break;
+        continue;
+      }
+      bool victim_ready;
+      {
+        std::lock_guard<std::mutex> block(mit->second->build_mu);
+        victim_ready = mit->second->ready;
+      }
+      if (victim_ready) {
+        const std::shared_ptr<FactorHandle::Entry> victim = mit->second;
+        bool demoted = false;
+        if (!opt_.spill_dir.empty()) {
+          try {
+            demoted = victim->solver->demote_to_disk(opt_.spill_dir);
+          } catch (...) {
+            demoted = false;  // spill failure: destroy instead, never serve
+          }                   // a half-written factor
+        }
+        cache_->resident_bytes -= victim->bytes;
+        cache_->lru.erase(it);
+        if (demoted) {
+          victim->demoted = true;
+          cache_->demoted_entries += 1;
+          cache_->demoted_bytes += victim->bytes;
+        } else {
+          cache_->map.erase(mit);
+        }
+        {
+          std::lock_guard<std::mutex> mlk(metrics_->mu);
+          ++metrics_->evictions;
+          if (demoted) ++metrics_->demotions;
+        }
+        evicted = true;
+        break;
+      }
+      if (it == cache_->lru.begin()) break;
+    }
+    if (!evicted) break;  // nothing evictable (everything building/newest)
+  }
 }
 
 void Server::note_sweep(int width) {
@@ -522,14 +600,20 @@ ServerStats Server::stats() const {
   ServerStats s;
   {
     std::lock_guard<std::mutex> lk(cache_->mu);
-    s.entries = cache_->map.size();
+    // `entries` counts RESIDENT factorizations; demoted ones live in the
+    // map (so hits still find them) but report through the demoted gauges.
+    s.entries = cache_->map.size() - cache_->demoted_entries;
     s.resident_bytes = cache_->resident_bytes;
+    s.demoted_entries = cache_->demoted_entries;
+    s.demoted_bytes = cache_->demoted_bytes;
   }
   s.budget_bytes = opt_.cache_budget_bytes;
   std::lock_guard<std::mutex> lk(metrics_->mu);
   s.hits = metrics_->hits;
   s.misses = metrics_->misses;
   s.evictions = metrics_->evictions;
+  s.demotions = metrics_->demotions;
+  s.promotions = metrics_->promotions;
   s.requests = metrics_->requests;
   s.rhs_served = metrics_->rhs_served;
   s.backend_solves = metrics_->backend_solves;
@@ -544,11 +628,16 @@ ServerStats Server::stats() const {
 std::size_t Server::clear() {
   std::lock_guard<std::mutex> lk(cache_->mu);
   const std::size_t n = cache_->map.size();
+  // Demoted entries are dropped too, but only the resident ones count as
+  // evictions here — the demoted ones were already counted when demoted.
+  const std::size_t resident = cache_->lru.size();
   cache_->map.clear();
   cache_->lru.clear();
   cache_->resident_bytes = 0;
+  cache_->demoted_entries = 0;
+  cache_->demoted_bytes = 0;
   std::lock_guard<std::mutex> mlk(metrics_->mu);
-  metrics_->evictions += n;
+  metrics_->evictions += resident;
   return n;
 }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "api/solver.hpp"
 
@@ -36,6 +38,10 @@ namespace h2 {
 /// Default per-sweep batch cap: H2_SERVER_MAX_BATCH (default 64 columns).
 [[nodiscard]] int server_default_max_batch();
 
+/// Default spill directory for demoted cache entries: H2_SPILL_DIR (default
+/// empty — eviction destroys entries instead of demoting them).
+[[nodiscard]] std::string server_default_spill_dir();
+
 /// Configuration of a Server. Defaults come from the environment (the
 /// server_default_* helpers; see docs/TUNING.md), so an operator can retune
 /// a deployment without recompiling; explicit assignment wins as usual.
@@ -67,15 +73,25 @@ struct ServerOptions {
   /// (see UlvOptions::width_stable_solve); `false` trades the bitwise
   /// guarantee back for it.
   bool deterministic = true;
+  /// When non-empty (an existing writable directory), eviction DEMOTES ULV
+  /// entries instead of destroying them: the factor's blocks move to spill
+  /// files under this directory (Solver::demote_to_disk) and the entry
+  /// stays cached off the resident books, so the next acquire of the same
+  /// key promotes it back (a disk read) instead of refactorizing — the
+  /// cache becomes a RAM/disk tiered hierarchy. Empty (the default unless
+  /// H2_SPILL_DIR is set) keeps the legacy destroy-on-evict behavior.
+  /// Backends without a disk tier (BLR/HODLR) are always destroyed.
+  std::string spill_dir = server_default_spill_dir();
 
   ServerOptions& with_cache_budget_bytes(std::uint64_t v) { cache_budget_bytes = v; return *this; }  ///< chain-set cache_budget_bytes
   ServerOptions& with_batch_deadline_us(long v) { batch_deadline_us = v; return *this; }  ///< chain-set batch_deadline_us
   ServerOptions& with_max_batch(int v) { max_batch = v; return *this; }  ///< chain-set max_batch
   ServerOptions& with_coalesce(bool v) { coalesce = v; return *this; }  ///< chain-set coalesce
   ServerOptions& with_deterministic(bool v) { deterministic = v; return *this; }  ///< chain-set deterministic
+  ServerOptions& with_spill_dir(std::string v) { spill_dir = std::move(v); return *this; }  ///< chain-set spill_dir
 
   /// Throws std::invalid_argument on nonsensical inputs (negative deadline,
-  /// max_batch < 1).
+  /// max_batch < 1, spill_dir naming a missing or unwritable directory).
   void validate() const;
 };
 
@@ -91,9 +107,18 @@ struct ServerStats {
   std::uint64_t hits = 0;        ///< acquire() calls served from the cache
   std::uint64_t misses = 0;      ///< acquire() calls that built (or joined a build)
   std::uint64_t evictions = 0;   ///< entries evicted to fit the budget
+  /// Evictions that demoted the entry to the spill tier instead of
+  /// destroying it (spill_dir configured, ULV backend). Every demotion is
+  /// also counted in evictions, so `evictions - demotions` is the number of
+  /// entries actually destroyed.
+  std::uint64_t demotions = 0;
+  /// Demoted entries promoted back to RAM by a later cache hit.
+  std::uint64_t promotions = 0;
   std::uint64_t entries = 0;     ///< factorizations resident right now
   std::uint64_t resident_bytes = 0;  ///< bytes the resident entries account for
   std::uint64_t budget_bytes = 0;    ///< the configured cache budget
+  std::uint64_t demoted_entries = 0;  ///< gauge: entries living in the spill tier
+  std::uint64_t demoted_bytes = 0;    ///< gauge: bytes those demoted entries held
   std::uint64_t requests = 0;    ///< solve() calls accepted
   std::uint64_t rhs_served = 0;  ///< right-hand-side columns solved
   std::uint64_t backend_solves = 0;  ///< sweeps issued to h2::Solver::solve
@@ -196,9 +221,11 @@ class Server {
   /// traffic). Percentiles cover a sliding window of recent requests.
   [[nodiscard]] ServerStats stats() const;
 
-  /// Evict every resident entry (outstanding FactorHandles keep theirs
-  /// alive). Returns the number of entries evicted. Mainly for tests and
-  /// operational resets; counted in ServerStats::evictions.
+  /// Drop every cached entry — resident AND demoted (outstanding
+  /// FactorHandles keep theirs alive). Returns the total number of entries
+  /// dropped. Only the resident ones count toward ServerStats::evictions;
+  /// demoted entries were already counted when they left RAM. Mainly for
+  /// tests and operational resets.
   std::size_t clear();
 
   /// The options this server runs with (env already resolved).
@@ -210,6 +237,10 @@ class Server {
 
   [[nodiscard]] Matrix admit_one(const std::shared_ptr<FactorHandle::Entry>& e,
                                  ConstMatrixView b);
+  /// The eviction loop (caller holds the cache mutex): demote-or-destroy
+  /// least-recently-acquired entries until resident_bytes fits the budget,
+  /// never touching `protect` (the newest or just-promoted entry).
+  void shed_cache_locked(const FactorHandle::Entry* protect);
   void note_sweep(int width);
   void note_latency(double ms);
 

@@ -1,0 +1,244 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace h2 {
+
+/// Counters and gauges of one SpillStore, snapshotted atomically by
+/// SpillStore::stats(). Counters are lifetime totals; gauges are the value at
+/// the snapshot. The out-of-core acceptance bound is
+/// `peak_resident_bytes <= budget_bytes + max_block_bytes`: the store admits a
+/// *required* block past the budget rather than deadlock a solve, but never
+/// more than one block beyond it per concurrent sweep (peak_resident_bytes is
+/// reset when adoption seals, so the bound is measured over the serve phase —
+/// during adoption the blocks already exist and the store can only drain them).
+struct SpillStats {
+  std::uint64_t blocks = 0;            ///< blocks adopted into the store
+  std::uint64_t block_bytes = 0;       ///< payload bytes adopted
+  std::uint64_t spilled_blocks = 0;    ///< spill files written by the writers
+  std::uint64_t spilled_bytes = 0;     ///< payload bytes written to disk
+  std::uint64_t evictions = 0;         ///< resident payloads dropped to disk-only
+  std::uint64_t evicted_bytes = 0;     ///< payload bytes dropped
+  std::uint64_t faults = 0;            ///< synchronous (demand) reads
+  std::uint64_t fault_bytes = 0;       ///< payload bytes read on demand
+  std::uint64_t prefetches = 0;        ///< reads issued ahead of the sweep cursor
+  std::uint64_t prefetch_bytes = 0;    ///< payload bytes read ahead
+  std::uint64_t step_hits = 0;    ///< step-acquired blocks resident, in flight,
+                                  ///< or already scheduled by the planner
+  std::uint64_t step_misses = 0;  ///< step-acquired blocks whose read the sweep
+                                  ///< itself had to initiate
+  std::uint64_t resident_bytes = 0;    ///< gauge: managed payload bytes in RAM
+  std::uint64_t peak_resident_bytes = 0;  ///< high-water mark of resident_bytes
+  std::uint64_t budget_bytes = 0;      ///< gauge: current resident budget
+  std::uint64_t max_block_bytes = 0;   ///< largest single adopted payload
+};
+
+/// File-backed tier for factor blocks: gives each adopted block the
+/// resident -> spilled -> prefetched lifecycle that decouples solvable N from
+/// RAM.
+///
+/// A block enters with adopt() at its factorization release point (its bytes
+/// are final and read-only from then on; the solve only ever *reads* factors,
+/// so moving a payload to disk and back can change where the bytes live but
+/// never what they are — out-of-core execution is bitwise identical by
+/// construction). Background writer threads persist every adopted payload to a
+/// checksummed per-block file; once a block's file exists, dropping its
+/// payload (eviction) and restoring it (fault-in) are pure byte moves through
+/// BlockPool::global(), which hands the storage back on release and re-adopts
+/// it on fault-in.
+///
+/// seal() fixes the *solve plan*: an ordered list of steps, each naming the
+/// slots one phase chunk of the solve sweep reads. A Pass walks the steps in
+/// order; Pass::advance(s) pins step s resident (counting prefetch hits and
+/// demand misses) and releases the previous step. A planner thread walks the
+/// plan ahead of the most recently acquired step, reserving resident budget
+/// and queueing reads in plan order; the IO threads — idle as writers once the
+/// plan is sealed — execute the queued reads concurrently, so a healthy sweep
+/// overlaps its compute with several reads in flight and never initiates a
+/// cold read itself. A step block counts as a hit when the sweep finds it
+/// resident, in flight, or scheduled (the sweep executes a scheduled read in
+/// the worker's stead rather than wait its turn); it is a miss only when the
+/// planner never got to it and the sweep must initiate the read.
+///
+/// Budget policy: eviction keeps resident bytes at or under budget_bytes
+/// whenever anything unpinned is evictable; a pinned (required) fault may
+/// overshoot rather than stall the sweep — see SpillStats for the exact bound.
+/// Setting the budget to zero turns the store into a pure disk tier (the
+/// serving cache's "demoted" state): every release drains to disk, every use
+/// faults back in.
+///
+/// Failure policy: any write or read error (short file, checksum mismatch,
+/// out of disk) is recorded and rethrown as std::runtime_error naming the
+/// spill file and block from every subsequent store entry point — never a
+/// silently wrong answer. The destructor stops the threads, removes the
+/// store's files and directory, and discharges its resident accounting, so
+/// cleanup happens on every path including exceptions.
+class SpillStore {
+ public:
+  /// Construction knobs (see H2_SPILL_DIR / H2_SPILL_MB / H2_SPILL_THREADS in
+  /// docs/TUNING.md for the environment defaults they are usually fed from).
+  struct Options {
+    std::string dir;                 ///< existing writable parent directory
+    std::uint64_t budget_bytes = 0;  ///< resident payload budget (0 = spill all)
+    int io_threads = 2;  ///< background IO threads (>= 1): spill writers that
+                         ///< double as prefetch readers once the plan is sealed
+  };
+
+  /// Index of an adopted block within this store.
+  using SlotId = int;
+  /// Sentinel for "no slot" in plan step lists (empty blocks are never
+  /// adopted, so plans built from block tables use this for the gaps).
+  static constexpr SlotId kNoSlot = -1;
+
+  /// Creates `<dir>/h2spill-<pid>-<n>/` and starts the writer and prefetcher
+  /// threads. Throws std::runtime_error if the directory cannot be created.
+  explicit SpillStore(const Options& opt);
+  /// Stops the threads, deletes every spill file and the store directory, and
+  /// discharges the resident accounting of its managed blocks.
+  ~SpillStore();
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Hand `block` (non-empty, final, address-stable) to the store. The write
+  /// is queued immediately; adopt() then pushes residency down toward the
+  /// budget (waiting on the writers when needed) before returning, so
+  /// adoption itself never accumulates more than the budget plus the blocks
+  /// currently in flight. `name` labels the block in error messages.
+  /// The store charges the payload to blockmem; the caller must drop its own
+  /// accounting for the block before calling.
+  SlotId adopt(Matrix* block, std::string name);
+
+  /// Seal adoption and install the solve plan: steps[s] lists the slots step
+  /// s reads (kNoSlot entries are skipped). Waits for every queued write,
+  /// then resets the peak-resident mark and releases the prefetcher onto the
+  /// first steps. Call once, after the last adopt().
+  void seal(std::vector<std::vector<SlotId>> steps);
+
+  /// Walks one solve sweep over the sealed plan. Destroying a Pass releases
+  /// whatever step it still holds, so an exception unwinding a solve cannot
+  /// leak pins.
+  class Pass {
+   public:
+    /// Rewinds the store's prefetch cursor to the first step.
+    explicit Pass(SpillStore& store);
+    ~Pass();
+    Pass(const Pass&) = delete;
+    Pass& operator=(const Pass&) = delete;
+    /// Releases the previously held step and pins every block of `step`
+    /// resident, blocking on demand reads for the ones prefetch missed.
+    void advance(int step);
+
+   private:
+    SpillStore* store_;
+    int held_ = -1;
+  };
+
+  /// Pin an explicit slot set resident (demand-faulting as needed) — the
+  /// hook for factor reads outside the solve sweep (logabsdet, the depth-0
+  /// top solve). Ignores kNoSlot entries.
+  void pin(const std::vector<SlotId>& ids);
+  /// Undo pin(); eviction may reclaim the blocks again.
+  void unpin(const std::vector<SlotId>& ids);
+
+  /// Block until every queued spill write has completed (rethrows a recorded
+  /// writer error).
+  void quiesce();
+  /// Fault every spilled block back in (promotion). Respects no budget; pair
+  /// with set_budget() when turning a disk tier resident again.
+  void fetch_all();
+  /// Spill and drop every unpinned block (demotion). Blocks pinned by an
+  /// in-flight sweep stay resident and drain on release.
+  void drop_all();
+  /// Replace the resident budget and immediately evict down toward it.
+  void set_budget(std::uint64_t budget_bytes);
+
+  /// Atomic snapshot of the counters and gauges.
+  [[nodiscard]] SpillStats stats() const;
+  /// The spill file backing slot `id` (exists once the writers got to it).
+  [[nodiscard]] std::string file_path(SlotId id) const;
+  /// This store's private directory, `<dir>/h2spill-<pid>-<n>`.
+  [[nodiscard]] const std::string& directory() const;
+
+  /// Test seam: make the next `n` spill writes fail as if the disk were full
+  /// (a partial payload is written first, so the file is also invalid).
+  void fail_next_writes_for_testing(int n);
+
+ private:
+  enum class State : std::uint8_t {
+    kQueued,   // resident; write not yet picked up
+    kWriting,  // resident; writer thread owns the file
+    kClean,    // resident; file valid — evictable when unpinned
+    kSpilled,  // disk only
+    kReading,  // disk -> RAM transfer in flight (single-flight gate)
+  };
+
+  struct Slot {
+    Matrix* block = nullptr;
+    int rows = 0, cols = 0;
+    std::uint64_t bytes = 0;
+    std::string name;
+    State state = State::kQueued;
+    int pins = 0;
+    bool prefetched = false;   // read ahead, not yet acquired: evict last
+    bool read_queued = false;  // in read_q_; its bytes are budget-reserved
+    int next_use = -1;         // earliest upcoming step reading this slot...
+    std::uint64_t plan_gen = 0;  // ...valid while this matches plan_gen_
+  };
+
+  void writer_main();
+  void prefetch_main();
+  void write_slot(std::unique_lock<std::mutex>& lk, SlotId id);
+  void read_slot(std::unique_lock<std::mutex>& lk, SlotId id, bool required);
+  void evict_one(SlotId id);
+  void evict_toward(std::uint64_t target, bool sweep);
+  void dequeue_read(SlotId id);  // cancel one scheduled read (callers hold mu_)
+  void schedule_reads();         // one planning pass (callers hold mu_)
+  // Evict the evictable resident block whose next plan use is farthest past
+  // `step` (Belady's rule on the sealed plan; a block with no upcoming use at
+  // all goes first). Returns false when nothing qualifies.
+  bool evict_farthest_after(int step);
+  void ensure_resident(std::unique_lock<std::mutex>& lk, SlotId id,
+                       bool count_step);
+  void acquire_step(int step);
+  void release_step(int step);
+  void throw_if_failed() const;  // callers hold mu_
+  void fail(const std::string& what);
+
+  const std::string dir_;
+  std::uint64_t budget_;
+  SpillStats st_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // state / budget / error waiters
+  std::condition_variable work_cv_;   // writer wakeups
+  std::condition_variable fetch_cv_;  // prefetch-planner wakeups
+  std::vector<Slot> slots_;
+  std::deque<SlotId> write_q_;
+  std::deque<SlotId> evict_q_;  // lazily validated eviction candidates
+  std::deque<SlotId> read_q_;   // planner-scheduled prefetch reads, plan order
+  // Budget bytes held by read_q_ entries and scheduled reads still in flight:
+  // the planner admits a read only while resident + reserved stays under the
+  // budget, so every scheduled read has room by the time it completes.
+  std::uint64_t reserved_read_bytes_ = 0;
+  std::uint64_t plan_gen_ = 0;  // bumped per planning walk; stamps next_use
+  std::vector<std::vector<SlotId>> steps_;
+  bool sealed_ = false;
+  bool draining_ = false;  // drop_all in progress: planner paused, reads void
+  int cursor_ = -1;        // most recently acquired step (prefetch oracle)
+  int inject_write_failures_ = 0;
+  std::string error_;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace h2

@@ -8,9 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
+#include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "server/server.hpp"
 #include "test_helpers.hpp"
@@ -252,6 +257,108 @@ TEST(ServerConcurrency, ManyClientsTwoProblemsStayIsolated) {
   EXPECT_EQ(st.queue_depth, 0u);
 }
 
+/// Scratch directory under the system temp dir (unique per process + use),
+/// removed recursively on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    static int counter = 0;
+    path = (std::filesystem::temp_directory_path() /
+            ("h2-server-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter++)))
+               .string();
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(ServerSpillTier, DemotedEntryPromotesBitwiseUnderConcurrentSolves) {
+  // With a spill directory, a 1-byte budget demotes the older entry instead
+  // of destroying it. The held handle must keep solving it (demand-faulting
+  // from disk) bitwise; a later acquire of the same key must promote it —
+  // exactly once, whatever the concurrency — WITHOUT a rebuild, and serve
+  // bitwise the cold build's answers throughout.
+  Rng rng(31);
+  const PointCloud pts_a = uniform_cube(384, rng);
+  const PointCloud pts_b = uniform_cube(256, rng);
+  const LaplaceKernel kern(1e-2);
+  const Matrix b = Matrix::random(384, 1, rng);
+  TempDir tmp;
+
+  Server server(ServerOptions{}
+                    .with_cache_budget_bytes(1)
+                    .with_spill_dir(tmp.path));
+  const Server::FactorHandle fa = server.acquire(pts_a, kern, cheap_opts());
+  const Matrix x_ref = server.solve(fa, b);
+
+  // Building the second problem sheds the first — to disk, not to oblivion.
+  (void)server.acquire(pts_b, kern, cheap_opts());
+  {
+    const ServerStats st = server.stats();
+    EXPECT_EQ(st.demotions, 1u);
+    EXPECT_EQ(st.demoted_entries, 1u);
+    EXPECT_GT(st.demoted_bytes, 0u);
+    EXPECT_GE(st.evictions, st.demotions) << "demotions must count as evictions";
+  }
+  // The held handle keeps the demoted entry solvable AND promotable.
+  EXPECT_TRUE(bitwise_equal(server.solve(fa, b), x_ref));
+
+  // Concurrent re-acquires + solves on the held handle: promotion is
+  // single-flight (the counter says once), answers never waver.
+  const int kThreads = 4;
+  std::vector<int> bad(2 * kThreads, 0);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const Server::FactorHandle f = server.acquire(pts_a, kern, cheap_opts());
+      if (!bitwise_equal(server.solve(f, b), x_ref))
+        ++bad[static_cast<std::size_t>(t)];
+    });
+    clients.emplace_back([&, t] {
+      if (!bitwise_equal(server.solve(fa, b), x_ref))
+        ++bad[static_cast<std::size_t>(kThreads + t)];
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < 2 * kThreads; ++i)
+    EXPECT_EQ(bad[static_cast<std::size_t>(i)], 0) << i;
+
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.promotions, 1u) << "promotion was not single-flight";
+  EXPECT_EQ(st.misses, 2u) << "a demoted entry was rebuilt instead of promoted";
+  // Counters reconcile: every promotion rode a hit; what was demoted is
+  // either still demoted or was promoted back.
+  EXPECT_GE(st.hits, st.promotions);
+  EXPECT_EQ(st.demotions, st.promotions + st.demoted_entries);
+}
+
+TEST(ServerSpillTier, ClearDropsDemotedEntriesWithoutDoubleCounting) {
+  Rng rng(32);
+  const PointCloud pts_a = uniform_cube(256, rng);
+  const PointCloud pts_b = uniform_cube(192, rng);
+  const LaplaceKernel kern(1e-2);
+  TempDir tmp;
+  Server server(ServerOptions{}
+                    .with_cache_budget_bytes(1)
+                    .with_spill_dir(tmp.path));
+  (void)server.acquire(pts_a, kern, cheap_opts());
+  (void)server.acquire(pts_b, kern, cheap_opts());  // demotes pts_a's entry
+  ASSERT_EQ(server.stats().demoted_entries, 1u);
+  ASSERT_EQ(server.stats().entries, 1u);  // the resident gauge excludes it
+
+  EXPECT_EQ(server.clear(), 2u);  // both entries dropped...
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_EQ(st.demoted_entries, 0u);
+  EXPECT_EQ(st.demoted_bytes, 0u);
+  // ...but the demoted one was already counted when it left RAM.
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(st.demotions, 1u);
+}
+
 TEST(ServerApi, EmptyHandleAndBadOptionsThrow) {
   Server server;
   const Server::FactorHandle empty;
@@ -263,6 +370,8 @@ TEST(ServerApi, EmptyHandleAndBadOptionsThrow) {
   EXPECT_THROW(Server(ServerOptions{}.with_batch_deadline_us(-1)),
                std::invalid_argument);
   EXPECT_THROW(Server(ServerOptions{}.with_cache_budget_bytes(0)),
+               std::invalid_argument);
+  EXPECT_THROW(Server(ServerOptions{}.with_spill_dir("/nonexistent/h2-spill")),
                std::invalid_argument);
 }
 
