@@ -1,7 +1,9 @@
 #include "api/solver.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -25,6 +27,13 @@ int solver_default_spill_threads() {
   return env::get_int("H2_SPILL_THREADS", 2);
 }
 
+Precision solver_default_precision() {
+  std::string v = env::get_string("H2_PRECISION", std::string());
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return (v == "f32" || v == "fp32" || v == "single") ? Precision::F32
+                                                      : Precision::F64;
+}
+
 UlvOptions SolverOptions::ulv_options() const {
   UlvOptions u;
   u.tol = tol;
@@ -40,6 +49,7 @@ UlvOptions SolverOptions::ulv_options() const {
   u.pool = pool;
   u.record_tasks = record_tasks;
   u.width_stable_solve = width_stable_solve;
+  u.precision = precision;
   u.spill_dir = spill_dir;
   u.spill_budget_bytes =
       static_cast<std::uint64_t>(spill_budget_mb * (1ull << 20));
@@ -64,6 +74,14 @@ void SolverOptions::validate() const {
         "SolverOptions: spill_budget_mb must be >= 0 (got " +
         std::to_string(spill_budget_mb) +
         "); it is the resident byte budget of the spill tier (H2_SPILL_MB)");
+  if (refine_tol < 0.0)
+    throw std::invalid_argument(
+        "SolverOptions: refine_tol must be >= 0 (got " +
+        std::to_string(refine_tol) + "); 0 means refine to tol");
+  if (max_refine_iters < 1)
+    throw std::invalid_argument(
+        "SolverOptions: max_refine_iters must be >= 1 (got " +
+        std::to_string(max_refine_iters) + ")");
   UlvOptions u = ulv_options();
   u.validate();  // tol, fill_tol_factor, n_workers checks live there
 }
@@ -82,6 +100,14 @@ struct Solver::Impl {
   std::unique_ptr<UlvFactorization> ulv;  // H2 / HSS
   std::unique_ptr<BlrMatrix> blr;
   std::unique_ptr<HodlrMatrix> hodlr;
+  /// The fp64 operator mixed-precision solves refine against, retained only
+  /// under Precision::F32 (for BLR/HODLR it is built specifically for the
+  /// residual matvec — the Kernel does not outlive build()).
+  std::unique_ptr<H2Matrix> op;
+  /// Most recent refinement outcome (see Solver::last_refine). Mutable
+  /// because the Impl is shared immutably; solves may race on it.
+  mutable RefineResult last_refine;
+  mutable std::mutex refine_mu;
 };
 
 Solver Solver::build(const PointCloud& points, const Kernel& kernel,
@@ -109,9 +135,11 @@ Solver Solver::build(const PointCloud& points, const Kernel& kernel,
                           opt.eta};
       ho.tol = opt.build_tol_factor * opt.tol;
       ho.max_rank = opt.max_rank;
-      // The H2Matrix is only needed while factorizing; it is dropped here.
-      const H2Matrix a(*impl->tree, kernel, ho);
-      impl->ulv = std::make_unique<UlvFactorization>(a, opt.ulv_options());
+      // The H2Matrix is only needed while factorizing — except under F32,
+      // where it stays on as the refinement loop's fp64 residual operator.
+      auto a = std::make_unique<H2Matrix>(*impl->tree, kernel, ho);
+      impl->ulv = std::make_unique<UlvFactorization>(*a, opt.ulv_options());
+      if (opt.precision == Precision::F32) impl->op = std::move(a);
       break;
     }
     case SolverStructure::BLR: {
@@ -127,13 +155,31 @@ Solver Solver::build(const PointCloud& points, const Kernel& kernel,
                                          : ThreadPool::env_threads();
       impl->blr = std::make_unique<BlrMatrix>(*impl->tree, kernel, bo);
       impl->blr->factorize();
+      if (opt.precision == Precision::F32) impl->blr->round_storage_to_fp32();
       break;
     }
     case SolverStructure::HODLR: {
       impl->hodlr = std::make_unique<HodlrMatrix>(
           *impl->tree, kernel, HodlrMatrix::Options{opt.tol, opt.max_rank});
+      if (opt.precision == Precision::F32) impl->hodlr->round_storage_to_fp32();
       break;
     }
+  }
+  if (opt.precision == Precision::F32 && impl->op == nullptr) {
+    // BLR/HODLR factored (and rounded) their own storage above; build the
+    // fp64 residual operator for the refinement loop while the kernel is
+    // still alive. Weak admissibility matches their (weak/flat) families.
+    // The operator's approximation error floors the dense residual the
+    // refinement can reach, so its tolerance follows the TIGHTER of tol and
+    // refine_tol — an explicit refine_tol below tol buys a more accurate
+    // (larger) operator, not a silently unreachable target.
+    H2BuildOptions ho;
+    ho.admissibility = {Admissibility::Weak, opt.eta};
+    ho.tol = opt.build_tol_factor *
+             (opt.refine_tol > 0.0 ? std::min(opt.tol, opt.refine_tol)
+                                   : opt.tol);
+    ho.max_rank = opt.max_rank;
+    impl->op = std::make_unique<H2Matrix>(*impl->tree, kernel, ho);
   }
   impl->opt = opt;  // after the switch: it may have bound opt.pool
   return Solver(std::move(impl));
@@ -155,13 +201,38 @@ void check_rhs_rows(int got, int want) {
 
 void Solver::solve_in_place(MatrixView b) const {
   check_rhs_rows(b.rows(), n());
-  if (impl_->ulv) {
-    impl_->ulv->solve(b);
-  } else if (impl_->blr) {
-    impl_->blr->solve(b);
-  } else {
-    impl_->hodlr->solve(b);
+  auto raw = [this](MatrixView v) {
+    if (impl_->ulv) {
+      impl_->ulv->solve(v);
+    } else if (impl_->blr) {
+      impl_->blr->solve(v);
+    } else {
+      impl_->hodlr->solve(v);
+    }
+  };
+  if (impl_->op == nullptr) {
+    raw(b);
+    return;
   }
+  // Mixed precision: one raw reduced-precision solve seeds the iterate,
+  // then fp64 refinement against the retained operator drives the residual
+  // to refine_tol (tol when unset). b is both the rhs and, on exit, x.
+  Matrix x = Matrix::from(b);
+  raw(x);
+  const double target = impl_->opt.refine_tol > 0.0 ? impl_->opt.refine_tol
+                                                    : impl_->opt.tol;
+  const RefineResult rr =
+      refine(*impl_->op, raw, b, x, impl_->opt.max_refine_iters, target);
+  {
+    const std::lock_guard<std::mutex> lk(impl_->refine_mu);
+    impl_->last_refine = rr;
+  }
+  copy_into(x, b);
+}
+
+RefineResult Solver::last_refine() const {
+  const std::lock_guard<std::mutex> lk(impl_->refine_mu);
+  return impl_->last_refine;
 }
 
 Matrix Solver::solve(ConstMatrixView b) const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/refine.hpp"
 #include "core/ulv_options.hpp"
 #include "storage/spill_store.hpp"
 #include "geometry/cloud.hpp"
@@ -31,6 +32,10 @@ class ThreadPool;
 /// Environment default of SolverOptions::spill_threads: $H2_SPILL_THREADS,
 /// else 2.
 [[nodiscard]] int solver_default_spill_threads();
+/// Environment default of SolverOptions::precision: $H2_PRECISION
+/// ("f32"/"fp32"/"single" selects Precision::F32; anything else, or unset,
+/// Precision::F64).
+[[nodiscard]] Precision solver_default_precision();
 
 /// Which rank-structured representation (and hence which direct solver)
 /// backs an h2::Solver — the paper's Table I families over one geometry.
@@ -114,6 +119,24 @@ struct SolverOptions {
   /// under; see UlvOptions::width_stable_solve for mechanism and cost.
   bool width_stable_solve = false;
 
+  // ---- Mixed precision (docs/ARCHITECTURE.md "Precision").
+  /// Element precision of the stored factorization ($H2_PRECISION, f64).
+  /// Precision::F32 halves every factor block's bytes (ULV backends run the
+  /// native fp32 engine; BLR/HODLR round their factor storage through
+  /// fp32), and every solve then finishes with fp64 iterative refinement
+  /// against the retained fp64 operator — so solutions come back at
+  /// fp64-grade residuals from an fp32-sized factor. Inspect the outcome
+  /// with Solver::last_refine().
+  Precision precision = solver_default_precision();
+  /// Relative residual the refinement loop drives mixed-precision solves
+  /// to (||b - A x||_F / ||b||_F). 0 (default): refine to `tol`, the
+  /// factorization's own truncation accuracy. A target the factorization
+  /// cannot reach reports RefineResult::converged = false (never loops
+  /// past max_refine_iters). Ignored under Precision::F64.
+  double refine_tol = 0.0;
+  /// Iteration cap of the refinement loop (mixed-precision solves).
+  int max_refine_iters = 20;
+
   // ---- Out-of-core factor store (src/storage; knobs in docs/TUNING.md).
   /// Existing writable directory for the spill tier; empty (the default
   /// unless $H2_SPILL_DIR is set) keeps the whole factor resident. When
@@ -144,6 +167,9 @@ struct SolverOptions {
   SolverOptions& with_pool(ThreadPool* p) { pool = p; return *this; }  ///< chain-set pool
   SolverOptions& with_record_tasks(bool v) { record_tasks = v; return *this; }  ///< chain-set record_tasks
   SolverOptions& with_width_stable_solve(bool v) { width_stable_solve = v; return *this; }  ///< chain-set width_stable_solve
+  SolverOptions& with_precision(Precision p) { precision = p; return *this; }  ///< chain-set precision
+  SolverOptions& with_refine_tol(double v) { refine_tol = v; return *this; }  ///< chain-set refine_tol
+  SolverOptions& with_max_refine_iters(int v) { max_refine_iters = v; return *this; }  ///< chain-set max_refine_iters
   SolverOptions& with_spill_dir(std::string d) { spill_dir = std::move(d); return *this; }  ///< chain-set spill_dir
   SolverOptions& with_spill_budget_mb(double v) { spill_budget_mb = v; return *this; }  ///< chain-set spill_budget_mb
   SolverOptions& with_spill_threads(int v) { spill_threads = v; return *this; }  ///< chain-set spill_threads
@@ -246,6 +272,15 @@ class Solver {
   /// solve, or when solves ran the PhaseLoops sweep. Set H2_SOLVE_TRACE to
   /// a path to also dump each DAG solve's trace CSV.
   [[nodiscard]] ExecStats last_solve_stats() const;
+
+  /// Typed status of the most recent mixed-precision solve on this
+  /// factorization: refinement iterations applied, the final relative
+  /// residual, and whether refine_tol was actually reached (a too-tight
+  /// target reports converged = false instead of looping). Default-
+  /// constructed before any solve and for Precision::F64 solvers, which
+  /// never refine. Last-writer-wins under concurrent solves — a
+  /// diagnostic surface, like last_solve_stats().
+  [[nodiscard]] RefineResult last_refine() const;
 
   /// Number of points (= matrix dimension).
   [[nodiscard]] int n() const;

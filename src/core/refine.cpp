@@ -1,18 +1,22 @@
 #include "core/refine.hpp"
 
+#include "core/ulv_factorization.hpp"
+#include "hmatrix/h2_matrix.hpp"
 #include "linalg/norms.hpp"
 
 namespace h2 {
 
-double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
-                  ConstMatrixView b, MatrixView x, int max_iters,
-                  double target) {
+RefineResult refine(const H2Matrix& a,
+                    const std::function<void(MatrixView)>& apply_inv,
+                    ConstMatrixView b, MatrixView x, int max_iters,
+                    double target) {
   const int n = b.rows(), nrhs = b.cols();
   const double bnorm = norm_fro(b);
-  if (bnorm == 0.0) return 0.0;
+  if (bnorm == 0.0) return {};
 
   Matrix r(n, nrhs);
-  double rel = 0.0;
+  RefineResult res;
+  double prev = 0.0;
   for (int it = 0; it <= max_iters; ++it) {
     // r = b - A x.
     a.matvec(x, r);
@@ -21,17 +25,33 @@ double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
       const double* bj = b.col(j);
       for (int i = 0; i < n; ++i) rj[i] = bj[i] - rj[i];
     }
-    rel = norm_fro(r) / bnorm;
-    if (it == max_iters || rel <= target) break;
+    res.rel_residual = norm_fro(r) / bnorm;
+    if (res.rel_residual <= target) break;
+    // A correction that no longer shrinks the residual means the loop is at
+    // the factorization's accuracy floor — more iterations cannot reach a
+    // tighter target, so stop and report where it stalled.
+    if (it > 0 && res.rel_residual >= 0.5 * prev) break;
+    if (it == max_iters) break;
+    prev = res.rel_residual;
     // x += F^-1 r.
-    f.solve(r);
+    apply_inv(r);
     for (int j = 0; j < nrhs; ++j) {
       double* xj = x.col(j);
       const double* rj = r.data() + static_cast<std::size_t>(j) * n;
       for (int i = 0; i < n; ++i) xj[i] += rj[i];
     }
+    ++res.iterations;
   }
-  return rel;
+  res.converged = target <= 0.0 || res.rel_residual <= target;
+  return res;
+}
+
+double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
+                  ConstMatrixView b, MatrixView x, int max_iters,
+                  double target) {
+  return refine(
+             a, [&f](MatrixView r) { f.solve(r); }, b, x, max_iters, target)
+      .rel_residual;
 }
 
 }  // namespace h2

@@ -1,17 +1,51 @@
 #pragma once
 
-#include "core/ulv_factorization.hpp"
-#include "hmatrix/h2_matrix.hpp"
+#include <functional>
+
+#include "linalg/matrix.hpp"
 
 namespace h2 {
 
-/// Iterative refinement: x <- x + F^-1 (b - A x), using the H^2 matvec for
-/// the residual. A handful of steps recovers most of the digits the
-/// approximate factorization truncated away, at O(N) per step — the standard
-/// companion to approximate direct solvers like this one.
+class H2Matrix;
+class UlvFactorization;
+
+/// Typed outcome of an iterative-refinement run (see refine()). The facade
+/// surfaces it from mixed-precision solves so callers can distinguish "the
+/// target was reached" from "the loop hit its iteration cap" — a
+/// deliberately-too-tight target reports converged = false here instead of
+/// looping or throwing.
+struct RefineResult {
+  /// Correction steps applied (x += F^-1 r), not counting the final
+  /// residual evaluation.
+  int iterations = 0;
+  /// Final relative residual ||b - A x||_F / ||b||_F.
+  double rel_residual = 0.0;
+  /// True when rel_residual <= target at exit (always true for target = 0:
+  /// "no target" runs the full iteration budget and accepts the result).
+  bool converged = true;
+};
+
+/// Iterative refinement against an arbitrary approximate inverse:
+/// x <- x + apply_inv(b - A x), using the H^2 matvec for the fp64 residual.
+/// A handful of steps recovers most of the digits the approximate (or
+/// reduced-precision) factorization lost, at O(N) per step — the standard
+/// companion to approximate direct solvers, and the recovery half of the
+/// mixed-precision path: factor and sweep in fp32, refine the result
+/// against the fp64 operator.
 ///
-/// `b` and `x` are n x nrhs in tree ordering; returns the final residual
-/// Frobenius norm relative to ||b||.
+/// `apply_inv` must overwrite its argument with F^-1 applied to it (the
+/// in-place solve contract of every backend). `b` and `x` are n x nrhs in
+/// tree ordering; `x` holds the initial guess on entry (typically the raw
+/// reduced-precision solve) and the refined solution on exit. Stops when
+/// the relative residual reaches `target`, stops improving, or after
+/// `max_iters` corrections — whichever comes first.
+RefineResult refine(const H2Matrix& a,
+                    const std::function<void(MatrixView)>& apply_inv,
+                    ConstMatrixView b, MatrixView x, int max_iters,
+                    double target);
+
+/// The classic entry point: refinement against a ULV factorization's solve.
+/// Returns the final relative residual (RefineResult::rel_residual).
 double ulv_refine(const H2Matrix& a, const UlvFactorization& f,
                   ConstMatrixView b, MatrixView x, int max_iters = 3,
                   double target = 0.0);

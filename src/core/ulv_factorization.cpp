@@ -17,8 +17,9 @@ namespace h2 {
 
 namespace {
 
-std::uint64_t bytes_of(const Matrix& m) {
-  return 8ull * static_cast<std::uint64_t>(m.rows()) *
+template <class T>
+std::uint64_t bytes_of(const MatrixT<T>& m) {
+  return sizeof(T) * static_cast<std::uint64_t>(m.rows()) *
          static_cast<std::uint64_t>(m.cols());
 }
 
@@ -28,7 +29,8 @@ std::uint64_t bytes_of(const Matrix& m) {
 /// fully keyed by prepare() before any body runs, so concurrent bodies only
 /// assign mapped values through stable node references — the map structure
 /// itself is never mutated during execution.
-struct UlvFactorization::Workspace {
+template <class T>
+struct UlvEngine<T>::Workspace {
   const H2Matrix* a = nullptr;
   /// cur[l]: stored blocks of level l in current (child-skeleton)
   /// coordinates — leaf dense blocks at l = depth, merged skeletons above.
@@ -40,7 +42,8 @@ struct UlvFactorization::Workspace {
   std::vector<std::vector<Matrix>> fill_p;
 };
 
-UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
+template <class T>
+UlvEngine<T>::UlvEngine(const H2Matrix& a, const UlvOptions& opt)
     : tree_(&a.tree()),
       structure_(a.structure()),
       opt_(opt),
@@ -68,11 +71,13 @@ UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt)
   }
 }
 
-UlvFactorization::~UlvFactorization() {
+template <class T>
+UlvEngine<T>::~UlvEngine() {
   blockmem::discharge(tracked_bytes_.load(std::memory_order_relaxed));
 }
 
-void UlvFactorization::track_store(Matrix& dst, Matrix&& fresh) {
+template <class T>
+void UlvEngine<T>::track_store(Matrix& dst, Matrix&& fresh) {
   const std::uint64_t before = bytes_of(dst), after = bytes_of(fresh);
   dst = std::move(fresh);
   if (after >= before) {
@@ -84,7 +89,8 @@ void UlvFactorization::track_store(Matrix& dst, Matrix&& fresh) {
   }
 }
 
-void UlvFactorization::track_take(Matrix& dst, Matrix& src) {
+template <class T>
+void UlvEngine<T>::track_take(Matrix& dst, Matrix& src) {
   const std::uint64_t overwritten = bytes_of(dst);
   blockmem::discharge(overwritten);
   tracked_bytes_.fetch_sub(overwritten, std::memory_order_relaxed);
@@ -92,7 +98,8 @@ void UlvFactorization::track_take(Matrix& dst, Matrix& src) {
   src = Matrix();  // moved-from shape is unspecified; make the slot empty
 }
 
-void UlvFactorization::track_drop(Matrix& m) {
+template <class T>
+void UlvEngine<T>::track_drop(Matrix& m) {
   const std::uint64_t b = bytes_of(m);
   if (b == 0) {
     m = Matrix();
@@ -105,16 +112,19 @@ void UlvFactorization::track_drop(Matrix& m) {
   BlockPool::global().recycle(std::move(dead));
 }
 
-void UlvFactorization::release_ry_row(int level, int i) {
+template <class T>
+void UlvEngine<T>::release_ry_row(int level, int i) {
   for (const int j : structure_.admissible_cols(level, i))
     track_drop(ry_[level].at({i, j}));
 }
 
-void UlvFactorization::release_skel_block(int level, int i, int j) {
+template <class T>
+void UlvEngine<T>::release_skel_block(int level, int i, int j) {
   track_drop(skel_[level].at({i, j}));
 }
 
-void UlvFactorization::release_level_remnants(Workspace& w, int level) {
+template <class T>
+void UlvEngine<T>::release_level_remnants(Workspace& w, int level) {
   // The per-resource releases emptied the VALUES; this retires the node
   // storage (and any value the fine-grained path does not cover, e.g. the
   // already-emptied cur/ucur/vcur slots). Callers order it after every task
@@ -140,7 +150,8 @@ void UlvFactorization::release_level_remnants(Workspace& w, int level) {
   if (store_ != nullptr) spill_register_dense(level);
 }
 
-void UlvFactorization::spill_attach(const std::string& dir,
+template <class T>
+void UlvEngine<T>::spill_attach(const std::string& dir,
                                     std::uint64_t budget_bytes,
                                     int io_threads) {
   SpillStore::Options so;
@@ -152,7 +163,8 @@ void UlvFactorization::spill_attach(const std::string& dir,
   qslot_.assign(depth_ + 1, {});
 }
 
-void UlvFactorization::spill_register_dense(int level) {
+template <class T>
+void UlvEngine<T>::spill_register_dense(int level) {
   std::lock_guard<std::mutex> lk(spill_mu_);
   auto& slots = dslot_[level];
   for (auto& [key, m] : levels_[level].dense) {
@@ -177,7 +189,8 @@ void UlvFactorization::spill_register_dense(int level) {
   }
 }
 
-void UlvFactorization::spill_finish_registration() {
+template <class T>
+void UlvEngine<T>::spill_finish_registration() {
   if (depth_ == 0) return;  // degenerate tree: one dense LU, keep it in RAM
   for (int l = 1; l <= depth_; ++l) spill_register_dense(l);
   std::lock_guard<std::mutex> lk(spill_mu_);
@@ -203,25 +216,29 @@ void UlvFactorization::spill_finish_registration() {
   }
 }
 
-UlvFactorization::SolveGuard::SolveGuard(const UlvFactorization& u)
+template <class T>
+UlvEngine<T>::SolveGuard::SolveGuard(const UlvEngine<T>& u)
     : u_(u.store_ != nullptr ? &u : nullptr) {
   if (u_ == nullptr) return;
   std::lock_guard<std::mutex> lk(u_->solve_gate_mu_);
   ++u_->active_solves_;
 }
 
-UlvFactorization::SolveGuard::~SolveGuard() {
+template <class T>
+UlvEngine<T>::SolveGuard::~SolveGuard() {
   if (u_ == nullptr) return;
   std::lock_guard<std::mutex> lk(u_->solve_gate_mu_);
   --u_->active_solves_;
   u_->solve_gate_cv_.notify_all();
 }
 
-SpillStats UlvFactorization::spill_stats() const {
+template <class T>
+SpillStats UlvEngine<T>::spill_stats() const {
   return store_ != nullptr ? store_->stats() : SpillStats{};
 }
 
-bool UlvFactorization::demote_to_disk(const std::string& dir) {
+template <class T>
+bool UlvEngine<T>::demote_to_disk(const std::string& dir) {
   // Hold the solve gate across the whole demotion: in-flight solves drain
   // first (their pins would keep blocks resident anyway), and solves
   // arriving meanwhile block in their SolveGuard until the factor is cold.
@@ -241,7 +258,8 @@ bool UlvFactorization::demote_to_disk(const std::string& dir) {
   return true;
 }
 
-void UlvFactorization::promote() {
+template <class T>
+void UlvEngine<T>::promote() {
   std::lock_guard<std::mutex> lk(solve_gate_mu_);
   if (store_ == nullptr || !demoted_) return;
   store_->set_budget(promote_budget_);
@@ -249,20 +267,23 @@ void UlvFactorization::promote() {
   demoted_ = false;
 }
 
-void UlvFactorization::record_task(int level, const char* kind, int owner,
+template <class T>
+void UlvEngine<T>::record_task(int level, const char* kind, int owner,
                                    double seconds) {
   if (!opt_.record_tasks) return;
   std::lock_guard<std::mutex> lk(stats_mutex_);
   stats_.tasks.push_back({level, kind, owner, seconds});
 }
 
-void UlvFactorization::add_dropped(double fro2) {
+template <class T>
+void UlvEngine<T>::add_dropped(double fro2) {
   if (fro2 <= 0.0) return;
   std::lock_guard<std::mutex> lk(stats_mutex_);
   stats_.dropped_mass += fro2;  // accumulated squared; sqrt at the end
 }
 
-void UlvFactorization::for_indices(int n,
+template <class T>
+void UlvEngine<T>::for_indices(int n,
                                    const std::function<void(int)>& fn) const {
   if (loops_pool_ != nullptr) {
     parallel_for(0, n, fn, loops_pool_);
@@ -271,15 +292,18 @@ void UlvFactorization::for_indices(int n,
   }
 }
 
-bool UlvFactorization::task_dag_mode() const {
+template <class T>
+bool UlvEngine<T>::task_dag_mode() const {
   // use_threads was already normalized onto PhaseLoops by validate().
   return opt_.mode == UlvMode::Parallel &&
          opt_.executor == UlvExecutor::TaskDag;
 }
 
-Matrix UlvFactorization::current_rows(int level, int lid,
-                                      ConstMatrixView x_full) const {
-  if (level == depth_) return Matrix::from(x_full);
+template <class T>
+auto UlvEngine<T>::current_rows(int level, int lid,
+                                ConstMatrixViewT<double> x_full) const
+    -> Matrix {
+  if (level == depth_) return from_f64(x_full);
   const int c0 = 2 * lid, c1 = 2 * lid + 1;
   const int pts0 = tree_->node(level + 1, c0).size();
   const int pts1 = tree_->node(level + 1, c1).size();
@@ -299,7 +323,8 @@ Matrix UlvFactorization::current_rows(int level, int lid,
   return out;
 }
 
-void UlvFactorization::prepare(Workspace& w) {
+template <class T>
+void UlvEngine<T>::prepare(Workspace& w) {
   levels_.resize(depth_ + 1);
   skel_.resize(depth_ + 1);
   ry_.resize(depth_ + 1);
@@ -344,13 +369,15 @@ void UlvFactorization::prepare(Workspace& w) {
 // still appear in the DAG trace (UlvStats::dag/exec) with their true,
 // unordered structure.
 
-void UlvFactorization::body_assemble(Workspace& w, int level, int i) {
-  track_store(w.cur[level].at({i, i}), Matrix(w.a->dense_block(i, i)));
+template <class T>
+void UlvEngine<T>::body_assemble(Workspace& w, int level, int i) {
+  track_store(w.cur[level].at({i, i}), from_f64(w.a->dense_block(i, i)));
   for (const int j : structure_.dense_cols(level, i))
-    track_store(w.cur[level].at({i, j}), Matrix(w.a->dense_block(i, j)));
+    track_store(w.cur[level].at({i, j}), from_f64(w.a->dense_block(i, j)));
 }
 
-void UlvFactorization::body_ry(Workspace& w, int level, int i) {
+template <class T>
+void UlvEngine<T>::body_ry(Workspace& w, int level, int i) {
   // R factors of the QR of every admissible block's V factor: the magnitude-
   // preserving right factor used when a block's column space enters a basis
   // concatenation (u * ry^T has the same Gram matrix as u * v^T). The row's
@@ -361,9 +388,9 @@ void UlvFactorization::body_ry(Workspace& w, int level, int i) {
     const LowRank& lr = w.a->lowrank_block(level, i, j);
     if (lr.rank() == 0) continue;
     js.push_back(j);
-    vqs.push_back(lr.v);
+    vqs.push_back(from_f64(lr.v));
   }
-  std::vector<std::vector<double>> taus(js.size());
+  std::vector<std::vector<T>> taus(js.size());
   std::vector<QrTask> tasks;
   tasks.reserve(js.size());
   for (std::size_t t = 0; t < js.size(); ++t) tasks.push_back({vqs[t], &taus[t]});
@@ -372,7 +399,8 @@ void UlvFactorization::body_ry(Workspace& w, int level, int i) {
     track_store(ry_[level].at({i, js[t]}), extract_r(vqs[t]));  // rank x rank
 }
 
-void UlvFactorization::body_project_lr(Workspace& w, int level, int i) {
+template <class T>
+void UlvEngine<T>::body_project_lr(Workspace& w, int level, int i) {
   const Timer t;
   for (const int j : structure_.admissible_cols(level, i)) {
     const LowRank& lr = w.a->lowrank_block(level, i, j);
@@ -383,7 +411,8 @@ void UlvFactorization::body_project_lr(Workspace& w, int level, int i) {
   record_task(level, "project_lr", i, t.seconds());
 }
 
-void UlvFactorization::body_fill(Workspace& w, int level, int k) {
+template <class T>
+void UlvEngine<T>::body_fill(Workspace& w, int level, int k) {
   // Fig. 7: the column space that every fill-in F(i,j) = A(i,k) A(k,k)^-1
   // A(k,j) through pivot k can occupy. We factor the concatenation
   // [A(k,k)^-1 A(k,j)]_j once per k (the paper's "not redundantly computed"
@@ -420,7 +449,7 @@ void UlvFactorization::body_fill(Workspace& w, int level, int k) {
   const PivotedQr qr = pivoted_qr(tc, opt_.fill_tol_factor * opt_.tol, -1);
   if (qr.rank == 0) return;
   Matrix rt = qr.r.transposed();
-  std::vector<double> tau;
+  std::vector<T> tau;
   householder_qr(rt, tau);
   const Matrix rtr = extract_r(rt);  // r_T x r_T
   track_store(w.fill_p[level][k],
@@ -428,7 +457,8 @@ void UlvFactorization::body_fill(Workspace& w, int level, int k) {
   record_task(level, "fill", k, t.seconds());
 }
 
-void UlvFactorization::body_basis(Workspace& w, int level, int i) {
+template <class T>
+void UlvEngine<T>::body_basis(Workspace& w, int level, int i) {
   // Eqs. 27-28 + nestedness: shared basis per cluster from
   // [fill-in spaces | this level's low-rank blocks | ancestor-block rows].
   const Timer t;
@@ -482,7 +512,8 @@ void UlvFactorization::body_basis(Workspace& w, int level, int i) {
   record_task(level, "basis", i, t.seconds());
 }
 
-void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
+template <class T>
+void UlvEngine<T>::body_project_row(Workspace& w, int level, int i) {
   // Eqs. 8-9: project row i's blocks onto the bases, then (release_blocks)
   // free the row's inputs — the projection is their last consumer (fill and
   // basis of this row are ordered before it in both executors).
@@ -546,7 +577,7 @@ void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
   for (const int j : ajs) {
     const bool batched = bx < bjs.size() && bjs[bx] == j;
     Matrix s = batched ? std::move(ss[bx++])
-                       : BlockPool::global().make(ld.rank[i], ld.rank[j]);
+                       : BlockPool::global().make_as<T>(ld.rank[i], ld.rank[j]);
     track_store(skel_[level].at({i, j}), std::move(s));
   }
   if (opt_.release_blocks) {
@@ -561,7 +592,8 @@ void UlvFactorization::body_project_row(Workspace& w, int level, int i) {
   record_task(level, "project", i, t.seconds());
 }
 
-void UlvFactorization::eliminate_block(int level, int k) {
+template <class T>
+void UlvEngine<T>::eliminate_block(int level, int k) {
   Level& ld = levels_[level];
   const int n = ld.size[k], r = ld.rank[k], nr = n - r;
   ld.rr_piv[k].clear();
@@ -587,13 +619,15 @@ void UlvFactorization::eliminate_block(int level, int k) {
   trsm_batch(tasks);
 }
 
-void UlvFactorization::body_eliminate(int level, int k) {
+template <class T>
+void UlvEngine<T>::body_eliminate(int level, int k) {
   const Timer t;
   eliminate_block(level, k);
   record_task(level, "eliminate", k, t.seconds());
 }
 
-void UlvFactorization::body_col_solve(int level, int k) {
+template <class T>
+void UlvEngine<T>::body_col_solve(int level, int k) {
   // Column strips of pivot k. Separated from body_eliminate so that no two
   // elimination tasks touch one block: this is a same-block exclusion with
   // the row tasks, NOT a trailing-sub-matrix data dependency — eliminate
@@ -613,7 +647,8 @@ void UlvFactorization::body_col_solve(int level, int k) {
   record_task(level, "col_solve", k, t.seconds());
 }
 
-std::vector<int> UlvFactorization::schur_k_list(int level, int i, int j) const {
+template <class T>
+std::vector<int> UlvEngine<T>::schur_k_list(int level, int i, int j) const {
   // k qualifies when both (i,k) and (k,j) are stored dense blocks (the
   // diagonal counts), i.e. k in (dense partners of row i + {i}) intersected
   // with (dense partners of column j + {j}).
@@ -630,7 +665,8 @@ std::vector<int> UlvFactorization::schur_k_list(int level, int i, int j) const {
   return ks;
 }
 
-void UlvFactorization::body_schur(int level, int i, int j, bool admissible) {
+template <class T>
+void UlvEngine<T>::body_schur(int level, int i, int j, bool admissible) {
   // Schur products organized by *target* so accumulation is race-free.
   const Timer t;
   Level& ld = levels_[level];
@@ -650,7 +686,8 @@ void UlvFactorization::body_schur(int level, int i, int j, bool admissible) {
   record_task(level, "schur", i, t.seconds());
 }
 
-void UlvFactorization::body_dropped(int level, int k) {
+template <class T>
+void UlvEngine<T>::body_dropped(int level, int k) {
   // Diagnostics: Frobenius mass of everything the method *drops* — the
   // non-SS components of cross-block updates, which the fill-in-augmented
   // bases are supposed to annihilate (the paper's central claim).
@@ -685,14 +722,15 @@ void UlvFactorization::body_dropped(int level, int k) {
   }
 }
 
-void UlvFactorization::body_merge(Workspace& w, int level, int pi, int pj) {
+template <class T>
+void UlvEngine<T>::body_merge(Workspace& w, int level, int pi, int pj) {
   // Eq. 22: merge the four children's skeleton sub-blocks into one parent
   // block of level - 1.
   const Timer t;
   Level& ld = levels_[level];
   const int rows = ld.rank[2 * pi] + ld.rank[2 * pi + 1];
   const int cols = ld.rank[2 * pj] + ld.rank[2 * pj + 1];
-  Matrix m = BlockPool::global().make(rows, cols);
+  Matrix m = BlockPool::global().make_as<T>(rows, cols);
   int r0 = 0;
   for (int ci = 2 * pi; ci <= 2 * pi + 1; ++ci) {
     int c0 = 0;
@@ -714,7 +752,8 @@ void UlvFactorization::body_merge(Workspace& w, int level, int pi, int pj) {
   record_task(level - 1, "merge", pi, t.seconds());
 }
 
-void UlvFactorization::body_top(Workspace& w) {
+template <class T>
+void UlvEngine<T>::body_top(Workspace& w) {
   const Timer t;
   track_take(top_lu_, w.cur[0].at({0, 0}));
   getrf(top_lu_, top_piv_);
@@ -725,7 +764,8 @@ void UlvFactorization::body_top(Workspace& w) {
 // Executors.
 // ---------------------------------------------------------------------------
 
-void UlvFactorization::factorize(const H2Matrix& a) {
+template <class T>
+void UlvEngine<T>::factorize(const H2Matrix& a) {
   if (depth_ == 0) {
     // Degenerate single-cluster problem: plain dense LU.
     levels_.resize(1);
@@ -733,7 +773,7 @@ void UlvFactorization::factorize(const H2Matrix& a) {
     ry_.resize(1);
     stats_.ranks.resize(1);
     const Timer t;
-    track_store(top_lu_, Matrix(a.dense_block(0, 0)));
+    track_store(top_lu_, from_f64(a.dense_block(0, 0)));
     getrf(top_lu_, top_piv_);
     record_task(0, "top", 0, t.seconds());
     return;
@@ -745,7 +785,8 @@ void UlvFactorization::factorize(const H2Matrix& a) {
   }
 }
 
-void UlvFactorization::factorize_loops(const H2Matrix& a) {
+template <class T>
+void UlvEngine<T>::factorize_loops(const H2Matrix& a) {
   // Resolve the phase-loop pool from the SAME options the TaskDag executor
   // dispatches on — an explicit pool, then n_workers, then (only for the
   // deprecated use_threads alias) the process-wide pool. The historical
@@ -780,7 +821,8 @@ void UlvFactorization::factorize_loops(const H2Matrix& a) {
   stats_.final_block_bytes = blockmem::live();
 }
 
-void UlvFactorization::process_level(Workspace& w, int level) {
+template <class T>
+void UlvEngine<T>::process_level(Workspace& w, int level) {
   const int nb = tree_->n_clusters(level);
   const Timer setup_timer;
 
@@ -827,7 +869,8 @@ void UlvFactorization::process_level(Workspace& w, int level) {
   if (opt_.release_blocks) release_level_remnants(w, level);
 }
 
-void UlvFactorization::eliminate_parallel(int level) {
+template <class T>
+void UlvEngine<T>::eliminate_parallel(int level) {
   const int nb = levels_[level].nb;
   // E1: pivots, diagonal strips and row strips — one independent task per
   // block row (the paper's "no trailing sub-matrix dependencies").
@@ -847,7 +890,8 @@ void UlvFactorization::eliminate_parallel(int level) {
     for (int k = 0; k < nb; ++k) body_dropped(level, k);
 }
 
-void UlvFactorization::factorize_dag(const H2Matrix& a) {
+template <class T>
+void UlvEngine<T>::factorize_dag(const H2Matrix& a) {
   Workspace w;
   w.a = &a;
   prepare(w);
@@ -908,7 +952,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
               const Matrix& r = ry_[l].at({i, j});
               b += static_cast<double>(r.rows()) * r.cols();
             }
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "ry", i, l);
     }
@@ -926,7 +970,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
             double b = pts * pts;  // the diagonal block
             for (const int j : structure_.dense_cols(depth_, i))
               b += pts * tree_->node(depth_, j).size();
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "assemble", i, d);
     }
@@ -957,7 +1001,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
               b += static_cast<double>(u.rows()) * u.cols() +
                    static_cast<double>(v.rows()) * v.cols();
             }
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "project_lr", i, level);
       dep(child_basis(2 * i), t);
@@ -978,7 +1022,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
             [this, &w, level, k] { body_fill(w, level, k); },
             [&w, level, k] {
               const Matrix& p = w.fill_p[level][k];
-              return 8.0 * static_cast<double>(p.rows()) * p.cols();
+              return static_cast<double>(sizeof(T)) * static_cast<double>(p.rows()) * p.cols();
             },
             "fill", k, level);
         dep(t_producer[level].at({k, k}), t);
@@ -996,7 +1040,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           [this, &w, level, i] { body_basis(w, level, i); },
           [this, level, i] {
             const double s = levels_[level].size[i];
-            return 8.0 * s * s;  // the square orthonormal basis Q
+            return static_cast<double>(sizeof(T)) * s * s;  // the square orthonormal basis Q
           },
           "basis", i, level);
       dep(t_plr[i], t);
@@ -1028,7 +1072,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
               b += static_cast<double>(ld.size[i]) * ld.size[j];
             for (const int j : structure_.admissible_cols(level, i))
               b += static_cast<double>(ld.rank[i]) * ld.rank[j];
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "project", i, level);
       dep(t_basis[level][i], t);
@@ -1056,7 +1100,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
             double b = nr * ld.size[k] + static_cast<double>(ld.rank[k]) * nr;
             for (const int j : structure_.dense_cols(level, k))
               b += nr * ld.size[j];
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "eliminate", k, level);
       dep(t_project[level][k], t);
@@ -1075,7 +1119,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
             double b = 0.0;  // the solved redundant column strips
             for (const int i : structure_.dense_rows(level, k))
               b += static_cast<double>(ld.size[i]) * nr;
-            return 8.0 * b;
+            return static_cast<double>(sizeof(T)) * b;
           },
           "col_solve", k, level);
       dep(t_elim[level][k], t);
@@ -1090,7 +1134,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
           [this, level, i, j, admissible] { body_schur(level, i, j, admissible); },
           [this, level, i, j] {
             const Level& ld = levels_[level];
-            return 8.0 * static_cast<double>(ld.rank[i]) * ld.rank[j];
+            return static_cast<double>(sizeof(T)) * static_cast<double>(ld.rank[i]) * ld.rank[j];
           },
           "schur", i, level);
       dep(t_project[level][i], t);
@@ -1124,7 +1168,7 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
             const Level& ld = levels_[level];
             // The merged parent block: what actually crosses subtree
             // boundaries on the way up the process tree.
-            return 8.0 *
+            return static_cast<double>(sizeof(T)) *
                    static_cast<double>(ld.rank[2 * pi] + ld.rank[2 * pi + 1]) *
                    (ld.rank[2 * pj] + ld.rank[2 * pj + 1]);
           },
@@ -1273,7 +1317,8 @@ void UlvFactorization::factorize_dag(const H2Matrix& a) {
   }
 }
 
-void UlvFactorization::eliminate_sequential(int level) {
+template <class T>
+void UlvEngine<T>::eliminate_sequential(int level) {
   Level& ld = levels_[level];
   const int nb = ld.nb;
   // Right-looking block elimination with trailing-sub-matrix updates (the
@@ -1338,7 +1383,8 @@ void UlvFactorization::eliminate_sequential(int level) {
   }
 }
 
-double UlvFactorization::logabsdet() const {
+template <class T>
+double UlvEngine<T>::logabsdet() const {
   // Reads outside the solve sweep pin explicitly: every diagonal block plus
   // the top factor, faulted in as needed and released when done.
   std::vector<SpillStore::SlotId> pinned;
@@ -1365,6 +1411,81 @@ double UlvFactorization::logabsdet() const {
     acc += std::log(std::fabs(top_lu_(d, d)));
   if (store_ != nullptr) store_->unpin(pinned);
   return acc;
+}
+
+template class UlvEngine<double>;
+template class UlvEngine<float>;
+
+// ---------------------------------------------------------------------------
+// UlvFactorization: the precision-dispatching facade.
+// ---------------------------------------------------------------------------
+
+UlvFactorization::UlvFactorization(const H2Matrix& a, const UlvOptions& opt) {
+  if (opt.precision == Precision::F32) {
+    f_ = std::make_unique<UlvEngine<float>>(a, opt);
+  } else {
+    d_ = std::make_unique<UlvEngine<double>>(a, opt);
+  }
+}
+
+UlvFactorization::~UlvFactorization() = default;
+
+void UlvFactorization::solve(MatrixView b) const {
+  if (f_ != nullptr) {
+    // Round the rhs to fp32 once, sweep in fp32, widen the result back.
+    // One backward-stable reduced-precision solve: callers wanting fp64
+    // residuals refine against the fp64 operator (core/refine).
+    MatrixF bf = to_f32(b);
+    f_->solve(bf);
+    convert_into(bf, b);
+    return;
+  }
+  d_->solve(b);
+}
+
+double UlvFactorization::logabsdet() const {
+  return f_ != nullptr ? f_->logabsdet() : d_->logabsdet();
+}
+
+const UlvStats& UlvFactorization::stats() const {
+  return f_ != nullptr ? f_->stats() : d_->stats();
+}
+
+int UlvFactorization::depth() const {
+  return f_ != nullptr ? f_->depth() : d_->depth();
+}
+
+int UlvFactorization::rank(int level, int lid) const {
+  return f_ != nullptr ? f_->rank(level, lid) : d_->rank(level, lid);
+}
+
+ExecStats UlvFactorization::last_solve_stats() const {
+  return f_ != nullptr ? f_->last_solve_stats() : d_->last_solve_stats();
+}
+
+std::uint64_t UlvFactorization::solve_stats_generation() const {
+  return f_ != nullptr ? f_->solve_stats_generation()
+                       : d_->solve_stats_generation();
+}
+
+const DagRecord& UlvFactorization::solve_dag() const {
+  return f_ != nullptr ? f_->solve_dag() : d_->solve_dag();
+}
+
+SpillStats UlvFactorization::spill_stats() const {
+  return f_ != nullptr ? f_->spill_stats() : d_->spill_stats();
+}
+
+bool UlvFactorization::demote_to_disk(const std::string& dir) {
+  return f_ != nullptr ? f_->demote_to_disk(dir) : d_->demote_to_disk(dir);
+}
+
+void UlvFactorization::promote() {
+  if (f_ != nullptr) {
+    f_->promote();
+  } else {
+    d_->promote();
+  }
 }
 
 }  // namespace h2

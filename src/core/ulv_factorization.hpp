@@ -9,18 +9,27 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/ulv_options.hpp"
 #include "hmatrix/h2_matrix.hpp"
+#include "linalg/batch.hpp"
 #include "linalg/linalg.hpp"
 #include "storage/spill_store.hpp"
 
 namespace h2 {
 
-/// ULV factorization of an H^2 / HSS / BLR^2 matrix (the paper's core
-/// algorithm, Secs. II-III).
+/// ULV factorization engine of an H^2 / HSS / BLR^2 matrix (the paper's core
+/// algorithm, Secs. II-III), templated on the element precision T of the
+/// stored factor: T = double is the historical engine, T = float the
+/// mixed-precision backend whose blocks (and spill files, and pool traffic)
+/// cost half the bytes. The fp64 input matrix is rounded to T exactly once,
+/// where its data enters the engine (from_f64); everything after — the basis
+/// pipeline, elimination, solve sweeps — runs in T, with norms and flop/byte
+/// accounting reported in precision-true units (a block's bytes use
+/// sizeof(T); a flop is a flop).
 ///
 /// Per level, leaf to root:
 ///  1. pre-compute the fill-in column spaces per block row (Fig. 7);
@@ -42,8 +51,8 @@ namespace h2 {
 /// across levels so level L-1 starts while level L drains) and executed on a
 /// ThreadPool. The bulk-synchronous phase loops remain as the PhaseLoops
 /// ablation and as the Sequential baseline's only flow. Both executors and
-/// any worker count produce bitwise-identical factors: every task performs
-/// the same block operations in the same order.
+/// any worker count produce bitwise-identical factors — per precision: the
+/// fp32 engine has exactly the same determinism contract as the fp64 one.
 ///
 /// The matrix must be symmetric (all built-in kernels are), which makes the
 /// shared row and column bases coincide; the factorization itself is a
@@ -51,13 +60,28 @@ namespace h2 {
 ///
 /// The ClusterTree referenced by the input H2Matrix must outlive this object;
 /// the H2Matrix itself is only needed during construction.
-class UlvFactorization {
+///
+/// Most callers want the UlvFactorization facade below, which picks the
+/// engine from UlvOptions::precision and keeps the fp64 call surface.
+template <class T>
+class UlvEngine {
  public:
-  UlvFactorization(const H2Matrix& a, const UlvOptions& opt);
+  /// The engine's element-precision block types. Member typedefs shadow the
+  /// namespace-scope fp64 aliases on purpose: the phase bodies read exactly
+  /// as they did when the engine was fp64-only.
+  using Matrix = MatrixT<T>;
+  using MatrixView = MatrixViewT<T>;
+  using ConstMatrixView = ConstMatrixViewT<T>;
+  using GemmTask = GemmTaskT<T>;
+  using TrsmTask = TrsmTaskT<T>;
+  using QrTask = QrTaskT<T>;
+  using PivotedQr = PivotedQrT<T>;
+
+  UlvEngine(const H2Matrix& a, const UlvOptions& opt);
   /// Discharges the factor's persistent blocks from the process-wide
   /// blockmem live-byte counter (runtime/block_pool): live bytes track
   /// blocks that exist, and the factor's cease to with the object.
-  ~UlvFactorization();
+  ~UlvEngine();
 
   /// In-place solve A x = b; b is n x nrhs in TREE ordering (the ordering of
   /// ClusterTree::points(), NOT the caller's original point order — use
@@ -153,6 +177,16 @@ class UlvFactorization {
   /// the basis pipeline. Defined in the .cpp; shared by both executors.
   struct Workspace;
 
+  /// Copy an fp64 source block (the H2Matrix's data) into the engine's
+  /// element type — the ONE place factorization inputs are rounded to T.
+  static Matrix from_f64(ConstMatrixViewT<double> v) {
+    if constexpr (std::is_same_v<T, float>) {
+      return to_f32(v);
+    } else {
+      return Matrix::from(v);
+    }
+  }
+
   void factorize(const H2Matrix& a);
   /// Pre-size every level's containers and pre-insert every map key, so the
   /// phase bodies only ever assign through stable references (required for
@@ -185,9 +219,11 @@ class UlvFactorization {
   void body_merge(Workspace& w, int level, int pi, int pj);
   void body_top(Workspace& w);
 
-  /// Express rows of cluster (level, lid), given in full point coordinates,
-  /// in the current (child-skeleton) coordinates of `level`.
-  Matrix current_rows(int level, int lid, ConstMatrixView x_full) const;
+  /// Express rows of cluster (level, lid), given in full point coordinates
+  /// (always fp64 — this is H2Matrix data), in the current (child-skeleton)
+  /// coordinates of `level`, rounding to T at the leaves.
+  auto current_rows(int level, int lid, ConstMatrixViewT<double> x_full) const
+      -> Matrix;
   void eliminate_block(int level, int k);
   void eliminate_parallel(int level);
   void eliminate_sequential(int level);
@@ -202,8 +238,10 @@ class UlvFactorization {
   // ---- Block lifetime (docs/ARCHITECTURE.md "Block lifetime & memory").
   // Every block stored into factor or workspace state goes through these, so
   // the blockmem live/peak counters and the per-factorization total stay
-  // exact. All three only assign through the caller's (pre-keyed, stable)
-  // reference — map structure is never mutated during execution.
+  // exact — in real sizeof(T) bytes, so an fp32 factorization's peak is
+  // honestly half-weighted. All three only assign through the caller's
+  // (pre-keyed, stable) reference — map structure is never mutated during
+  // execution.
   /// Store a freshly built block into a tracked slot (charges its bytes).
   void track_store(Matrix& dst, Matrix&& fresh);
   /// Move a block between two tracked slots (net accounting unchanged).
@@ -278,11 +316,25 @@ class UlvFactorization {
   };
   /// RAII solve gate: demote_to_disk() drains these before evicting.
   struct SolveGuard {
-    explicit SolveGuard(const UlvFactorization& u);
+    explicit SolveGuard(const UlvEngine& u);
     ~SolveGuard();
-    const UlvFactorization* u_;
+    const UlvEngine* u_;
   };
   void solve_loops_spill(SolveScratch& s, MatrixView b) const;
+
+  /// Per-task body dispatch of the solve plan, fixed at recording time so
+  /// per-solve instantiation is an array walk, not string comparisons.
+  enum class SolveKind : std::uint8_t {
+    kFwdXform,
+    kFwdSubst,
+    kFwdDown,
+    kFwdMerge,
+    kTop,
+    kBwdSplit,
+    kBwdXs,
+    kBwdY,
+    kBwdCombine,
+  };
 
   const ClusterTree* tree_ = nullptr;
   BlockStructure structure_;  // copied: the H2Matrix may be discarded
@@ -305,9 +357,6 @@ class UlvFactorization {
   std::vector<std::map<Key, Matrix>> ry_;
   Matrix top_lu_;
   std::vector<int> top_piv_;
-  /// Per-task body dispatch of the solve plan, fixed at recording time so
-  /// per-solve instantiation is an array walk, not string comparisons.
-  enum class SolveKind : std::uint8_t;
   /// The solve's task structure, recorded once at factorization time and
   /// instantiated per solve by solve_via_dag (see solve_dag()).
   DagRecord solve_dag_;
@@ -355,6 +404,50 @@ class UlvFactorization {
   mutable ExecStats last_solve_stats_;
   mutable std::uint64_t solve_stats_gen_ = 0;
   mutable std::mutex stats_mutex_;
+};
+
+/// The engines are explicitly instantiated in core/ulv_factorization.cpp and
+/// core/ulv_solve.cpp — nothing else should instantiate their members.
+extern template class UlvEngine<double>;
+extern template class UlvEngine<float>;
+
+/// Precision-dispatching facade over UlvEngine: the historical fp64 call
+/// surface (construct from an H2Matrix, solve fp64 right-hand sides in tree
+/// ordering), with UlvOptions::precision choosing the engine underneath.
+/// Under Precision::F32, solve() rounds b to fp32 once, runs the fp32
+/// sweeps, and widens the result back — one fp32 backward-stable solve,
+/// which the facade layer (api/solver + core/refine) wraps in fp64 iterative
+/// refinement to recover fp64-grade residuals.
+class UlvFactorization {
+ public:
+  UlvFactorization(const H2Matrix& a, const UlvOptions& opt);
+  ~UlvFactorization();
+
+  /// In-place solve A x = b in TREE ordering (see UlvEngine::solve). Under
+  /// F32 this is the raw reduced-precision solve: expect ~fp32 residuals
+  /// unless the caller refines (core/refine::ulv_refine does).
+  void solve(MatrixView b) const;
+
+  [[nodiscard]] double logabsdet() const;
+  [[nodiscard]] const UlvStats& stats() const;
+  [[nodiscard]] int depth() const;
+  [[nodiscard]] int rank(int level, int lid) const;
+  [[nodiscard]] ExecStats last_solve_stats() const;
+  [[nodiscard]] std::uint64_t solve_stats_generation() const;
+  [[nodiscard]] const DagRecord& solve_dag() const;
+  [[nodiscard]] SpillStats spill_stats() const;
+  bool demote_to_disk(const std::string& dir);
+  void promote();
+
+  /// The element precision this factorization stores and sweeps in.
+  [[nodiscard]] Precision precision() const {
+    return f_ != nullptr ? Precision::F32 : Precision::F64;
+  }
+
+ private:
+  // Exactly one engine is live, chosen at construction.
+  std::unique_ptr<UlvEngine<double>> d_;
+  std::unique_ptr<UlvEngine<float>> f_;
 };
 
 }  // namespace h2

@@ -57,6 +57,16 @@ enum class UlvSchedule {
   WorkSteal,
 };
 
+/// Element precision of the factorization's stored blocks and sweeps.
+/// F32 halves every factor block (storage, spill files, pool traffic) and
+/// runs the factorization and solve arithmetic in fp32; inputs are rounded
+/// once where the H2Matrix's fp64 data enters the engine, and accuracy is
+/// recovered by fp64 iterative refinement at the facade (see
+/// SolverOptions::precision / core/refine). Determinism contracts are
+/// per-precision: fp32 runs are bitwise identical across executors,
+/// schedules, and worker counts, exactly like fp64 runs.
+enum class Precision : std::uint8_t { F64, F32 };
+
 /// Ready-task ordering of the TaskDag executor.
 enum class UlvPriority {
   /// Submission order only.
@@ -84,6 +94,10 @@ struct UlvOptions {
   /// reproduces the failure mode the paper fixes (see bench_ablation_fillin).
   bool fillin_augmentation = true;
   UlvMode mode = UlvMode::Parallel;
+  /// Element type of the stored factor (see Precision). F32 is the
+  /// mixed-precision factorization backend: blocks, spills, and solve sweeps
+  /// in fp32 at half the bytes; pair with refinement for fp64 accuracy.
+  Precision precision = Precision::F64;
   /// Execution policy for Parallel mode (see UlvExecutor). Results are
   /// bitwise identical across executors and worker counts: every task
   /// performs the same block operations in the same order.

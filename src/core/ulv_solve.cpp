@@ -15,28 +15,14 @@
 
 namespace h2 {
 
-/// Body dispatch of the recorded solve plan (parallel to solve_dag_.meta):
-/// fixed at recording time so solve_via_dag binds bodies by an array walk
-/// instead of per-task string comparisons on every right-hand side.
-enum class UlvFactorization::SolveKind : std::uint8_t {
-  kFwdXform,
-  kFwdSubst,
-  kFwdDown,
-  kFwdMerge,
-  kTop,
-  kBwdSplit,
-  kBwdXs,
-  kBwdY,
-  kBwdCombine,
-};
-
 /// Per-solve working state: the right-hand side as it migrates through the
 /// levels (Eqs. 16-19). One instance per solve call, so concurrent solves on
 /// one factorization never share mutable state. Unlike the old rolling
 /// per-level buffer, the migrating vectors are stored PER LEVEL so the DAG
 /// executor can overlap levels without write-after-read hazards; the level
 /// sweep fills them in the same order the rolling buffer did.
-struct UlvFactorization::SolveScratch {
+template <class T>
+struct UlvEngine<T>::SolveScratch {
   int nrhs = 1;
   /// s[level][c]: skeleton part of the transformed rhs (rank x nrhs).
   std::vector<std::vector<Matrix>> s;
@@ -57,7 +43,8 @@ struct UlvFactorization::SolveScratch {
   std::vector<std::vector<Matrix>> x;
 };
 
-void UlvFactorization::init_solve_scratch(SolveScratch& s, int nrhs) const {
+template <class T>
+void UlvEngine<T>::init_solve_scratch(UlvEngine<T>::SolveScratch& s, int nrhs) const {
   s.nrhs = nrhs;
   s.s.resize(depth_ + 1);
   s.z.resize(depth_ + 1);
@@ -91,7 +78,8 @@ void UlvFactorization::init_solve_scratch(SolveScratch& s, int nrhs) const {
 // (sbody_merge and sbody_xsplit are pure copies and need none.)
 // ---------------------------------------------------------------------------
 
-void UlvFactorization::sbody_transform(SolveScratch& s, ConstMatrixView b,
+template <class T>
+void UlvEngine<T>::sbody_transform(UlvEngine<T>::SolveScratch& s, ConstMatrixView b,
                                        int level, int c) const {
   // b_hat = Q^T b, split into skeleton and redundant parts.
   const detail::WidthStableScope ws(opt_.width_stable_solve);
@@ -108,7 +96,8 @@ void UlvFactorization::sbody_transform(SolveScratch& s, ConstMatrixView b,
       Matrix::from(bhat.block(ld.rank[c], 0, ld.size[c] - ld.rank[c], nrhs));
 }
 
-void UlvFactorization::sbody_subst(SolveScratch& s, int level, int k) const {
+template <class T>
+void UlvEngine<T>::sbody_subst(UlvEngine<T>::SolveScratch& s, int level, int k) const {
   // Forward substitution on the redundant variables of pivot k. The [R,R]
   // strips were pre-solved by the factorization, so the diagonal solve comes
   // first and the dense-neighbor couplings (i < k only) are subtracted with
@@ -131,7 +120,8 @@ void UlvFactorization::sbody_subst(SolveScratch& s, int level, int k) const {
   }
 }
 
-void UlvFactorization::sbody_down(SolveScratch& s, int level, int i) const {
+template <class T>
+void UlvEngine<T>::sbody_down(UlvEngine<T>::SolveScratch& s, int level, int i) const {
   // Downdate the skeleton rhs with the L_SR strips: b^S_i -= sum_k
   // D(i,k)[S,R] z_k over the diagonal and every dense partner.
   const detail::WidthStableScope ws(opt_.width_stable_solve);
@@ -150,18 +140,21 @@ void UlvFactorization::sbody_down(SolveScratch& s, int level, int i) const {
   for (const int k : structure_.dense_cols(level, i)) update(k);
 }
 
-void UlvFactorization::sbody_merge(SolveScratch& s, int level, int p) const {
+template <class T>
+void UlvEngine<T>::sbody_merge(UlvEngine<T>::SolveScratch& s, int level, int p) const {
   // Merge sibling skeleton parts into the parent rhs (Eq. 22's rhs analog).
   s.rhs[level - 1][p] =
       vconcat({s.s[level][2 * p], s.s[level][2 * p + 1]});
 }
 
-void UlvFactorization::sbody_top(SolveScratch& s) const {
+template <class T>
+void UlvEngine<T>::sbody_top(UlvEngine<T>::SolveScratch& s) const {
   const detail::WidthStableScope ws(opt_.width_stable_solve);
   getrs(top_lu_, top_piv_, s.rhs[0][0]);
 }
 
-void UlvFactorization::sbody_xsplit(SolveScratch& s, int level, int c) const {
+template <class T>
+void UlvEngine<T>::sbody_xsplit(UlvEngine<T>::SolveScratch& s, int level, int c) const {
   // Extract this cluster's skeleton solution from the parent-level solution
   // (the merge's mirror; the level-1 parent is the top solve's root vector).
   const Level& ld = levels_[level];
@@ -170,7 +163,8 @@ void UlvFactorization::sbody_xsplit(SolveScratch& s, int level, int c) const {
   s.xs[level][c] = Matrix::from(xp.block(row0, 0, ld.rank[c], s.nrhs));
 }
 
-void UlvFactorization::sbody_y(SolveScratch& s, int level, int k) const {
+template <class T>
+void UlvEngine<T>::sbody_y(UlvEngine<T>::SolveScratch& s, int level, int k) const {
   // y_k = z_k - sum_{j>k} [R,R]strip y_j - sum_j [R,S]strip x^S_j. The y_j
   // it reads are final (their own RR and RS updates done), pre-triangular-
   // solve values — the triangular solve happens out of place in
@@ -200,7 +194,8 @@ void UlvFactorization::sbody_y(SolveScratch& s, int level, int k) const {
   for (const int j : cols) update_rs(j);
 }
 
-void UlvFactorization::sbody_combine(SolveScratch& s, MatrixView b, int level,
+template <class T>
+void UlvEngine<T>::sbody_combine(UlvEngine<T>::SolveScratch& s, MatrixView b, int level,
                                      int c) const {
   // x^R_c = U_c^-1 y_c (out of place — see SolveScratch::z), then
   // x = Q [x^S; x^R] back in current coordinates; the leaf level scatters
@@ -230,7 +225,8 @@ void UlvFactorization::sbody_combine(SolveScratch& s, MatrixView b, int level,
 // Executors.
 // ---------------------------------------------------------------------------
 
-bool UlvFactorization::solve_dag_mode() const {
+template <class T>
+bool UlvEngine<T>::solve_dag_mode() const {
   // Sequential mode is the inherently ordered ablation: its solve stays a
   // plain sweep, like its factorization. use_threads was normalized onto
   // PhaseLoops by UlvOptions::validate().
@@ -238,7 +234,8 @@ bool UlvFactorization::solve_dag_mode() const {
          opt_.solve_executor == UlvExecutor::TaskDag && depth_ > 0;
 }
 
-void UlvFactorization::solve_loops(MatrixView b) const {
+template <class T>
+void UlvEngine<T>::solve_loops(MatrixView b) const {
   // Bulk-synchronous ablation: the per-level sweeps, one phase at a time —
   // exactly the bodies the DAG executes, in one fixed serial order.
   SolveScratch s;
@@ -263,7 +260,8 @@ void UlvFactorization::solve_loops(MatrixView b) const {
   }
 }
 
-void UlvFactorization::solve_loops_spill(SolveScratch& s, MatrixView b) const {
+template <class T>
+void UlvEngine<T>::solve_loops_spill(UlvEngine<T>::SolveScratch& s, MatrixView b) const {
   // The level sweep walking the spill plan: the SAME bodies in the SAME
   // order, with a Pass advancing the pinned window one chunk at a time so
   // each phase only needs its current chunk of factor blocks resident.
@@ -303,7 +301,8 @@ void UlvFactorization::solve_loops_spill(SolveScratch& s, MatrixView b) const {
   }
 }
 
-void UlvFactorization::build_spill_plan() {
+template <class T>
+void UlvEngine<T>::build_spill_plan() {
   // Chunk the solve sweep into pin steps. Per level the forward phases
   // (xform, subst, down) and backward phases (y descending, combine) each
   // chunk their clusters to ~budget/4 bytes of factor reads — small enough
@@ -427,7 +426,8 @@ void UlvFactorization::build_spill_plan() {
   store_->seal(std::move(steps));
 }
 
-void UlvFactorization::build_solve_plan() {
+template <class T>
+void UlvEngine<T>::build_solve_plan() {
   // The solve's task structure depends only on the block structure — not on
   // ranks, the rhs, or nrhs — so it is recorded ONCE here and instantiated
   // per solve. Forward sweep: fwd_xform -> fwd_subst -> fwd_down ->
@@ -524,7 +524,8 @@ void UlvFactorization::build_solve_plan() {
   solve_kind_ = std::move(kinds);
 }
 
-void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
+template <class T>
+void UlvEngine<T>::solve_via_dag(MatrixView b, ThreadPool& pool) const {
   SolveScratch s;
   init_solve_scratch(s, b.cols());
   TaskGraph g;
@@ -642,17 +643,20 @@ void UlvFactorization::solve_via_dag(MatrixView b, ThreadPool& pool) const {
   }
 }
 
-ExecStats UlvFactorization::last_solve_stats() const {
+template <class T>
+ExecStats UlvEngine<T>::last_solve_stats() const {
   std::lock_guard<std::mutex> lk(stats_mutex_);
   return last_solve_stats_;
 }
 
-std::uint64_t UlvFactorization::solve_stats_generation() const {
+template <class T>
+std::uint64_t UlvEngine<T>::solve_stats_generation() const {
   std::lock_guard<std::mutex> lk(stats_mutex_);
   return solve_stats_gen_;
 }
 
-void UlvFactorization::solve(MatrixView b) const {
+template <class T>
+void UlvEngine<T>::solve(MatrixView b) const {
   assert(b.rows() == tree_->n_points());
   // Out-of-core only: registers this solve with the gate demote_to_disk()
   // drains, so a demotion never evicts under a sweep that predates it.
@@ -697,5 +701,44 @@ void UlvFactorization::solve(MatrixView b) const {
   }
   solve_via_dag(b, *pool);
 }
+
+// The header's extern template declarations suppress implicit instantiation
+// everywhere, so every member defined in THIS file is explicitly
+// instantiated here for both engine precisions (the factorization-side
+// members ride on the class-level instantiations in ulv_factorization.cpp).
+#define H2_INSTANTIATE_ULV_SOLVE(T)                                            \
+  template void UlvEngine<T>::init_solve_scratch(UlvEngine<T>::SolveScratch& s, int nrhs)    \
+      const;                                                                   \
+  template bool UlvEngine<T>::solve_dag_mode() const;                          \
+  template void UlvEngine<T>::build_solve_plan();                              \
+  template void UlvEngine<T>::build_spill_plan();                              \
+  template void UlvEngine<T>::solve_loops(MatrixViewT<T> b) const;             \
+  template void UlvEngine<T>::solve_loops_spill(UlvEngine<T>::SolveScratch& s,               \
+                                                MatrixViewT<T> b) const;       \
+  template void UlvEngine<T>::solve_via_dag(MatrixViewT<T> b,                  \
+                                            ThreadPool& pool) const;           \
+  template void UlvEngine<T>::sbody_transform(UlvEngine<T>::SolveScratch& s,                 \
+                                              ConstMatrixViewT<T> b,           \
+                                              int level, int c) const;         \
+  template void UlvEngine<T>::sbody_subst(UlvEngine<T>::SolveScratch& s, int level, int k)   \
+      const;                                                                   \
+  template void UlvEngine<T>::sbody_down(UlvEngine<T>::SolveScratch& s, int level, int i)    \
+      const;                                                                   \
+  template void UlvEngine<T>::sbody_merge(UlvEngine<T>::SolveScratch& s, int level, int p)   \
+      const;                                                                   \
+  template void UlvEngine<T>::sbody_top(UlvEngine<T>::SolveScratch& s) const;                \
+  template void UlvEngine<T>::sbody_xsplit(UlvEngine<T>::SolveScratch& s, int level, int c)  \
+      const;                                                                   \
+  template void UlvEngine<T>::sbody_y(UlvEngine<T>::SolveScratch& s, int level, int k)       \
+      const;                                                                   \
+  template void UlvEngine<T>::sbody_combine(UlvEngine<T>::SolveScratch& s, MatrixViewT<T> b, \
+                                            int level, int c) const;           \
+  template ExecStats UlvEngine<T>::last_solve_stats() const;                   \
+  template std::uint64_t UlvEngine<T>::solve_stats_generation() const;         \
+  template void UlvEngine<T>::solve(MatrixViewT<T> b) const;
+
+H2_INSTANTIATE_ULV_SOLVE(double)
+H2_INSTANTIATE_ULV_SOLVE(float)
+#undef H2_INSTANTIATE_ULV_SOLVE
 
 }  // namespace h2

@@ -43,8 +43,15 @@ struct AlignedAllocator {
   }
 };
 
-/// The one backing-storage type for Matrix and BlockPool: a vector whose
-/// data() is always kMatrixAlign-aligned.
-using AlignedBuffer = std::vector<double, AlignedAllocator<double>>;
+/// Backing-storage type for MatrixT<T> and BlockPool at either precision: a
+/// vector whose data() is always kMatrixAlign-aligned.
+template <class T>
+using AlignedBufferT = std::vector<T, AlignedAllocator<T>>;
+
+/// The fp64 storage type (the historical name — most of the library's block
+/// arithmetic runs at this precision).
+using AlignedBuffer = AlignedBufferT<double>;
+/// The fp32 storage type of the mixed-precision factorization path.
+using AlignedBufferF = AlignedBufferT<float>;
 
 }  // namespace h2

@@ -4,22 +4,45 @@
 #include "linalg/qr.hpp"
 
 namespace h2 {
+namespace {
 
-void gemm_batch(std::span<const GemmTask> tasks) {
+template <class T>
+void gemm_batch_impl(std::span<const GemmTaskT<T>> tasks) {
   detail::PackCacheScope scope;
-  for (const GemmTask& t : tasks)
+  for (const GemmTaskT<T>& t : tasks)
     gemm(t.alpha, t.a, t.ta, t.b, t.tb, t.beta, t.c);
 }
 
-void trsm_batch(std::span<const TrsmTask> tasks) {
+template <class T>
+void trsm_batch_impl(std::span<const TrsmTaskT<T>> tasks) {
   detail::PackCacheScope scope;
-  for (const TrsmTask& t : tasks)
+  for (const TrsmTaskT<T>& t : tasks)
     trsm(t.side, t.uplo, t.trans, t.diag, t.alpha, t.a, t.b);
 }
 
-void qr_batch(std::span<const QrTask> tasks) {
+template <class T>
+void qr_batch_impl(std::span<const QrTaskT<T>> tasks) {
   detail::PackCacheScope scope;
-  for (const QrTask& t : tasks) householder_qr(t.a, *t.tau);
+  for (const QrTaskT<T>& t : tasks) householder_qr(t.a, *t.tau);
 }
+
+}  // namespace
+
+void gemm_batch(std::span<const GemmTask> tasks) {
+  gemm_batch_impl<double>(tasks);
+}
+void gemm_batch(std::span<const GemmTaskF> tasks) {
+  gemm_batch_impl<float>(tasks);
+}
+
+void trsm_batch(std::span<const TrsmTask> tasks) {
+  trsm_batch_impl<double>(tasks);
+}
+void trsm_batch(std::span<const TrsmTaskF> tasks) {
+  trsm_batch_impl<float>(tasks);
+}
+
+void qr_batch(std::span<const QrTask> tasks) { qr_batch_impl<double>(tasks); }
+void qr_batch(std::span<const QrTaskF> tasks) { qr_batch_impl<float>(tasks); }
 
 }  // namespace h2

@@ -14,40 +14,58 @@
 /// (the eliminate triangle, a basis factor) is packed once instead of per
 /// entry. Entries execute in order; aliasing between an entry's output and a
 /// later entry's input is allowed (the pack cache invalidates on overlap).
+///
+/// The task structs are templated on the element precision; the unqualified
+/// names keep their historical fp64 meaning and the F-suffixed aliases are
+/// the fp32 siblings used by the mixed-precision ULV engine. Scalars stay
+/// double in both (rounded at the kernel entry), so task-building code is
+/// precision-agnostic.
 namespace h2 {
 
-struct GemmTask {
+template <class T>
+struct GemmTaskT {
   double alpha;
-  ConstMatrixView a;
+  ConstMatrixViewT<T> a;
   Trans ta;
-  ConstMatrixView b;
+  ConstMatrixViewT<T> b;
   Trans tb;
   double beta;
-  MatrixView c;
+  MatrixViewT<T> c;
 };
+using GemmTask = GemmTaskT<double>;
+using GemmTaskF = GemmTaskT<float>;
 
-struct TrsmTask {
+template <class T>
+struct TrsmTaskT {
   Side side;
   UpLo uplo;
   Trans trans;
   Diag diag;
   double alpha;
-  ConstMatrixView a;
-  MatrixView b;
+  ConstMatrixViewT<T> a;
+  MatrixViewT<T> b;
 };
+using TrsmTask = TrsmTaskT<double>;
+using TrsmTaskF = TrsmTaskT<float>;
 
-struct QrTask {
-  MatrixView a;               ///< factored in place (QR layout)
-  std::vector<double>* tau;   ///< reflector scales, resized by the call
+template <class T>
+struct QrTaskT {
+  MatrixViewT<T> a;      ///< factored in place (QR layout)
+  std::vector<T>* tau;   ///< reflector scales, resized by the call
 };
+using QrTask = QrTaskT<double>;
+using QrTaskF = QrTaskT<float>;
 
 /// Run every task as gemm(alpha, a, ta, b, tb, beta, c), in order.
 void gemm_batch(std::span<const GemmTask> tasks);
+void gemm_batch(std::span<const GemmTaskF> tasks);
 
 /// Run every task as trsm(side, uplo, trans, diag, alpha, a, b), in order.
 void trsm_batch(std::span<const TrsmTask> tasks);
+void trsm_batch(std::span<const TrsmTaskF> tasks);
 
 /// Run every task as householder_qr(a, *tau), in order.
 void qr_batch(std::span<const QrTask> tasks);
+void qr_batch(std::span<const QrTaskF> tasks);
 
 }  // namespace h2

@@ -16,13 +16,15 @@ namespace {
 constexpr int kTrsmNb = 64;
 
 /// op(A)[r0:r0+m, c0:c0+n] as a view of A plus the Trans tag gemm expects.
-ConstMatrixView op_block(ConstMatrixView a, Trans trans, int r0, int c0, int m,
-                         int n) {
+template <class T>
+ConstMatrixViewT<T> op_block(ConstMatrixViewT<T> a, Trans trans, int r0,
+                             int c0, int m, int n) {
   return (trans == Trans::No) ? a.block(r0, c0, m, n) : a.block(c0, r0, n, m);
 }
 
-void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
-                       MatrixView b) {
+template <class T>
+void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag,
+                       ConstMatrixViewT<T> a, MatrixViewT<T> b) {
   const int m = b.rows();
   const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
   if (op_lower) {
@@ -34,7 +36,7 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
                   b.block(i0, 0, ib, b.cols()));
       const int rest = m - i0 - ib;
       if (rest > 0) {
-        detail::gemm_nocount(-1.0, op_block(a, trans, i0 + ib, i0, rest, ib),
+        detail::gemm_nocount(-1.0, op_block<T>(a, trans, i0 + ib, i0, rest, ib),
                              trans, b.block(i0, 0, ib, b.cols()), Trans::No,
                              1.0, b.block(i0 + ib, 0, rest, b.cols()));
       }
@@ -47,7 +49,7 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
       naive::trsm(Side::Left, uplo, trans, diag, 1.0, a.block(i0, i0, ib, ib),
                   b.block(i0, 0, ib, b.cols()));
       if (i0 > 0) {
-        detail::gemm_nocount(-1.0, op_block(a, trans, 0, i0, i0, ib), trans,
+        detail::gemm_nocount(-1.0, op_block<T>(a, trans, 0, i0, i0, ib), trans,
                              b.block(i0, 0, ib, b.cols()), Trans::No, 1.0,
                              b.block(0, 0, i0, b.cols()));
       }
@@ -55,8 +57,9 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
   }
 }
 
-void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
-                        MatrixView b) {
+template <class T>
+void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag,
+                        ConstMatrixViewT<T> a, MatrixViewT<T> b) {
   const int n = b.cols();
   const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
   if (op_lower) {
@@ -68,7 +71,7 @@ void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
                   b.block(0, j0, b.rows(), jb));
       if (j0 > 0) {
         detail::gemm_nocount(-1.0, b.block(0, j0, b.rows(), jb), Trans::No,
-                             op_block(a, trans, j0, 0, jb, j0), trans, 1.0,
+                             op_block<T>(a, trans, j0, 0, jb, j0), trans, 1.0,
                              b.block(0, 0, b.rows(), j0));
       }
     }
@@ -80,17 +83,17 @@ void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
       const int rest = n - j0 - jb;
       if (rest > 0) {
         detail::gemm_nocount(-1.0, b.block(0, j0, b.rows(), jb), Trans::No,
-                             op_block(a, trans, j0, j0 + jb, jb, rest), trans,
-                             1.0, b.block(0, j0 + jb, b.rows(), rest));
+                             op_block<T>(a, trans, j0, j0 + jb, jb, rest),
+                             trans, 1.0, b.block(0, j0 + jb, b.rows(), rest));
       }
     }
   }
 }
 
-}  // namespace
-
-void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
-          double beta, MatrixView c) {
+template <class T>
+void gemm_impl(double alpha, ConstMatrixViewT<T> a, Trans ta,
+               ConstMatrixViewT<T> b, Trans tb, double beta,
+               MatrixViewT<T> c) {
   const int m = (ta == Trans::No) ? a.rows() : a.cols();
   const int ka = (ta == Trans::No) ? a.cols() : a.rows();
   const int kb = (tb == Trans::No) ? b.rows() : b.cols();
@@ -108,16 +111,9 @@ void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb
     flops::add(flops::gemm(m, n, ka));
 }
 
-Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta, Trans tb) {
-  const int m = (ta == Trans::No) ? a.rows() : a.cols();
-  const int n = (tb == Trans::No) ? b.cols() : b.rows();
-  Matrix c(m, n);
-  gemm(1.0, a, ta, b, tb, 0.0, c);
-  return c;
-}
-
-void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
-          ConstMatrixView a, MatrixView b) {
+template <class T>
+void trsm_impl(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+               ConstMatrixViewT<T> a, MatrixViewT<T> b) {
   const int m = b.rows(), n = b.cols();
   const int t = (side == Side::Left) ? m : n;
   assert(a.rows() == t && a.cols() == t);
@@ -128,37 +124,101 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
   if (t <= kTrsmNb) {
     naive::trsm(side, uplo, trans, diag, 1.0, a, b);
   } else if (side == Side::Left) {
-    trsm_left_blocked(uplo, trans, diag, a, b);
+    trsm_left_blocked<T>(uplo, trans, diag, a, b);
   } else {
-    trsm_right_blocked(uplo, trans, diag, a, b);
+    trsm_right_blocked<T>(uplo, trans, diag, a, b);
   }
-  detail::invalidate_packs(b);  // the naive sweeps wrote b without telling
-                                // the batch pack cache
+  detail::invalidate_packs(ConstMatrixViewT<T>(b));  // the naive sweeps wrote
+                                                     // b without telling the
+                                                     // batch pack cache
   flops::add(side == Side::Left ? flops::trsm_left(m, n)
                                 : flops::trsm_right(m, n));
 }
 
-void axpy(double alpha, ConstMatrixView x, MatrixView y) {
+template <class T>
+void axpy_impl(T alpha, ConstMatrixViewT<T> x, MatrixViewT<T> y) {
   assert(x.rows() == y.rows() && x.cols() == y.cols());
   for (int j = 0; j < x.cols(); ++j) {
-    const double* xj = x.col(j);
-    double* yj = y.col(j);
+    const T* xj = x.col(j);
+    T* yj = y.col(j);
     for (int i = 0; i < x.rows(); ++i) yj[i] += alpha * xj[i];
   }
   flops::add(2ull * x.rows() * x.cols());
 }
 
-void scale(double alpha, MatrixView x) {
+template <class T>
+void scale_impl(T alpha, MatrixViewT<T> x) {
   for (int j = 0; j < x.cols(); ++j) {
-    double* xj = x.col(j);
+    T* xj = x.col(j);
     for (int i = 0; i < x.rows(); ++i) xj[i] *= alpha;
   }
   flops::add(static_cast<std::uint64_t>(x.rows()) * x.cols());
 }
 
-void add_identity(MatrixView a, double alpha) {
+template <class T>
+void add_identity_impl(MatrixViewT<T> a, T alpha) {
   const int n = a.rows() < a.cols() ? a.rows() : a.cols();
   for (int i = 0; i < n; ++i) a(i, i) += alpha;
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+          double beta, MatrixView c) {
+  gemm_impl<double>(alpha, a, ta, b, tb, beta, c);
+}
+
+void gemm(double alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b,
+          Trans tb, double beta, MatrixViewF c) {
+  gemm_impl<float>(alpha, a, ta, b, tb, beta, c);
+}
+
+Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta, Trans tb) {
+  const int m = (ta == Trans::No) ? a.rows() : a.cols();
+  const int n = (tb == Trans::No) ? b.cols() : b.rows();
+  Matrix c(m, n);
+  gemm(1.0, a, ta, b, tb, 0.0, c);
+  return c;
+}
+
+MatrixF matmul(ConstMatrixViewF a, ConstMatrixViewF b, Trans ta, Trans tb) {
+  const int m = (ta == Trans::No) ? a.rows() : a.cols();
+  const int n = (tb == Trans::No) ? b.cols() : b.rows();
+  MatrixF c(m, n);
+  gemm(1.0, a, ta, b, tb, 0.0, c);
+  return c;
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  trsm_impl<double>(side, uplo, trans, diag, alpha, a, b);
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixViewF a, MatrixViewF b) {
+  trsm_impl<float>(side, uplo, trans, diag, alpha, a, b);
+}
+
+void axpy(double alpha, ConstMatrixView x, MatrixView y) {
+  axpy_impl<double>(alpha, x, y);
+}
+
+void axpy(double alpha, ConstMatrixViewF x, MatrixViewF y) {
+  axpy_impl<float>(static_cast<float>(alpha), x, y);
+}
+
+void scale(double alpha, MatrixView x) { scale_impl<double>(alpha, x); }
+
+void scale(double alpha, MatrixViewF x) {
+  scale_impl<float>(static_cast<float>(alpha), x);
+}
+
+void add_identity(MatrixView a, double alpha) {
+  add_identity_impl<double>(a, alpha);
+}
+
+void add_identity(MatrixViewF a, double alpha) {
+  add_identity_impl<float>(a, static_cast<float>(alpha));
 }
 
 }  // namespace h2

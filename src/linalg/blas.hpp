@@ -13,27 +13,41 @@ enum class Side : bool { Left, Right };
 enum class UpLo : bool { Lower, Upper };
 enum class Diag : bool { NonUnit, Unit };
 
-/// C = alpha * op(A) * op(B) + beta * C.
+/// C = alpha * op(A) * op(B) + beta * C. Each routine comes as a concrete
+/// overload pair — fp64 and fp32 views with double scalar parameters (rounded
+/// once at entry on the fp32 path) — instead of a template, so the implicit
+/// Matrix -> view conversions at existing call sites keep working. Flop
+/// accounting is precision-agnostic: a flop is a flop in fig10 regardless of
+/// the word size it ran at.
 void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
           double beta, MatrixView c);
+void gemm(double alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b,
+          Trans tb, double beta, MatrixViewF c);
 
 /// Convenience: returns op(A) * op(B).
 Matrix matmul(ConstMatrixView a, ConstMatrixView b, Trans ta = Trans::No,
               Trans tb = Trans::No);
+MatrixF matmul(ConstMatrixViewF a, ConstMatrixViewF b, Trans ta = Trans::No,
+               Trans tb = Trans::No);
 
 /// Triangular solve, B <- alpha * op(A)^-1 * B (Left) or alpha * B * op(A)^-1
 /// (Right). A is the triangular factor (uplo selects which triangle is read;
 /// Diag::Unit means an implicit unit diagonal).
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView a, MatrixView b);
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixViewF a, MatrixViewF b);
 
 /// Y += alpha * X (element-wise over equal-shape views).
 void axpy(double alpha, ConstMatrixView x, MatrixView y);
+void axpy(double alpha, ConstMatrixViewF x, MatrixViewF y);
 
 /// X *= alpha.
 void scale(double alpha, MatrixView x);
+void scale(double alpha, MatrixViewF x);
 
 /// A += alpha * I (on the leading square part).
 void add_identity(MatrixView a, double alpha);
+void add_identity(MatrixViewF a, double alpha);
 
 }  // namespace h2

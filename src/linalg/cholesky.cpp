@@ -19,39 +19,39 @@ constexpr int kPotrfNb = 64;
 
 /// The pre-blocked left-looking column loop; no flop accounting (the public
 /// entry reports the analytic count once).
-void potrf_unblocked(MatrixView a) {
+template <class T>
+void potrf_unblocked(MatrixViewT<T> a) {
   const int n = a.rows();
   for (int j = 0; j < n; ++j) {
     // Update column j with previously computed columns (left-looking).
-    double* cj = a.col(j);
+    T* cj = a.col(j);
     for (int l = 0; l < j; ++l) {
-      const double f = a(j, l);
-      if (f == 0.0) continue;
-      const double* cl = a.col(l);
+      const T f = a(j, l);
+      if (f == T(0)) continue;
+      const T* cl = a.col(l);
       for (int i = j; i < n; ++i) cj[i] -= f * cl[i];
     }
-    const double d = cj[j];
-    if (!(d > 0.0)) throw NumericalError("potrf: matrix is not SPD");
-    const double r = std::sqrt(d);
+    const T d = cj[j];
+    if (!(d > T(0))) throw NumericalError("potrf: matrix is not SPD");
+    const T r = std::sqrt(d);
     cj[j] = r;
-    const double inv = 1.0 / r;
+    const T inv = T(1) / r;
     for (int i = j + 1; i < n; ++i) cj[i] *= inv;
   }
 }
 
-}  // namespace
-
-void potrf(MatrixView a) {
+template <class T>
+void potrf_impl(MatrixViewT<T> a) {
   assert(a.rows() == a.cols());
   const int n = a.rows();
   if (n <= kPotrfNb) {
-    potrf_unblocked(a);
-    detail::invalidate_packs(a);
+    potrf_unblocked<T>(a);
+    detail::invalidate_packs(ConstMatrixViewT<T>(a));
     flops::add(flops::potrf(n));
     return;
   }
 
-  std::vector<double> upper;  // strict upper triangle of the diagonal block
+  std::vector<T> upper;  // strict upper triangle of the diagonal block
   for (int j0 = 0; j0 < n; j0 += kPotrfNb) {
     const int jb = std::min(kPotrfNb, n - j0);
     if (j0 > 0) {
@@ -69,18 +69,28 @@ void potrf(MatrixView a) {
       for (int j = 1; j < jb; ++j)
         for (int i = 0; i < j; ++i) a(j0 + i, j0 + j) = upper[u++];
     }
-    potrf_unblocked(a.block(j0, j0, jb, jb));
+    potrf_unblocked<T>(a.block(j0, j0, jb, jb));
     const int rest = n - j0 - jb;
     if (rest > 0) {
       naive::trsm(Side::Right, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0,
                   a.block(j0, j0, jb, jb), a.block(j0 + jb, j0, rest, jb));
     }
   }
-  detail::invalidate_packs(a);
+  detail::invalidate_packs(ConstMatrixViewT<T>(a));
   flops::add(flops::potrf(n));
 }
 
+}  // namespace
+
+void potrf(MatrixView a) { potrf_impl<double>(a); }
+void potrf(MatrixViewF a) { potrf_impl<float>(a); }
+
 void potrs(ConstMatrixView l, MatrixView b) {
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
+  trsm(Side::Left, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0, l, b);
+}
+
+void potrs(ConstMatrixViewF l, MatrixViewF b) {
   trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1.0, l, b);
   trsm(Side::Left, UpLo::Lower, Trans::Yes, Diag::NonUnit, 1.0, l, b);
 }

@@ -8,8 +8,10 @@ namespace h2 {
 /// In-place lower Cholesky A = L L^T (upper triangle left untouched).
 /// Throws NumericalError if A is not numerically SPD.
 void potrf(MatrixView a);
+void potrf(MatrixViewF a);
 
 /// Solve A X = B in place given potrf's L.
 void potrs(ConstMatrixView l, MatrixView b);
+void potrs(ConstMatrixViewF l, MatrixViewF b);
 
 }  // namespace h2

@@ -14,40 +14,72 @@ namespace h2 {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Per-arch tile constants. The microkernel keeps an MR x NR accumulator block
-// in registers: MR is a small multiple of the vector width, NR is bounded by
-// the register file (MR/W * NR + MR/W + 1 live vector registers).
+// Per-arch, per-precision tile constants. The microkernel keeps an MR x NR
+// accumulator block in registers: MR is a small multiple of the vector width,
+// NR is bounded by the register file (MR/W * NR + MR/W + 1 live vector
+// registers). A vector register holds twice as many floats as doubles, so the
+// fp32 tile spans twice the rows of the fp64 tile at the same register
+// budget — that 2x element throughput (and the halved panel bytes) is the
+// whole point of the mixed-precision path.
 // ---------------------------------------------------------------------------
+template <class T>
+struct Tile;
+
 #if defined(__AVX512F__)
-constexpr int MR = 16, NR = 8;  // 2 zmm x 8 accumulators = 16 of 32 regs
+template <>
+struct Tile<double> {
+  static constexpr int MR = 16, NR = 8;  // 2 zmm x 8 accumulators
+};
+template <>
+struct Tile<float> {
+  static constexpr int MR = 32, NR = 8;  // 2 zmm (16 lanes each) x 8
+};
 constexpr const char* kIsa = "avx512";
 #elif defined(__AVX2__)
-constexpr int MR = 8, NR = 6;  // 2 ymm x 6 accumulators = 12 of 16 regs
+template <>
+struct Tile<double> {
+  static constexpr int MR = 8, NR = 6;  // 2 ymm x 6 accumulators
+};
+template <>
+struct Tile<float> {
+  static constexpr int MR = 16, NR = 6;  // 2 ymm (8 lanes each) x 6
+};
 constexpr const char* kIsa = "avx2";
 #else
-constexpr int MR = 4, NR = 4;  // scalar/SSE fallback
+template <>
+struct Tile<double> {
+  static constexpr int MR = 4, NR = 4;  // scalar/SSE fallback
+};
+template <>
+struct Tile<float> {
+  static constexpr int MR = 4, NR = 4;
+};
 constexpr const char* kIsa = "generic";
 #endif
 
-// Cache blocking: the packed A tile (MC x KC doubles, ~0.3 MB) lives in L2
-// while the packed B panel streams through it one KC x NR sliver (~16 KB,
-// L1-resident) at a time.
+// Cache blocking, shared across precisions: the packed A tile (MC x KC
+// elements) lives in L2 while the packed B panel streams through it one
+// KC x NR sliver (L1-resident) at a time. In fp32 the same element counts
+// occupy half the bytes — the panels get roomier, never tighter.
 constexpr int MC = 128, KC = 256, NC = 1024;
 
-static_assert(MC % MR == 0, "A tile must hold whole row microtiles");
+static_assert(MC % Tile<double>::MR == 0 && MC % Tile<float>::MR == 0,
+              "A tile must hold whole row microtiles");
 
 // ---------------------------------------------------------------------------
 // Microkernel: C[0:MR, 0:NR] += sum_p Apanel[p*MR + i] * Bpanel[p*NR + j].
-// Explicit intrinsics per ISA: the accumulator block must live in registers
-// for the whole k-loop, and compilers reliably spill a plain double[NR][MR]
-// array to the stack (measured: ~2.5x slower than the naive kernels). The
-// A-panel loads are aligned: the pack buffer is kMatrixAlign-aligned and each
-// k-step advances a whole MR-row microtile.
+// Explicit intrinsics per ISA and element type: the accumulator block must
+// live in registers for the whole k-loop, and compilers reliably spill a
+// plain T[NR][MR] array to the stack (measured: ~2.5x slower than the naive
+// kernels). The A-panel loads are aligned: the pack buffer is
+// kMatrixAlign-aligned and each k-step advances a whole MR-row microtile.
+// The template drivers below select the overload by element pointer type.
 // ---------------------------------------------------------------------------
 #if defined(__AVX512F__)
 
 void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
          double* __restrict c, int ldc) {
+  constexpr int MR = Tile<double>::MR, NR = Tile<double>::NR;
   __m512d lo[NR], hi[NR];  // two zmm per C column: 16 of 32 registers
   for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm512_setzero_pd();
   for (int p = 0; p < kc; ++p) {
@@ -69,10 +101,35 @@ void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
   }
 }
 
+void ukr(int kc, const float* __restrict ap, const float* __restrict bp,
+         float* __restrict c, int ldc) {
+  constexpr int MR = Tile<float>::MR, NR = Tile<float>::NR;
+  __m512 lo[NR], hi[NR];  // two zmm (16 floats each) per C column
+  for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm512_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const __m512 a0 = _mm512_load_ps(ap);
+    const __m512 a1 = _mm512_load_ps(ap + 16);
+    ap += MR;
+#pragma GCC unroll 8
+    for (int j = 0; j < NR; ++j) {
+      const __m512 bv = _mm512_set1_ps(bp[j]);
+      lo[j] = _mm512_fmadd_ps(a0, bv, lo[j]);
+      hi[j] = _mm512_fmadd_ps(a1, bv, hi[j]);
+    }
+    bp += NR;
+  }
+  for (int j = 0; j < NR; ++j) {
+    float* cj = c + static_cast<std::size_t>(j) * ldc;
+    _mm512_storeu_ps(cj, _mm512_add_ps(_mm512_loadu_ps(cj), lo[j]));
+    _mm512_storeu_ps(cj + 16, _mm512_add_ps(_mm512_loadu_ps(cj + 16), hi[j]));
+  }
+}
+
 #elif defined(__AVX2__)
 
 void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
          double* __restrict c, int ldc) {
+  constexpr int MR = Tile<double>::MR, NR = Tile<double>::NR;
   __m256d lo[NR], hi[NR];  // two ymm per C column: 12 of 16 registers
   for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm256_setzero_pd();
   for (int p = 0; p < kc; ++p) {
@@ -94,25 +151,58 @@ void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
   }
 }
 
+void ukr(int kc, const float* __restrict ap, const float* __restrict bp,
+         float* __restrict c, int ldc) {
+  constexpr int MR = Tile<float>::MR, NR = Tile<float>::NR;
+  __m256 lo[NR], hi[NR];  // two ymm (8 floats each) per C column
+  for (int j = 0; j < NR; ++j) lo[j] = hi[j] = _mm256_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_load_ps(ap);
+    const __m256 a1 = _mm256_load_ps(ap + 8);
+    ap += MR;
+#pragma GCC unroll 6
+    for (int j = 0; j < NR; ++j) {
+      const __m256 bv = _mm256_set1_ps(bp[j]);
+      lo[j] = _mm256_fmadd_ps(a0, bv, lo[j]);
+      hi[j] = _mm256_fmadd_ps(a1, bv, hi[j]);
+    }
+    bp += NR;
+  }
+  for (int j = 0; j < NR; ++j) {
+    float* cj = c + static_cast<std::size_t>(j) * ldc;
+    _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), lo[j]));
+    _mm256_storeu_ps(cj + 8, _mm256_add_ps(_mm256_loadu_ps(cj + 8), hi[j]));
+  }
+}
+
 #else
 
-void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
-         double* __restrict c, int ldc) {
-  double acc[NR][MR];
+template <class T>
+void ukr_generic(int kc, const T* __restrict ap, const T* __restrict bp,
+                 T* __restrict c, int ldc) {
+  constexpr int MR = Tile<T>::MR, NR = Tile<T>::NR;
+  T acc[NR][MR];
   for (int j = 0; j < NR; ++j)
-    for (int i = 0; i < MR; ++i) acc[j][i] = 0.0;
+    for (int i = 0; i < MR; ++i) acc[j][i] = T(0);
   for (int p = 0; p < kc; ++p) {
-    const double* __restrict a = ap + static_cast<std::size_t>(p) * MR;
-    const double* __restrict b = bp + static_cast<std::size_t>(p) * NR;
+    const T* __restrict a = ap + static_cast<std::size_t>(p) * MR;
+    const T* __restrict b = bp + static_cast<std::size_t>(p) * NR;
     for (int j = 0; j < NR; ++j) {
-      const double bv = b[j];
+      const T bv = b[j];
       for (int i = 0; i < MR; ++i) acc[j][i] += a[i] * bv;
     }
   }
   for (int j = 0; j < NR; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
     for (int i = 0; i < MR; ++i) cj[i] += acc[j][i];
   }
+}
+
+void ukr(int kc, const double* ap, const double* bp, double* c, int ldc) {
+  ukr_generic<double>(kc, ap, bp, c, ldc);
+}
+void ukr(int kc, const float* ap, const float* bp, float* c, int ldc) {
+  ukr_generic<float>(kc, ap, bp, c, ldc);
 }
 
 #endif
@@ -120,13 +210,15 @@ void ukr(int kc, const double* __restrict ap, const double* __restrict bp,
 // Edge variant: accumulate the full microtile into a scratch block, then add
 // only the valid mr x nr corner into C. The padded lanes multiply packed
 // zeros, so they never contaminate valid output.
-void ukr_edge(int kc, const double* ap, const double* bp, double* c, int ldc,
-              int mr, int nr) {
-  alignas(kMatrixAlign) double tmp[MR * NR];
-  for (int x = 0; x < MR * NR; ++x) tmp[x] = 0.0;
+template <class T>
+void ukr_edge(int kc, const T* ap, const T* bp, T* c, int ldc, int mr,
+              int nr) {
+  constexpr int MR = Tile<T>::MR, NR = Tile<T>::NR;
+  alignas(kMatrixAlign) T tmp[MR * NR];
+  for (int x = 0; x < MR * NR; ++x) tmp[x] = T(0);
   ukr(kc, ap, bp, tmp, MR);
   for (int j = 0; j < nr; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
     for (int i = 0; i < mr; ++i) cj[i] += tmp[i + j * MR];
   }
 }
@@ -137,11 +229,13 @@ void ukr_edge(int kc, const double* ap, const double* bp, double* c, int ldc,
 // contiguous per k step, alpha folded in (so the A pack stays alpha-free and
 // shareable across batched calls with different alphas).
 // ---------------------------------------------------------------------------
+template <class T>
 struct Workspace {
-  AlignedBuffer apack, bpack;
+  AlignedBufferT<T> apack, bpack;
 };
-Workspace& workspace() {
-  thread_local Workspace w;
+template <class T>
+Workspace<T>& workspace() {
+  thread_local Workspace<T> w;
   return w;
 }
 
@@ -150,17 +244,18 @@ Workspace& workspace() {
 // PackCacheScope. A key matches when the identical source region would be
 // packed with identical geometry; [lo, hi) is the source view's address
 // range, used to drop the cache when a batched task writes into it.
+template <class T>
 struct PackKey {
-  const double* data = nullptr;
-  const double* lo = nullptr;
-  const double* hi = nullptr;
+  const T* data = nullptr;
+  const T* lo = nullptr;
+  const T* hi = nullptr;
   int r0 = 0, c0 = 0, rows = 0, cols = 0, ld = 0;
   bool trans = false;
-  double alpha = 1.0;  // only meaningful for B packs
+  T alpha = T(1);  // only meaningful for B packs
   bool valid = false;
 
-  void set(ConstMatrixView v, int r0_, int c0_, int rows_, int cols_,
-           bool trans_, double alpha_) {
+  void set(ConstMatrixViewT<T> v, int r0_, int c0_, int rows_, int cols_,
+           bool trans_, T alpha_) {
     data = v.data();
     lo = v.data();
     hi = v.data() + static_cast<std::size_t>(v.cols() - 1) * v.ld() + v.rows();
@@ -173,29 +268,33 @@ struct PackKey {
     alpha = alpha_;
     valid = true;
   }
-  [[nodiscard]] bool matches(ConstMatrixView v, int r0_, int c0_, int rows_,
-                             int cols_, bool trans_, double alpha_) const {
+  [[nodiscard]] bool matches(ConstMatrixViewT<T> v, int r0_, int c0_,
+                             int rows_, int cols_, bool trans_,
+                             T alpha_) const {
     return valid && data == v.data() && ld == v.ld() && r0 == r0_ &&
            c0 == c0_ && rows == rows_ && cols == cols_ && trans == trans_ &&
            alpha == alpha_;
   }
 };
+template <class T>
 struct PackCache {
   bool enabled = false;
-  PackKey a, b;
+  PackKey<T> a, b;
 };
-PackCache& pack_cache() {
-  thread_local PackCache c;
+template <class T>
+PackCache<T>& pack_cache() {
+  thread_local PackCache<T> c;
   return c;
 }
 
-void invalidate_overlapping(ConstMatrixView c) {
-  PackCache& pc = pack_cache();
+template <class T>
+void invalidate_overlapping(ConstMatrixViewT<T> c) {
+  PackCache<T>& pc = pack_cache<T>();
   if (!pc.enabled || c.empty()) return;
-  const double* lo = c.data();
-  const double* hi =
+  const T* lo = c.data();
+  const T* hi =
       c.data() + static_cast<std::size_t>(c.cols() - 1) * c.ld() + c.rows();
-  auto overlaps = [&](const PackKey& k) {
+  auto overlaps = [&](const PackKey<T>& k) {
     return k.valid && k.lo < hi && lo < k.hi;
   };
   if (overlaps(pc.a)) pc.a.valid = false;
@@ -204,32 +303,34 @@ void invalidate_overlapping(ConstMatrixView c) {
 
 /// Pack op(A)[i0:i0+mc, p0:p0+kcb] into MR-row microtile panels.
 /// `trans` means the source is stored transposed (op reads a(p, i)).
-void pack_a(ConstMatrixView a, bool trans, int i0, int p0, int mc, int kcb,
-            double* buf) {
+template <class T>
+void pack_a(ConstMatrixViewT<T> a, bool trans, int i0, int p0, int mc, int kcb,
+            T* buf) {
+  constexpr int MR = Tile<T>::MR;
   const int mtiles = (mc + MR - 1) / MR;
   for (int t = 0; t < mtiles; ++t) {
     const int ir = t * MR;
     const int mr = std::min(MR, mc - ir);
-    double* dst = buf + static_cast<std::size_t>(t) * MR * kcb;
+    T* dst = buf + static_cast<std::size_t>(t) * MR * kcb;
     if (!trans) {
       for (int p = 0; p < kcb; ++p) {
-        const double* src = a.col(p0 + p) + i0 + ir;
-        double* d = dst + static_cast<std::size_t>(p) * MR;
+        const T* src = a.col(p0 + p) + i0 + ir;
+        T* d = dst + static_cast<std::size_t>(p) * MR;
         for (int i = 0; i < mr; ++i) d[i] = src[i];
-        for (int i = mr; i < MR; ++i) d[i] = 0.0;
+        for (int i = mr; i < MR; ++i) d[i] = T(0);
       }
     } else {
       // op(A)(i, p) = a(p, i): a source column holds one op-row, so walk the
       // contiguous source column per row i and scatter it across k slots.
       if (mr < MR) {
         for (int p = 0; p < kcb; ++p) {
-          double* d = dst + static_cast<std::size_t>(p) * MR;
-          for (int i = mr; i < MR; ++i) d[i] = 0.0;
+          T* d = dst + static_cast<std::size_t>(p) * MR;
+          for (int i = mr; i < MR; ++i) d[i] = T(0);
         }
       }
       for (int i = 0; i < mr; ++i) {
-        const double* src = a.col(i0 + ir + i) + p0;
-        double* d = dst + i;
+        const T* src = a.col(i0 + ir + i) + p0;
+        T* d = dst + i;
         for (int p = 0; p < kcb; ++p)
           d[static_cast<std::size_t>(p) * MR] = src[p];
       }
@@ -238,51 +339,50 @@ void pack_a(ConstMatrixView a, bool trans, int i0, int p0, int mc, int kcb,
 }
 
 /// Pack alpha * op(B)[p0:p0+kcb, j0:j0+nc] into NR-column panels.
-void pack_b(double alpha, ConstMatrixView b, bool trans, int p0, int j0,
-            int kcb, int nc, double* buf) {
+template <class T>
+void pack_b(T alpha, ConstMatrixViewT<T> b, bool trans, int p0, int j0,
+            int kcb, int nc, T* buf) {
+  constexpr int NR = Tile<T>::NR;
   const int ntiles = (nc + NR - 1) / NR;
   for (int t = 0; t < ntiles; ++t) {
     const int jr = t * NR;
     const int nr = std::min(NR, nc - jr);
-    double* dst = buf + static_cast<std::size_t>(t) * NR * kcb;
+    T* dst = buf + static_cast<std::size_t>(t) * NR * kcb;
     if (!trans) {
       if (nr < NR) {
         for (int p = 0; p < kcb; ++p) {
-          double* d = dst + static_cast<std::size_t>(p) * NR;
-          for (int j = nr; j < NR; ++j) d[j] = 0.0;
+          T* d = dst + static_cast<std::size_t>(p) * NR;
+          for (int j = nr; j < NR; ++j) d[j] = T(0);
         }
       }
       for (int j = 0; j < nr; ++j) {
-        const double* src = b.col(j0 + jr + j) + p0;
-        double* d = dst + j;
+        const T* src = b.col(j0 + jr + j) + p0;
+        T* d = dst + j;
         for (int p = 0; p < kcb; ++p)
           d[static_cast<std::size_t>(p) * NR] = alpha * src[p];
       }
     } else {
       // op(B)(p, j) = b(j, p): source column p0 + p holds op-row p.
       for (int p = 0; p < kcb; ++p) {
-        const double* src = b.col(p0 + p) + j0 + jr;
-        double* d = dst + static_cast<std::size_t>(p) * NR;
+        const T* src = b.col(p0 + p) + j0 + jr;
+        T* d = dst + static_cast<std::size_t>(p) * NR;
         for (int j = 0; j < nr; ++j) d[j] = alpha * src[j];
-        for (int j = nr; j < NR; ++j) d[j] = 0.0;
+        for (int j = nr; j < NR; ++j) d[j] = T(0);
       }
     }
   }
 }
 
-}  // namespace
-
-GemmTiling gemm_tiling() noexcept { return {MR, NR, MC, KC, NC, kIsa}; }
-
-namespace detail {
-
 // Per-thread width-stable dispatch mode (detail::WidthStableScope). Kept
 // thread_local because the solve bodies that open the scope execute on
 // arbitrary pool workers — the mode must travel with the body, not with the
-// caller that queued it.
+// caller that queued it. Shared by both precisions: a width-stable fp32
+// solve keeps the same contract as the fp64 one.
 thread_local bool width_stable_mode = false;
 
-bool use_blocked(int m, int n, int k) noexcept {
+template <class T>
+bool use_blocked_impl(int m, int n, int k) noexcept {
+  constexpr int MR = Tile<T>::MR, NR = Tile<T>::NR;
   if (width_stable_mode) {
     // Width-stable: decide as if the gemm were NR columns wide, so the path
     // (and each column's summation order) cannot depend on how many columns
@@ -296,45 +396,48 @@ bool use_blocked(int m, int n, int k) noexcept {
   return static_cast<long long>(m) * n * k >= 16LL * 1024;
 }
 
-void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
-                        ConstMatrixView b, Trans tb, MatrixView c) {
+template <class T>
+void gemm_accum_blocked_impl(T alpha, ConstMatrixViewT<T> a, Trans ta,
+                             ConstMatrixViewT<T> b, Trans tb,
+                             MatrixViewT<T> c) {
+  constexpr int MR = Tile<T>::MR, NR = Tile<T>::NR;
   const int m = c.rows(), n = c.cols();
   const int k = (ta == Trans::No) ? a.cols() : a.rows();
   const bool at = (ta == Trans::Yes), bt = (tb == Trans::Yes);
 
-  Workspace& w = workspace();
+  Workspace<T>& w = workspace<T>();
   w.apack.resize(static_cast<std::size_t>(MC) * KC);
   w.bpack.resize(static_cast<std::size_t>(NC + NR) * KC);
-  PackCache& pc = pack_cache();
+  PackCache<T>& pc = pack_cache<T>();
 
   for (int jc = 0; jc < n; jc += NC) {
     const int nc = std::min(NC, n - jc);
     for (int p0 = 0; p0 < k; p0 += KC) {
       const int kcb = std::min(KC, k - p0);
       if (!pc.enabled || !pc.b.matches(b, p0, jc, kcb, nc, bt, alpha)) {
-        pack_b(alpha, b, bt, p0, jc, kcb, nc, w.bpack.data());
+        pack_b<T>(alpha, b, bt, p0, jc, kcb, nc, w.bpack.data());
         if (pc.enabled) pc.b.set(b, p0, jc, kcb, nc, bt, alpha);
       }
       for (int ic = 0; ic < m; ic += MC) {
         const int mc = std::min(MC, m - ic);
-        if (!pc.enabled || !pc.a.matches(a, ic, p0, mc, kcb, at, 1.0)) {
-          pack_a(a, at, ic, p0, mc, kcb, w.apack.data());
-          if (pc.enabled) pc.a.set(a, ic, p0, mc, kcb, at, 1.0);
+        if (!pc.enabled || !pc.a.matches(a, ic, p0, mc, kcb, at, T(1))) {
+          pack_a<T>(a, at, ic, p0, mc, kcb, w.apack.data());
+          if (pc.enabled) pc.a.set(a, ic, p0, mc, kcb, at, T(1));
         }
         // Macrokernel: stream B slivers against the resident A tile.
         for (int jr = 0; jr < nc; jr += NR) {
           const int nr = std::min(NR, nc - jr);
-          const double* bp =
+          const T* bp =
               w.bpack.data() + static_cast<std::size_t>(jr / NR) * NR * kcb;
           for (int ir = 0; ir < mc; ir += MR) {
             const int mr = std::min(MR, mc - ir);
-            const double* ap =
+            const T* ap =
                 w.apack.data() + static_cast<std::size_t>(ir / MR) * MR * kcb;
-            double* cp = c.col(jc + jr) + ic + ir;
+            T* cp = c.col(jc + jr) + ic + ir;
             if (mr == MR && nr == NR) {
               ukr(kcb, ap, bp, cp, c.ld());
             } else {
-              ukr_edge(kcb, ap, bp, cp, c.ld(), mr, nr);
+              ukr_edge<T>(kcb, ap, bp, cp, c.ld(), mr, nr);
             }
           }
         }
@@ -346,43 +449,96 @@ void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
     // must not survive into the next call.
     if (m > MC || k > KC) pc.a.valid = false;
     if (n > NC || k > KC) pc.b.valid = false;
-    invalidate_overlapping(c);
+    invalidate_overlapping<T>(c);
   }
+}
+
+template <class T>
+void gemm_nocount_impl(T alpha, ConstMatrixViewT<T> a, Trans ta,
+                       ConstMatrixViewT<T> b, Trans tb, T beta,
+                       MatrixViewT<T> c) {
+  const int m = c.rows(), n = c.cols();
+  const int ka = (ta == Trans::No) ? a.cols() : a.rows();
+
+  if (beta == T(0)) {
+    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, T(0));
+  } else if (beta != T(1)) {
+    for (int j = 0; j < n; ++j) {
+      T* cj = c.col(j);
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || ka == 0 || alpha == T(0)) return;
+
+  if (use_blocked_impl<T>(m, n, ka)) {
+    gemm_accum_blocked_impl<T>(alpha, a, ta, b, tb, c);
+  } else {
+    naive::gemm(alpha, a, ta, b, tb, 1.0, c);  // C pre-scaled above
+    invalidate_overlapping<T>(c);
+  }
+}
+
+}  // namespace
+
+GemmTiling gemm_tiling() noexcept {
+  return {Tile<double>::MR, Tile<double>::NR, MC, KC, NC, kIsa};
+}
+
+GemmTiling gemm_tiling_f32() noexcept {
+  return {Tile<float>::MR, Tile<float>::NR, MC, KC, NC, kIsa};
+}
+
+namespace detail {
+
+bool use_blocked(int m, int n, int k) noexcept {
+  return use_blocked_impl<double>(m, n, k);
+}
+
+bool use_blocked_f32(int m, int n, int k) noexcept {
+  return use_blocked_impl<float>(m, n, k);
+}
+
+void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
+                        ConstMatrixView b, Trans tb, MatrixView c) {
+  gemm_accum_blocked_impl<double>(alpha, a, ta, b, tb, c);
+}
+
+void gemm_accum_blocked(double alpha, ConstMatrixViewF a, Trans ta,
+                        ConstMatrixViewF b, Trans tb, MatrixViewF c) {
+  gemm_accum_blocked_impl<float>(static_cast<float>(alpha), a, ta, b, tb, c);
 }
 
 void gemm_nocount(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
                   Trans tb, double beta, MatrixView c) {
-  const int m = c.rows(), n = c.cols();
-  const int ka = (ta == Trans::No) ? a.cols() : a.rows();
+  gemm_nocount_impl<double>(alpha, a, ta, b, tb, beta, c);
+}
 
-  if (beta == 0.0) {
-    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, 0.0);
-  } else if (beta != 1.0) {
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      for (int i = 0; i < m; ++i) cj[i] *= beta;
-    }
-  }
-  if (m == 0 || n == 0 || ka == 0 || alpha == 0.0) return;
-
-  if (use_blocked(m, n, ka)) {
-    gemm_accum_blocked(alpha, a, ta, b, tb, c);
-  } else {
-    naive::gemm(alpha, a, ta, b, tb, 1.0, c);  // C pre-scaled above
-    invalidate_overlapping(c);
-  }
+void gemm_nocount(double alpha, ConstMatrixViewF a, Trans ta,
+                  ConstMatrixViewF b, Trans tb, double beta, MatrixViewF c) {
+  gemm_nocount_impl<float>(static_cast<float>(alpha), a, ta, b, tb,
+                           static_cast<float>(beta), c);
 }
 
 void invalidate_packs(ConstMatrixView written) {
-  invalidate_overlapping(written);
+  invalidate_overlapping<double>(written);
 }
 
-PackCacheScope::PackCacheScope() { pack_cache().enabled = true; }
+void invalidate_packs(ConstMatrixViewF written) {
+  invalidate_overlapping<float>(written);
+}
+
+PackCacheScope::PackCacheScope() {
+  pack_cache<double>().enabled = true;
+  pack_cache<float>().enabled = true;
+}
 
 PackCacheScope::~PackCacheScope() {
-  PackCache& pc = pack_cache();
-  pc.enabled = false;
-  pc.a.valid = pc.b.valid = false;
+  PackCache<double>& pd = pack_cache<double>();
+  pd.enabled = false;
+  pd.a.valid = pd.b.valid = false;
+  PackCache<float>& pf = pack_cache<float>();
+  pf.enabled = false;
+  pf.a.valid = pf.b.valid = false;
 }
 
 WidthStableScope::WidthStableScope(bool enable) : prev_(width_stable_mode) {

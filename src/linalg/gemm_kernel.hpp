@@ -27,6 +27,10 @@ struct GemmTiling {
   const char* isa; ///< "avx512" | "avx2" | "generic"
 };
 [[nodiscard]] GemmTiling gemm_tiling() noexcept;
+/// The fp32 microkernel's tile constants: same cache blocking, but MR spans
+/// twice the elements per vector register (e.g. 32x8 on AVX-512 vs 16x8 for
+/// fp64), which is where the fp32 path's bandwidth advantage comes from.
+[[nodiscard]] GemmTiling gemm_tiling_f32() noexcept;
 
 namespace detail {
 
@@ -37,11 +41,15 @@ namespace detail {
 /// gemm's path — and hence each output column's bits — cannot depend on how
 /// many right-hand-side columns ride along.
 [[nodiscard]] bool use_blocked(int m, int n, int k) noexcept;
+/// fp32 dispatch predicate: same shape logic against the fp32 tile constants.
+[[nodiscard]] bool use_blocked_f32(int m, int n, int k) noexcept;
 
 /// C += alpha * op(A) * op(B) through the packed microkernel. No beta
 /// handling, no flop accounting — callers pre-scale C and report flops once.
 void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
                         ConstMatrixView b, Trans tb, MatrixView c);
+void gemm_accum_blocked(double alpha, ConstMatrixViewF a, Trans ta,
+                        ConstMatrixViewF b, Trans tb, MatrixViewF c);
 
 /// Full gemm semantics (beta pre-scale, small-size dispatch to the naive
 /// kernels) WITHOUT flop accounting: what the blocked trsm/getrf/potrf/qr
@@ -49,12 +57,15 @@ void gemm_accum_blocked(double alpha, ConstMatrixView a, Trans ta,
 /// once (fig10's accounting stays truthful).
 void gemm_nocount(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
                   Trans tb, double beta, MatrixView c);
+void gemm_nocount(double alpha, ConstMatrixViewF a, Trans ta,
+                  ConstMatrixViewF b, Trans tb, double beta, MatrixViewF c);
 
 /// Drop any memoized pack whose source range overlaps `written`. gemm itself
 /// invalidates its own C; kernels that write through non-gemm paths (naive
 /// trsm sweeps, panel factors, scratch refills) must call this after writing
 /// so a later batched gemm cannot reuse a stale panel.
 void invalidate_packs(ConstMatrixView written);
+void invalidate_packs(ConstMatrixViewF written);
 
 /// RAII enable of the packed-panel memoization used by the *_batch entry
 /// points: while a scope is alive, a gemm whose A (or B) operand matches the

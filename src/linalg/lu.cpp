@@ -21,47 +21,47 @@ constexpr int kGetrfNb = 64;
 /// The pre-blocked right-looking loop; `piv` entries are view-relative
 /// absolute row indices (the same convention getrf always exposed). No flop
 /// accounting — the public entry reports the analytic count once.
-void getrf_unblocked(MatrixView a, std::vector<int>& piv) {
+template <class T>
+void getrf_unblocked(MatrixViewT<T> a, std::vector<int>& piv) {
   const int m = a.rows(), n = a.cols();
   const int k = m < n ? m : n;
   piv.assign(k, 0);
   for (int p = 0; p < k; ++p) {
     // Partial pivoting: largest magnitude in column p at/below the diagonal.
     int imax = p;
-    double vmax = std::fabs(a(p, p));
+    T vmax = std::fabs(a(p, p));
     for (int i = p + 1; i < m; ++i) {
-      const double v = std::fabs(a(i, p));
+      const T v = std::fabs(a(i, p));
       if (v > vmax) {
         vmax = v;
         imax = i;
       }
     }
     piv[p] = imax;
-    if (vmax == 0.0) throw NumericalError("getrf: exactly singular pivot");
+    if (vmax == T(0)) throw NumericalError("getrf: exactly singular pivot");
     if (imax != p)
       for (int j = 0; j < n; ++j) std::swap(a(p, j), a(imax, j));
 
-    const double inv = 1.0 / a(p, p);
-    double* cp = a.col(p);
+    const T inv = T(1) / a(p, p);
+    T* cp = a.col(p);
     for (int i = p + 1; i < m; ++i) cp[i] *= inv;
     // Rank-1 trailing update, column by column (stride-1).
     for (int j = p + 1; j < n; ++j) {
-      const double upj = a(p, j);
-      if (upj == 0.0) continue;
-      double* cj = a.col(j);
+      const T upj = a(p, j);
+      if (upj == T(0)) continue;
+      T* cj = a.col(j);
       for (int i = p + 1; i < m; ++i) cj[i] -= cp[i] * upj;
     }
   }
 }
 
-}  // namespace
-
-void getrf(MatrixView a, std::vector<int>& piv) {
+template <class T>
+void getrf_impl(MatrixViewT<T> a, std::vector<int>& piv) {
   const int m = a.rows(), n = a.cols();
   const int k = m < n ? m : n;
   if (k <= kGetrfNb) {
-    getrf_unblocked(a, piv);
-    detail::invalidate_packs(a);
+    getrf_unblocked<T>(a, piv);
+    detail::invalidate_packs(ConstMatrixViewT<T>(a));
     flops::add(flops::getrf(m, n));
     return;
   }
@@ -70,7 +70,7 @@ void getrf(MatrixView a, std::vector<int>& piv) {
   std::vector<int> ppiv;
   for (int p0 = 0; p0 < k; p0 += kGetrfNb) {
     const int pb = std::min(kGetrfNb, k - p0);
-    getrf_unblocked(a.block(p0, p0, m - p0, pb), ppiv);
+    getrf_unblocked<T>(a.block(p0, p0, m - p0, pb), ppiv);
     // Merge panel-local pivots into absolute indices and mirror the panel's
     // row swaps onto the columns outside it.
     for (int i = 0; i < pb; ++i) {
@@ -92,11 +92,12 @@ void getrf(MatrixView a, std::vector<int>& piv) {
       }
     }
   }
-  detail::invalidate_packs(a);
+  detail::invalidate_packs(ConstMatrixViewT<T>(a));
   flops::add(flops::getrf(m, n));
 }
 
-void laswp(MatrixView b, const std::vector<int>& piv, bool forward) {
+template <class T>
+void laswp_impl(MatrixViewT<T> b, const std::vector<int>& piv, bool forward) {
   const int k = static_cast<int>(piv.size());
   const int n = b.cols();
   auto swap_rows = [&](int r1, int r2) {
@@ -110,8 +111,9 @@ void laswp(MatrixView b, const std::vector<int>& piv, bool forward) {
   }
 }
 
-void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
-           Trans trans) {
+template <class T>
+void getrs_impl(ConstMatrixViewT<T> lu, const std::vector<int>& piv,
+                MatrixViewT<T> b, Trans trans) {
   assert(lu.rows() == lu.cols() && lu.rows() == b.rows());
   if (trans == Trans::No) {
     // A = P^T L U  =>  x = U^-1 L^-1 P b.
@@ -126,6 +128,44 @@ void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
   }
 }
 
+template <class T>
+double lu_logabsdet_impl(ConstMatrixViewT<T> lu, const std::vector<int>& piv,
+                         int* sign) {
+  const int n = lu.rows() < lu.cols() ? lu.rows() : lu.cols();
+  double logdet = 0.0;
+  int s = 1;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(lu(i, i));
+    logdet += std::log(std::fabs(d));
+    if (d < 0.0) s = -s;
+  }
+  for (std::size_t p = 0; p < piv.size(); ++p)
+    if (piv[p] != static_cast<int>(p)) s = -s;
+  if (sign != nullptr) *sign = s;
+  return logdet;
+}
+
+}  // namespace
+
+void getrf(MatrixView a, std::vector<int>& piv) { getrf_impl<double>(a, piv); }
+void getrf(MatrixViewF a, std::vector<int>& piv) { getrf_impl<float>(a, piv); }
+
+void laswp(MatrixView b, const std::vector<int>& piv, bool forward) {
+  laswp_impl<double>(b, piv, forward);
+}
+void laswp(MatrixViewF b, const std::vector<int>& piv, bool forward) {
+  laswp_impl<float>(b, piv, forward);
+}
+
+void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
+           Trans trans) {
+  getrs_impl<double>(lu, piv, b, trans);
+}
+void getrs(ConstMatrixViewF lu, const std::vector<int>& piv, MatrixViewF b,
+           Trans trans) {
+  getrs_impl<float>(lu, piv, b, trans);
+}
+
 Matrix lu_solve(Matrix a, Matrix b) {
   std::vector<int> piv;
   getrf(a, piv);
@@ -134,18 +174,11 @@ Matrix lu_solve(Matrix a, Matrix b) {
 }
 
 double lu_logabsdet(ConstMatrixView lu, const std::vector<int>& piv, int* sign) {
-  const int n = lu.rows() < lu.cols() ? lu.rows() : lu.cols();
-  double logdet = 0.0;
-  int s = 1;
-  for (int i = 0; i < n; ++i) {
-    const double d = lu(i, i);
-    logdet += std::log(std::fabs(d));
-    if (d < 0.0) s = -s;
-  }
-  for (std::size_t p = 0; p < piv.size(); ++p)
-    if (piv[p] != static_cast<int>(p)) s = -s;
-  if (sign != nullptr) *sign = s;
-  return logdet;
+  return lu_logabsdet_impl<double>(lu, piv, sign);
+}
+double lu_logabsdet(ConstMatrixViewF lu, const std::vector<int>& piv,
+                    int* sign) {
+  return lu_logabsdet_impl<float>(lu, piv, sign);
 }
 
 }  // namespace h2

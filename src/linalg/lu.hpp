@@ -9,22 +9,30 @@ namespace h2 {
 
 /// In-place LU with partial pivoting (LAPACK getrf layout: unit-lower L below
 /// the diagonal, U on and above; piv[k] = row swapped with row k at step k).
-/// Throws NumericalError on an exactly zero pivot.
+/// Throws NumericalError on an exactly zero pivot. The fp32 overload shares
+/// the pivot vector type — indices carry no precision.
 void getrf(MatrixView a, std::vector<int>& piv);
+void getrf(MatrixViewF a, std::vector<int>& piv);
 
 /// Solve op(LU) X = B in place given getrf output.
 void getrs(ConstMatrixView lu, const std::vector<int>& piv, MatrixView b,
            Trans trans = Trans::No);
+void getrs(ConstMatrixViewF lu, const std::vector<int>& piv, MatrixViewF b,
+           Trans trans = Trans::No);
 
 /// Apply (forward=true) or undo the getrf row interchanges to B's rows.
 void laswp(MatrixView b, const std::vector<int>& piv, bool forward);
+void laswp(MatrixViewF b, const std::vector<int>& piv, bool forward);
 
 /// One-shot dense solve: returns X with A X = B (A and B by value; A is
 /// factorized in place internally).
 Matrix lu_solve(Matrix a, Matrix b);
 
-/// log|det A| and optionally the sign, from getrf factors.
+/// log|det A| and optionally the sign, from getrf factors. Always accumulated
+/// in double, whichever precision the factors are stored at.
 double lu_logabsdet(ConstMatrixView lu, const std::vector<int>& piv,
+                    int* sign = nullptr);
+double lu_logabsdet(ConstMatrixViewF lu, const std::vector<int>& piv,
                     int* sign = nullptr);
 
 }  // namespace h2

@@ -7,38 +7,42 @@ namespace h2::naive {
 namespace {
 
 // C(:,j) += sum_k A(:,k) * B(k,j): stride-1 inner loop (column-major sweet spot).
-void gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_nn(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows(), n = c.cols(), k = a.cols();
   for (int j = 0; j < n; ++j) {
-    double* cj = c.col(j);
+    T* cj = c.col(j);
     int l = 0;
     // Unroll over 4 columns of A to amortize the C column traffic.
     for (; l + 4 <= k; l += 4) {
-      const double b0 = alpha * b(l, j), b1 = alpha * b(l + 1, j);
-      const double b2 = alpha * b(l + 2, j), b3 = alpha * b(l + 3, j);
-      const double* a0 = a.col(l);
-      const double* a1 = a.col(l + 1);
-      const double* a2 = a.col(l + 2);
-      const double* a3 = a.col(l + 3);
+      const T b0 = alpha * b(l, j), b1 = alpha * b(l + 1, j);
+      const T b2 = alpha * b(l + 2, j), b3 = alpha * b(l + 3, j);
+      const T* a0 = a.col(l);
+      const T* a1 = a.col(l + 1);
+      const T* a2 = a.col(l + 2);
+      const T* a3 = a.col(l + 3);
       for (int i = 0; i < m; ++i)
         cj[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
     }
     for (; l < k; ++l) {
-      const double bl = alpha * b(l, j);
-      const double* al = a.col(l);
+      const T bl = alpha * b(l, j);
+      const T* al = a.col(l);
       for (int i = 0; i < m; ++i) cj[i] += bl * al[i];
     }
   }
 }
 
 // C(i,j) += alpha * dot(A(:,i), B(:,j)): stride-1 dot products.
-void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_tn(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows(), n = c.cols(), k = a.rows();
   for (int j = 0; j < n; ++j) {
-    const double* bj = b.col(j);
+    const T* bj = b.col(j);
     for (int i = 0; i < m; ++i) {
-      const double* ai = a.col(i);
-      double s = 0.0;
+      const T* ai = a.col(i);
+      T s = T(0);
       for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
       c(i, j) += alpha * s;
     }
@@ -46,46 +50,49 @@ void gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
 }
 
 // C(:,j) += sum_k A(:,k) * B(j,k).
-void gemm_nt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_nt(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows(), n = c.cols(), k = a.cols();
   for (int j = 0; j < n; ++j) {
-    double* cj = c.col(j);
+    T* cj = c.col(j);
     for (int l = 0; l < k; ++l) {
-      const double bl = alpha * b(j, l);
-      const double* al = a.col(l);
+      const T bl = alpha * b(j, l);
+      const T* al = a.col(l);
       for (int i = 0; i < m; ++i) cj[i] += bl * al[i];
     }
   }
 }
 
 // C(i,j) += alpha * dot(A(:,i), B(j,:)) -- B accessed row-wise (strided).
-void gemm_tt(double alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+template <class T>
+void gemm_tt(T alpha, ConstMatrixViewT<T> a, ConstMatrixViewT<T> b,
+             MatrixViewT<T> c) {
   const int m = c.rows(), n = c.cols(), k = a.rows();
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < m; ++i) {
-      const double* ai = a.col(i);
-      double s = 0.0;
+      const T* ai = a.col(i);
+      T s = T(0);
       for (int l = 0; l < k; ++l) s += ai[l] * b(j, l);
       c(i, j) += alpha * s;
     }
   }
 }
 
-}  // namespace
-
-void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
-          Trans tb, double beta, MatrixView c) {
+template <class T>
+void gemm_impl(T alpha, ConstMatrixViewT<T> a, Trans ta, ConstMatrixViewT<T> b,
+               Trans tb, T beta, MatrixViewT<T> c) {
   const int m = c.rows(), n = c.cols();
   const int ka = (ta == Trans::No) ? a.cols() : a.rows();
-  if (beta == 0.0) {
-    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, 0.0);
-  } else if (beta != 1.0) {
+  if (beta == T(0)) {
+    for (int j = 0; j < n; ++j) std::fill_n(c.col(j), m, T(0));
+  } else if (beta != T(1)) {
     for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
+      T* cj = c.col(j);
       for (int i = 0; i < m; ++i) cj[i] *= beta;
     }
   }
-  if (m == 0 || n == 0 || ka == 0 || alpha == 0.0) return;
+  if (m == 0 || n == 0 || ka == 0 || alpha == T(0)) return;
 
   if (ta == Trans::No && tb == Trans::No) gemm_nn(alpha, a, b, c);
   else if (ta == Trans::Yes && tb == Trans::No) gemm_tn(alpha, a, b, c);
@@ -93,13 +100,14 @@ void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
   else gemm_tt(alpha, a, b, c);
 }
 
-void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
-          ConstMatrixView a, MatrixView b) {
+template <class T>
+void trsm_impl(Side side, UpLo uplo, Trans trans, Diag diag, T alpha,
+               ConstMatrixViewT<T> a, MatrixViewT<T> b) {
   const int m = b.rows(), n = b.cols();
   if (m == 0 || n == 0) return;
-  if (alpha != 1.0) {
+  if (alpha != T(1)) {
     for (int j = 0; j < n; ++j) {
-      double* bj = b.col(j);
+      T* bj = b.col(j);
       for (int i = 0; i < m; ++i) bj[i] *= alpha;
     }
   }
@@ -108,23 +116,23 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
   // (uplo==Lower) xor (trans==Yes).
   const bool op_lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
   const bool unit = (diag == Diag::Unit);
-  auto at = [&](int i, int j) -> double {
+  auto at = [&](int i, int j) -> T {
     return (trans == Trans::No) ? a(i, j) : a(j, i);
   };
 
   if (side == Side::Left) {
     // Solve op(A) X = B column by column.
     for (int j = 0; j < n; ++j) {
-      double* bj = b.col(j);
+      T* bj = b.col(j);
       if (op_lower) {
         for (int i = 0; i < m; ++i) {
-          double s = bj[i];
+          T s = bj[i];
           for (int l = 0; l < i; ++l) s -= at(i, l) * bj[l];
           bj[i] = unit ? s : s / at(i, i);
         }
       } else {
         for (int i = m - 1; i >= 0; --i) {
-          double s = bj[i];
+          T s = bj[i];
           for (int l = i + 1; l < m; ++l) s -= at(i, l) * bj[l];
           bj[i] = unit ? s : s / at(i, i);
         }
@@ -136,34 +144,57 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
     if (op_lower) {
       // X(:,j) determined from j = n-1 down to 0; X(:,j) then updates B(:,l<j).
       for (int j = n - 1; j >= 0; --j) {
-        double* bj = b.col(j);
+        T* bj = b.col(j);
         if (!unit) {
-          const double inv = 1.0 / at(j, j);
+          const T inv = T(1) / at(j, j);
           for (int i = 0; i < m; ++i) bj[i] *= inv;
         }
         for (int l = 0; l < j; ++l) {
-          const double f = at(j, l);
-          if (f == 0.0) continue;
-          double* bl = b.col(l);
+          const T f = at(j, l);
+          if (f == T(0)) continue;
+          T* bl = b.col(l);
           for (int i = 0; i < m; ++i) bl[i] -= f * bj[i];
         }
       }
     } else {
       for (int j = 0; j < n; ++j) {
-        double* bj = b.col(j);
+        T* bj = b.col(j);
         if (!unit) {
-          const double inv = 1.0 / at(j, j);
+          const T inv = T(1) / at(j, j);
           for (int i = 0; i < m; ++i) bj[i] *= inv;
         }
         for (int l = j + 1; l < n; ++l) {
-          const double f = at(j, l);
-          if (f == 0.0) continue;
-          double* bl = b.col(l);
+          const T f = at(j, l);
+          if (f == T(0)) continue;
+          T* bl = b.col(l);
           for (int i = 0; i < m; ++i) bl[i] -= f * bj[i];
         }
       }
     }
   }
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
+          Trans tb, double beta, MatrixView c) {
+  gemm_impl<double>(alpha, a, ta, b, tb, beta, c);
+}
+
+void gemm(double alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b,
+          Trans tb, double beta, MatrixViewF c) {
+  gemm_impl<float>(static_cast<float>(alpha), a, ta, b, tb,
+                   static_cast<float>(beta), c);
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  trsm_impl<double>(side, uplo, trans, diag, alpha, a, b);
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixViewF a, MatrixViewF b) {
+  trsm_impl<float>(side, uplo, trans, diag, static_cast<float>(alpha), a, b);
 }
 
 }  // namespace h2::naive

@@ -19,9 +19,15 @@ namespace h2::naive {
 /// C = alpha * op(A) * op(B) + beta * C, triple-loop column sweeps.
 void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b,
           Trans tb, double beta, MatrixView c);
+/// fp32 overload (scalars stay double at the API and are rounded once at
+/// entry, so call sites read identically at either precision).
+void gemm(double alpha, ConstMatrixViewF a, Trans ta, ConstMatrixViewF b,
+          Trans tb, double beta, MatrixViewF c);
 
 /// Unblocked triangular solve (same contract as h2::trsm).
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView a, MatrixView b);
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixViewF a, MatrixViewF b);
 
 }  // namespace h2::naive

@@ -4,24 +4,37 @@
 #include <cmath>
 
 namespace h2 {
+namespace {
 
-double norm_fro(ConstMatrixView a) {
+template <class T>
+double norm_fro_impl(ConstMatrixViewT<T> a) {
   double s = 0.0;
   for (int j = 0; j < a.cols(); ++j) {
-    const double* cj = a.col(j);
-    for (int i = 0; i < a.rows(); ++i) s += cj[i] * cj[i];
+    const T* cj = a.col(j);
+    for (int i = 0; i < a.rows(); ++i)
+      s += static_cast<double>(cj[i]) * static_cast<double>(cj[i]);
   }
   return std::sqrt(s);
 }
 
-double norm_max(ConstMatrixView a) {
+template <class T>
+double norm_max_impl(ConstMatrixViewT<T> a) {
   double s = 0.0;
   for (int j = 0; j < a.cols(); ++j) {
-    const double* cj = a.col(j);
-    for (int i = 0; i < a.rows(); ++i) s = std::max(s, std::fabs(cj[i]));
+    const T* cj = a.col(j);
+    for (int i = 0; i < a.rows(); ++i)
+      s = std::max(s, std::fabs(static_cast<double>(cj[i])));
   }
   return s;
 }
+
+}  // namespace
+
+double norm_fro(ConstMatrixView a) { return norm_fro_impl<double>(a); }
+double norm_fro(ConstMatrixViewF a) { return norm_fro_impl<float>(a); }
+
+double norm_max(ConstMatrixView a) { return norm_max_impl<double>(a); }
+double norm_max(ConstMatrixViewF a) { return norm_max_impl<float>(a); }
 
 double rel_error_fro(ConstMatrixView a, ConstMatrixView b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());

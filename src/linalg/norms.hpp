@@ -4,11 +4,15 @@
 
 namespace h2 {
 
-/// Frobenius norm.
+/// Frobenius norm. Accumulated and returned in double at either storage
+/// precision (norms feed convergence decisions, which must not drift with
+/// the factor's word size).
 double norm_fro(ConstMatrixView a);
+double norm_fro(ConstMatrixViewF a);
 
 /// Largest absolute entry.
 double norm_max(ConstMatrixView a);
+double norm_max(ConstMatrixViewF a);
 
 /// ||A - B||_F / ||B||_F (relative to the reference B; returns ||A||_F when
 /// B is exactly zero).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <type_traits>
 #include <utility>
 
 #include "linalg/gemm_kernel.hpp"
@@ -19,16 +20,17 @@ constexpr int kQrNb = 32;
 
 /// Generate an elementary reflector H = I - tau v v^T annihilating x(1:).
 /// x(0) is replaced by beta, x(1:) by the reflector tail (v(0) == 1 implicit).
-double make_reflector(double* x, int n) {
-  if (n <= 1) return 0.0;
-  double xnorm2 = 0.0;
+template <class T>
+T make_reflector(T* x, int n) {
+  if (n <= 1) return T(0);
+  T xnorm2 = T(0);
   for (int i = 1; i < n; ++i) xnorm2 += x[i] * x[i];
-  if (xnorm2 == 0.0) return 0.0;
-  const double alpha = x[0];
-  double beta = std::sqrt(alpha * alpha + xnorm2);
-  if (alpha > 0.0) beta = -beta;
-  const double tau = (beta - alpha) / beta;
-  const double inv = 1.0 / (alpha - beta);
+  if (xnorm2 == T(0)) return T(0);
+  const T alpha = x[0];
+  T beta = std::sqrt(alpha * alpha + xnorm2);
+  if (alpha > T(0)) beta = -beta;
+  const T tau = (beta - alpha) / beta;
+  const T inv = T(1) / (alpha - beta);
   for (int i = 1; i < n; ++i) x[i] *= inv;
   x[0] = beta;
   return tau;
@@ -36,13 +38,14 @@ double make_reflector(double* x, int n) {
 
 /// Apply H = I - tau v v^T (v packed in col[k:], v0 implicit 1) to columns
 /// [j0, j1) of `a`, restricted to rows [k, m).
-void apply_reflector_left(MatrixView a, int k, const double* v, double tau,
-                          int j0, int j1) {
-  if (tau == 0.0) return;
+template <class T>
+void apply_reflector_left(MatrixViewT<T> a, int k, const T* v, T tau, int j0,
+                          int j1) {
+  if (tau == T(0)) return;
   const int m = a.rows();
   for (int j = j0; j < j1; ++j) {
-    double* cj = a.col(j);
-    double w = cj[k];
+    T* cj = a.col(j);
+    T w = cj[k];
     for (int i = k + 1; i < m; ++i) w += v[i] * cj[i];
     w *= tau;
     cj[k] -= w;
@@ -51,44 +54,46 @@ void apply_reflector_left(MatrixView a, int k, const double* v, double tau,
 }
 
 /// Reusable per-thread scratch for the compact-WY update, so qr_batch calls
-/// don't churn the allocator once the shapes repeat across leaf tasks.
+/// don't churn the allocator once the shapes repeat across leaf tasks. One
+/// instance per element precision (the panels cannot be shared).
+template <class T>
 struct QrWorkspace {
-  Matrix v;    ///< explicit reflector panel (unit diag, zeros above)
-  Matrix t;    ///< compact-WY triangular factor
-  Matrix vtv;  ///< V^T V (what larft consumes)
-  Matrix w;    ///< V^T C staging block
+  MatrixT<T> v;    ///< explicit reflector panel (unit diag, zeros above)
+  MatrixT<T> t;    ///< compact-WY triangular factor
+  MatrixT<T> vtv;  ///< V^T V (what larft consumes)
+  MatrixT<T> w;    ///< V^T C staging block
 };
-QrWorkspace& qr_workspace() {
-  thread_local QrWorkspace ws;
+template <class T>
+QrWorkspace<T>& qr_workspace() {
+  thread_local QrWorkspace<T> ws;
   return ws;
 }
 
-}  // namespace
-
-void householder_qr(MatrixView a, std::vector<double>& tau) {
+template <class T>
+void householder_qr_impl(MatrixViewT<T> a, std::vector<T>& tau) {
   const int m = a.rows(), n = a.cols();
   const int k = m < n ? m : n;
-  tau.assign(k, 0.0);
+  tau.assign(k, T(0));
   if (k <= kQrNb) {
     for (int p = 0; p < k; ++p) {
-      double* cp = a.col(p);
+      T* cp = a.col(p);
       tau[p] = make_reflector(cp + p, m - p);
-      apply_reflector_left(a, p, cp, tau[p], p + 1, n);
+      apply_reflector_left<T>(a, p, cp, tau[p], p + 1, n);
     }
-    detail::invalidate_packs(a);
+    detail::invalidate_packs(ConstMatrixViewT<T>(a));
     flops::add(flops::geqrf(m, n));
     return;
   }
 
-  QrWorkspace& ws = qr_workspace();
+  QrWorkspace<T>& ws = qr_workspace<T>();
   for (int p0 = 0; p0 < k; p0 += kQrNb) {
     const int pb = std::min(kQrNb, k - p0);
     // Factor the panel with the unblocked loop, applying each reflector only
     // within the panel's own columns.
     for (int p = p0; p < p0 + pb; ++p) {
-      double* cp = a.col(p);
+      T* cp = a.col(p);
       tau[p] = make_reflector(cp + p, m - p);
-      apply_reflector_left(a, p, cp, tau[p], p + 1, p0 + pb);
+      apply_reflector_left<T>(a, p, cp, tau[p], p + 1, p0 + pb);
     }
     const int rest = n - p0 - pb;
     if (rest <= 0) continue;
@@ -98,11 +103,12 @@ void householder_qr(MatrixView a, std::vector<double>& tau) {
     const int mm = m - p0;
     ws.v.resize(mm, pb);
     for (int j = 0; j < pb; ++j) {
-      ws.v(j, j) = 1.0;
-      const double* cj = a.col(p0 + j);
+      ws.v(j, j) = T(1);
+      const T* cj = a.col(p0 + j);
       for (int i = j + 1; i < mm; ++i) ws.v(i, j) = cj[p0 + i];
     }
-    detail::invalidate_packs(ws.v);  // scratch refilled in place
+    detail::invalidate_packs(
+        ConstMatrixViewT<T>(ws.v));  // scratch refilled in place
 
     // larft: T(0:j, j) = -tau_j * T(0:j, 0:j) * (V^T V)(0:j, j). Because
     // v_j vanishes above row j, the full dot products in V^T V are exactly
@@ -111,9 +117,9 @@ void householder_qr(MatrixView a, std::vector<double>& tau) {
     detail::gemm_nocount(1.0, ws.v, Trans::Yes, ws.v, Trans::No, 0.0, ws.vtv);
     ws.t.resize(pb, pb);
     for (int j = 0; j < pb; ++j) {
-      const double tj = tau[p0 + j];
+      const T tj = tau[p0 + j];
       for (int i = 0; i < j; ++i) {
-        double s = 0.0;
+        T s = T(0);
         for (int l = i; l < j; ++l) s += ws.t(i, l) * ws.vtv(l, j);
         ws.t(i, j) = -tj * s;
       }
@@ -122,103 +128,112 @@ void householder_qr(MatrixView a, std::vector<double>& tau) {
 
     // Trailing update C = (I - V T^T V^T) C in three steps:
     // W = V^T C; W = T^T W (in-place triangular multiply); C -= V W.
-    MatrixView c = a.block(p0, p0 + pb, mm, rest);
+    MatrixViewT<T> c = a.block(p0, p0 + pb, mm, rest);
     ws.w.resize(pb, rest);
     detail::gemm_nocount(1.0, ws.v, Trans::Yes, c, Trans::No, 0.0, ws.w);
     for (int jc = 0; jc < rest; ++jc) {
-      double* wc = ws.w.view().col(jc);
+      T* wc = ws.w.view().col(jc);
       for (int i = pb - 1; i >= 0; --i) {
-        double s = ws.t(i, i) * wc[i];
+        T s = ws.t(i, i) * wc[i];
         for (int l = 0; l < i; ++l) s += ws.t(l, i) * wc[l];
         wc[i] = s;
       }
     }
-    detail::invalidate_packs(ws.w);  // rewritten in place after the gemm
+    detail::invalidate_packs(
+        ConstMatrixViewT<T>(ws.w));  // rewritten in place after the gemm
     detail::gemm_nocount(-1.0, ws.v, Trans::No, ws.w, Trans::No, 1.0, c);
   }
-  detail::invalidate_packs(a);
+  detail::invalidate_packs(ConstMatrixViewT<T>(a));
   flops::add(flops::geqrf(m, n));
 }
 
-Matrix form_q(ConstMatrixView qr, const std::vector<double>& tau, int ncols,
-              int nref) {
+template <class T>
+MatrixT<T> form_q_impl(ConstMatrixViewT<T> qr, const std::vector<T>& tau,
+                       int ncols, int nref) {
   const int m = qr.rows();
   if (nref < 0) nref = static_cast<int>(tau.size());
   assert(ncols <= m);
-  Matrix q(m, ncols);
-  for (int j = 0; j < ncols && j < m; ++j) q(j, j) = 1.0;
-  MatrixView qv = q;
+  MatrixT<T> q(m, ncols);
+  for (int j = 0; j < ncols && j < m; ++j) q(j, j) = T(1);
+  MatrixViewT<T> qv = q;
   for (int p = nref - 1; p >= 0; --p)
-    apply_reflector_left(qv, p, qr.col(p), tau[p], 0, ncols);
+    apply_reflector_left<T>(qv, p, qr.col(p), tau[p], 0, ncols);
   flops::add(2ull * m * ncols * static_cast<std::uint64_t>(nref));
   return q;
 }
 
-Matrix extract_r(ConstMatrixView qr) {
+template <class T>
+MatrixT<T> extract_r_impl(ConstMatrixViewT<T> qr) {
   const int m = qr.rows(), n = qr.cols();
   const int k = m < n ? m : n;
-  Matrix r(k, n);
+  MatrixT<T> r(k, n);
   for (int j = 0; j < n; ++j)
     for (int i = 0; i <= j && i < k; ++i) r(i, j) = qr(i, j);
   return r;
 }
 
-PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank) {
+template <class T>
+PivotedQrT<T> pivoted_qr_impl(ConstMatrixViewT<T> a, double rel_tol,
+                              int max_rank) {
   const int m = a.rows(), n = a.cols();
   const int kmax0 = m < n ? m : n;
   const int kmax = (max_rank >= 0 && max_rank < kmax0) ? max_rank : kmax0;
 
-  Matrix work = Matrix::from(a);
-  MatrixView w = work;
-  std::vector<double> tau;
+  MatrixT<T> work = MatrixT<T>::from(a);
+  MatrixViewT<T> w = work;
+  std::vector<T> tau;
   tau.reserve(kmax);
-  PivotedQr out;
+  PivotedQrT<T> out;
   out.jpvt.resize(n);
   for (int j = 0; j < n; ++j) out.jpvt[j] = j;
 
   // Column norms (squared), with the classic downdate + recompute guard.
-  std::vector<double> norm2(n), norm2_ref(n);
-  double init_max = 0.0;
+  std::vector<T> norm2(n), norm2_ref(n);
+  T init_max = T(0);
   for (int j = 0; j < n; ++j) {
-    double s = 0.0;
-    const double* cj = w.col(j);
+    T s = T(0);
+    const T* cj = w.col(j);
     for (int i = 0; i < m; ++i) s += cj[i] * cj[i];
     norm2[j] = norm2_ref[j] = s;
     init_max = std::max(init_max, s);
   }
   flops::add(2ull * m * n);
-  const double stop2 =
-      (rel_tol > 0.0) ? rel_tol * rel_tol * init_max : -1.0;
+  const T stop2 = (rel_tol > 0.0)
+                      ? static_cast<T>(rel_tol * rel_tol) * init_max
+                      : T(-1);
 
   int rank = 0;
   for (int p = 0; p < kmax; ++p) {
     // Pick the remaining column with the largest norm.
     int jmax = p;
-    double vmax = norm2[p];
+    T vmax = norm2[p];
     for (int j = p + 1; j < n; ++j)
       if (norm2[j] > vmax) {
         vmax = norm2[j];
         jmax = j;
       }
-    if (vmax <= stop2 || vmax == 0.0) break;
+    if (vmax <= stop2 || vmax == T(0)) break;
     if (jmax != p) {
       for (int i = 0; i < m; ++i) std::swap(w(i, p), w(i, jmax));
       std::swap(norm2[p], norm2[jmax]);
       std::swap(norm2_ref[p], norm2_ref[jmax]);
       std::swap(out.jpvt[p], out.jpvt[jmax]);
     }
-    double* cp = w.col(p);
-    const double t = make_reflector(cp + p, m - p);
+    T* cp = w.col(p);
+    const T t = make_reflector(cp + p, m - p);
     tau.push_back(t);
-    apply_reflector_left(w, p, cp, t, p + 1, n);
+    apply_reflector_left<T>(w, p, cp, t, p + 1, n);
     ++rank;
-    // Downdate remaining column norms; recompute on cancellation.
+    // Downdate remaining column norms; recompute on cancellation. The guard
+    // threshold scales with the precision's epsilon, so fp32 recomputes as
+    // eagerly (relative to its own noise floor) as fp64 does.
+    constexpr T kGuard = std::is_same_v<T, float> ? T(1e-5) : T(1e-12);
     for (int j = p + 1; j < n; ++j) {
-      const double wp = w(p, j);
+      const T wp = w(p, j);
       norm2[j] -= wp * wp;
-      if (norm2[j] < 1e-12 * norm2_ref[j] || norm2[j] < 0.0) {
-        double s = 0.0;
-        const double* cj = w.col(j);
+      if (norm2[j] < kGuard * norm2_ref[j] || norm2[j] < T(0)) {
+        T s = T(0);
+        const T* cj = w.col(j);
         for (int i = p + 1; i < m; ++i) s += cj[i] * cj[i];
         norm2[j] = norm2_ref[j] = s;
       }
@@ -227,13 +242,41 @@ PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank) {
   flops::add(flops::geqrf(m, n));
 
   out.rank = rank;
-  out.q = form_q(w, tau, m, rank);
-  out.r = Matrix(rank, n);
+  out.q = form_q_impl<T>(w, tau, m, rank);
+  out.r = MatrixT<T>(rank, n);
   for (int j = 0; j < n; ++j)
     for (int i = 0; i < rank && i <= j; ++i) out.r(i, j) = w(i, j);
   // R is upper-trapezoidal in the pivoted ordering; rows beyond `rank` are
   // truncated (that is the low-rank approximation error).
   return out;
+}
+
+}  // namespace
+
+void householder_qr(MatrixView a, std::vector<double>& tau) {
+  householder_qr_impl<double>(a, tau);
+}
+void householder_qr(MatrixViewF a, std::vector<float>& tau) {
+  householder_qr_impl<float>(a, tau);
+}
+
+Matrix form_q(ConstMatrixView qr, const std::vector<double>& tau, int ncols,
+              int nref) {
+  return form_q_impl<double>(qr, tau, ncols, nref);
+}
+MatrixF form_q(ConstMatrixViewF qr, const std::vector<float>& tau, int ncols,
+               int nref) {
+  return form_q_impl<float>(qr, tau, ncols, nref);
+}
+
+Matrix extract_r(ConstMatrixView qr) { return extract_r_impl<double>(qr); }
+MatrixF extract_r(ConstMatrixViewF qr) { return extract_r_impl<float>(qr); }
+
+PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank) {
+  return pivoted_qr_impl<double>(a, rel_tol, max_rank);
+}
+PivotedQrF pivoted_qr(ConstMatrixViewF a, double rel_tol, int max_rank) {
+  return pivoted_qr_impl<float>(a, rel_tol, max_rank);
 }
 
 }  // namespace h2

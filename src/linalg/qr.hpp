@@ -8,16 +8,21 @@ namespace h2 {
 
 /// In-place Householder QR (LAPACK geqrf layout: R on/above the diagonal,
 /// reflector vectors below with implicit leading 1; tau holds the reflector
-/// scales).
+/// scales). The fp32 overload stores tau at the factor's own precision — the
+/// reflectors are applied in fp32 arithmetic throughout.
 void householder_qr(MatrixView a, std::vector<double>& tau);
+void householder_qr(MatrixViewF a, std::vector<float>& tau);
 
 /// Assemble the first `ncols` columns of Q from geqrf output, using the first
 /// `nref` reflectors (nref = tau.size() by default when nref < 0).
 Matrix form_q(ConstMatrixView qr, const std::vector<double>& tau, int ncols,
               int nref = -1);
+MatrixF form_q(ConstMatrixViewF qr, const std::vector<float>& tau, int ncols,
+               int nref = -1);
 
 /// Extract the upper-trapezoidal R (k x n, k = min(m,n)) from geqrf output.
 Matrix extract_r(ConstMatrixView qr);
+MatrixF extract_r(ConstMatrixViewF qr);
 
 /// Result of rank-revealing (column-pivoted) QR.
 ///
@@ -26,16 +31,23 @@ Matrix extract_r(ConstMatrixView qr);
 /// "skeleton" part U^S in the paper's notation) and the remaining m - rank
 /// columns its orthogonal complement (the "redundant" part U^R). This full
 /// square basis is exactly what the ULV factorization requires (Eqs. 2-3).
-struct PivotedQr {
-  Matrix q;               ///< m x m orthonormal [U^S U^R]
-  Matrix r;               ///< rank x n, R of the pivoted factorization
+template <class T>
+struct PivotedQrT {
+  MatrixT<T> q;           ///< m x m orthonormal [U^S U^R]
+  MatrixT<T> r;           ///< rank x n, R of the pivoted factorization
   std::vector<int> jpvt;  ///< jpvt[j] = original index of pivoted column j
   int rank = 0;
 };
+using PivotedQr = PivotedQrT<double>;
+using PivotedQrF = PivotedQrT<float>;
 
 /// Column-pivoted Householder QR truncated at `rel_tol` (relative to the
 /// largest initial column norm) and optionally capped at `max_rank`.
-/// rel_tol <= 0 keeps full numerical rank.
+/// rel_tol <= 0 keeps full numerical rank. The column-norm bookkeeping that
+/// drives pivot order runs at the element precision, so fp32 pivot choices
+/// (and hence ranks) may differ from fp64 on near-tie columns — that is part
+/// of the precision's truncation slack, not a bug.
 PivotedQr pivoted_qr(ConstMatrixView a, double rel_tol, int max_rank = -1);
+PivotedQrF pivoted_qr(ConstMatrixViewF a, double rel_tol, int max_rank = -1);
 
 }  // namespace h2

@@ -61,51 +61,87 @@ BlockPool& BlockPool::global() {
   return *pool;
 }
 
-Matrix BlockPool::make(int rows, int cols) {
+namespace {
+
+// The make/recycle bodies, generic over the element type; the free-list
+// array is passed in because the per-type lists live side by side in the
+// pool (a parked buffer's element type is part of its identity). Bytes —
+// cap, cached accounting — always use the real element size, so an fp32
+// block costs the cache exactly half its fp64 twin.
+template <class T, class Mutex, class Stats>
+MatrixT<T> pool_make(Mutex& mutex, std::vector<AlignedBufferT<T>>* buckets,
+                     int n_buckets, std::size_t& cached_bytes, Stats& stats,
+                     int rows, int cols) {
   const std::size_t n =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
-  if (n == 0) return Matrix(rows, cols);
-  AlignedBuffer storage;
+  if (n == 0) return MatrixT<T>(rows, cols);
+  AlignedBufferT<T> storage;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    std::lock_guard<std::mutex> lk(mutex);
     // A parked buffer's capacity shares the request's bit_width, so it can
     // still undershoot n within the bucket — scan for the first that fits.
-    auto& bucket = bucket_[std::min(bucket_of(n), kBuckets - 1)];
+    auto& bucket = buckets[std::min(bucket_of(n), n_buckets - 1)];
     for (std::size_t b = 0; b < bucket.size(); ++b) {
       if (bucket[b].capacity() >= n) {
         storage = std::move(bucket[b]);
         bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(b));
-        cached_bytes_ -= storage.capacity() * sizeof(double);
-        stats_.cached_bytes = cached_bytes_;
-        ++stats_.reused;
+        cached_bytes -= storage.capacity() * sizeof(T);
+        stats.cached_bytes = cached_bytes;
+        ++stats.reused;
         break;
       }
     }
-    if (storage.capacity() < n) ++stats_.fresh;
+    if (storage.capacity() < n) ++stats.fresh;
   }
-  storage.assign(n, 0.0);  // zero-filled, like Matrix(rows, cols)
-  return Matrix(rows, cols, std::move(storage));
+  storage.assign(n, T(0));  // zero-filled, like MatrixT<T>(rows, cols)
+  return MatrixT<T>(rows, cols, std::move(storage));
+}
+
+template <class T, class Mutex, class Stats>
+void pool_recycle(Mutex& mutex, std::vector<AlignedBufferT<T>>* buckets,
+                  int n_buckets, std::size_t& cached_bytes,
+                  std::size_t cap_bytes, Stats& stats, MatrixT<T>&& m) {
+  AlignedBufferT<T> storage = std::move(m).take_storage();
+  const std::size_t bytes = storage.capacity() * sizeof(T);
+  if (bytes == 0) return;
+  std::lock_guard<std::mutex> lk(mutex);
+  if (cached_bytes + bytes > cap_bytes) {
+    ++stats.dropped;
+    return;  // storage frees on scope exit — the cap bounds the cache
+  }
+  buckets[std::min(bucket_of(storage.capacity()), n_buckets - 1)].push_back(
+      std::move(storage));
+  cached_bytes += bytes;
+  stats.cached_bytes = cached_bytes;
+  ++stats.parked;
+}
+
+}  // namespace
+
+Matrix BlockPool::make(int rows, int cols) {
+  return pool_make<double>(mutex_, bucket_, kBuckets, cached_bytes_, stats_,
+                           rows, cols);
+}
+
+MatrixF BlockPool::makef(int rows, int cols) {
+  return pool_make<float>(mutex_, bucketf_, kBuckets, cached_bytes_, stats_,
+                          rows, cols);
 }
 
 void BlockPool::recycle(Matrix&& m) {
-  AlignedBuffer storage = std::move(m).take_storage();
-  const std::size_t bytes = storage.capacity() * sizeof(double);
-  if (bytes == 0) return;
-  std::lock_guard<std::mutex> lk(mutex_);
-  if (cached_bytes_ + bytes > cap_bytes_) {
-    ++stats_.dropped;
-    return;  // storage frees on scope exit — the cap bounds the cache
-  }
-  bucket_[std::min(bucket_of(storage.capacity()), kBuckets - 1)].push_back(
-      std::move(storage));
-  cached_bytes_ += bytes;
-  stats_.cached_bytes = cached_bytes_;
-  ++stats_.parked;
+  pool_recycle<double>(mutex_, bucket_, kBuckets, cached_bytes_, cap_bytes_,
+                       stats_, std::move(m));
+}
+
+void BlockPool::recycle(MatrixF&& m) {
+  pool_recycle<float>(mutex_, bucketf_, kBuckets, cached_bytes_, cap_bytes_,
+                      stats_, std::move(m));
 }
 
 void BlockPool::trim() {
   std::lock_guard<std::mutex> lk(mutex_);
   for (auto& bucket : bucket_) bucket.clear();
+  for (auto& bucket : bucketf_) bucket.clear();
   cached_bytes_ = 0;
   stats_.cached_bytes = 0;
 }

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -65,12 +66,27 @@ class BlockPool {
   static BlockPool& global();
 
   /// Zero-filled rows x cols matrix, backed by a recycled buffer when one of
-  /// a fitting size class is parked.
+  /// a fitting size class is parked. fp32 blocks park in their own free lists
+  /// (a buffer's element type is part of its identity — no reinterpreting),
+  /// but share the byte cap and the stats with the fp64 side.
   [[nodiscard]] Matrix make(int rows, int cols);
+  [[nodiscard]] MatrixF makef(int rows, int cols);
+
+  /// Precision-generic face of make()/makef() for templated callers (the
+  /// mixed-precision ULV engine allocates through this).
+  template <class T>
+  [[nodiscard]] MatrixT<T> make_as(int rows, int cols) {
+    if constexpr (std::is_same_v<T, float>) {
+      return makef(rows, cols);
+    } else {
+      return make(rows, cols);
+    }
+  }
 
   /// Park `m`'s backing storage for reuse (frees it instead when the cache
   /// cap is reached or the buffer is empty). `m` is left empty (0 x 0).
   void recycle(Matrix&& m);
+  void recycle(MatrixF&& m);
 
   /// Drop every cached buffer back to the allocator.
   void trim();
@@ -89,6 +105,7 @@ class BlockPool {
 
   mutable std::mutex mutex_;
   std::vector<AlignedBuffer> bucket_[kBuckets];
+  std::vector<AlignedBufferF> bucketf_[kBuckets];
   std::size_t cap_bytes_ = 0;
   std::size_t cached_bytes_ = 0;
   Stats stats_;

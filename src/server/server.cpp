@@ -91,6 +91,9 @@ std::uint64_t digest_options(const SolverOptions& o) {
   fnv_pod(h, o.fill_tol_factor);
   fnv_pod(h, o.fillin_augmentation);
   fnv_pod(h, o.width_stable_solve);
+  fnv_pod(h, o.precision);
+  fnv_pod(h, o.refine_tol);
+  fnv_pod(h, o.max_refine_iters);
   return h;
 }
 

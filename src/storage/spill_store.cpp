@@ -10,6 +10,7 @@
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "runtime/block_pool.hpp"
@@ -18,7 +19,8 @@ namespace h2 {
 
 namespace {
 
-/// On-disk layout of one spill file: this header, then rows*cols doubles in
+/// On-disk layout of one spill file: this header, then rows*cols elements
+/// (fp64 or fp32, whichever the slot holds — payload_bytes disambiguates) in
 /// column-major order. All fields are fixed-width and naturally aligned, so
 /// the struct has no padding and can be written/read as one block.
 struct FileHeader {
@@ -106,16 +108,21 @@ void SpillStore::fail(const std::string& what) {
   fetch_cv_.notify_all();
 }
 
-SpillStore::SlotId SpillStore::adopt(Matrix* block, std::string name) {
+template <class T>
+SpillStore::SlotId SpillStore::adopt_impl(MatrixT<T>* block, std::string name) {
   assert(block != nullptr && !block->empty());
-  const std::uint64_t bytes = 8ull *
+  const std::uint64_t bytes = sizeof(T) *
                               static_cast<std::uint64_t>(block->rows()) *
                               static_cast<std::uint64_t>(block->cols());
   std::unique_lock<std::mutex> lk(mu_);
   throw_if_failed();
   const SlotId id = static_cast<SlotId>(slots_.size());
   Slot s;
-  s.block = block;
+  if constexpr (std::is_same_v<T, float>) {
+    s.blockf = block;
+  } else {
+    s.block = block;
+  }
   s.rows = block->rows();
   s.cols = block->cols();
   s.bytes = bytes;
@@ -151,6 +158,14 @@ SpillStore::SlotId SpillStore::adopt(Matrix* block, std::string name) {
   return id;
 }
 
+SpillStore::SlotId SpillStore::adopt(Matrix* block, std::string name) {
+  return adopt_impl(block, std::move(name));
+}
+
+SpillStore::SlotId SpillStore::adopt(MatrixF* block, std::string name) {
+  return adopt_impl(block, std::move(name));
+}
+
 void SpillStore::seal(std::vector<std::vector<SlotId>> steps) {
   std::unique_lock<std::mutex> lk(mu_);
   while ((!write_q_.empty() ||
@@ -181,15 +196,21 @@ void SpillStore::quiesce() {
 void SpillStore::evict_one(SlotId id) {
   Slot& s = slots_[id];
   assert(s.state == State::kClean && s.pins == 0);
-  Matrix dead = std::move(*s.block);
-  *s.block = Matrix();
+  if (s.block != nullptr) {
+    Matrix dead = std::move(*s.block);
+    *s.block = Matrix();
+    BlockPool::global().recycle(std::move(dead));
+  } else {
+    MatrixF dead = std::move(*s.blockf);
+    *s.blockf = MatrixF();
+    BlockPool::global().recycle(std::move(dead));
+  }
   s.state = State::kSpilled;
   s.prefetched = false;
   st_.resident_bytes -= s.bytes;
   st_.evictions += 1;
   st_.evicted_bytes += s.bytes;
   blockmem::discharge(s.bytes);
-  BlockPool::global().recycle(std::move(dead));
 }
 
 void SpillStore::evict_toward(std::uint64_t target, bool sweep) {
@@ -484,7 +505,10 @@ void SpillStore::write_slot(std::unique_lock<std::mutex>& lk, SlotId id) {
   // Everything the unlocked section needs is copied out: slots_ may grow
   // (invalidating references) while the lock is dropped.
   const std::string path = file_path(id);
-  const Matrix* m = slots_[id].block;  // payload stable while kWriting
+  // Payload address stable while kWriting, whichever precision the slot holds.
+  const void* data = slots_[id].block != nullptr
+                         ? static_cast<const void*>(slots_[id].block->data())
+                         : static_cast<const void*>(slots_[id].blockf->data());
   const int rows = slots_[id].rows, cols = slots_[id].cols;
   const std::uint64_t bytes = slots_[id].bytes;
   const std::string name = slots_[id].name;
@@ -504,7 +528,7 @@ void SpillStore::write_slot(std::unique_lock<std::mutex>& lk, SlotId id) {
     h.rows = rows;
     h.cols = cols;
     h.payload_bytes = bytes;
-    h.checksum = fnv1a(m->data(), bytes);
+    h.checksum = fnv1a(data, bytes);
     FileCloser fc{std::fopen(path.c_str(), "wb")};
     if (fc.f == nullptr) {
       err = std::string("cannot open for writing: ") + std::strerror(errno);
@@ -513,9 +537,9 @@ void SpillStore::write_slot(std::unique_lock<std::mutex>& lk, SlotId id) {
     } else if (inject) {
       // Simulated ENOSPC: a partial payload lands on disk, then the write
       // fails — exactly the state a full disk leaves behind.
-      std::fwrite(m->data(), 1, bytes / 2, fc.f);
+      std::fwrite(data, 1, bytes / 2, fc.f);
       err = "No space left on device (injected fault)";
-    } else if (std::fwrite(m->data(), 1, bytes, fc.f) != bytes) {
+    } else if (std::fwrite(data, 1, bytes, fc.f) != bytes) {
       err = std::string("payload write failed: ") + std::strerror(errno);
     }
   }
@@ -541,6 +565,7 @@ void SpillStore::read_slot(std::unique_lock<std::mutex>& lk, SlotId id,
   slots_[id].state = State::kReading;
   slots_[id].prefetched = !required;
   const std::string path = file_path(id);
+  const bool is_f32 = slots_[id].blockf != nullptr;
   const int rows = slots_[id].rows, cols = slots_[id].cols;
   const std::uint64_t bytes = slots_[id].bytes;
   const std::string name = slots_[id].name;
@@ -554,7 +579,16 @@ void SpillStore::read_slot(std::unique_lock<std::mutex>& lk, SlotId id,
   lk.unlock();
 
   std::string err;
-  Matrix m = BlockPool::global().make(rows, cols);
+  Matrix m;
+  MatrixF mf;
+  void* dst = nullptr;
+  if (is_f32) {
+    mf = BlockPool::global().makef(rows, cols);
+    dst = mf.data();
+  } else {
+    m = BlockPool::global().make(rows, cols);
+    dst = m.data();
+  }
   {
     FileHeader h{};
     FileCloser fc{std::fopen(path.c_str(), "rb")};
@@ -569,11 +603,11 @@ void SpillStore::read_slot(std::unique_lock<std::mutex>& lk, SlotId id,
                h.cols != cols || h.payload_bytes != bytes) {
       err = "corrupt spill file (header does not match block)";
     } else {
-      const std::size_t got = std::fread(m.data(), 1, bytes, fc.f);
+      const std::size_t got = std::fread(dst, 1, bytes, fc.f);
       if (got != bytes) {
         err = "truncated spill file (expected " + std::to_string(bytes) +
               " payload bytes, got " + std::to_string(got) + ")";
-      } else if (fnv1a(m.data(), bytes) != h.checksum) {
+      } else if (fnv1a(dst, bytes) != h.checksum) {
         err = "checksum mismatch (corrupt spill file)";
       }
     }
@@ -589,7 +623,11 @@ void SpillStore::read_slot(std::unique_lock<std::mutex>& lk, SlotId id,
     throw std::runtime_error(msg);
   }
   Slot& s = slots_[id];
-  *s.block = std::move(m);
+  if (is_f32) {
+    *s.blockf = std::move(mf);
+  } else {
+    *s.block = std::move(m);
+  }
   s.state = State::kClean;
   blockmem::charge(bytes);
   st_.resident_bytes += bytes;

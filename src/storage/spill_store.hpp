@@ -114,8 +114,13 @@ class SpillStore {
   /// adoption itself never accumulates more than the budget plus the blocks
   /// currently in flight. `name` labels the block in error messages.
   /// The store charges the payload to blockmem; the caller must drop its own
-  /// accounting for the block before calling.
+  /// accounting for the block before calling. fp32 blocks are first-class:
+  /// a slot remembers its element type, its bytes are the real payload size
+  /// (half the fp64 twin), and spill/restore stays a pure byte move either
+  /// way — checksums, prefetch planning, and the budget policy are oblivious
+  /// to precision.
   SlotId adopt(Matrix* block, std::string name);
+  SlotId adopt(MatrixF* block, std::string name);
 
   /// Seal adoption and install the solve plan: steps[s] lists the slots step
   /// s reads (kNoSlot entries are skipped). Waits for every queued write,
@@ -182,7 +187,10 @@ class SpillStore {
   };
 
   struct Slot {
+    // Exactly one of block/blockf is set; the slot's element type (and hence
+    // its payload byte size) follows the set pointer.
     Matrix* block = nullptr;
+    MatrixF* blockf = nullptr;
     int rows = 0, cols = 0;
     std::uint64_t bytes = 0;
     std::string name;
@@ -194,6 +202,8 @@ class SpillStore {
     std::uint64_t plan_gen = 0;  // ...valid while this matches plan_gen_
   };
 
+  template <class T>
+  SlotId adopt_impl(MatrixT<T>* block, std::string name);
   void writer_main();
   void prefetch_main();
   void write_slot(std::unique_lock<std::mutex>& lk, SlotId id);

@@ -375,5 +375,72 @@ TEST(ServerApi, EmptyHandleAndBadOptionsThrow) {
                std::invalid_argument);
 }
 
+TEST(ServerCache, DigestCoversEveryNumericsOptionAndNoExecutionKnob) {
+  // Regression audit of the factorization-cache key: EVERY option that can
+  // change a solution's bits must perturb the digest (a collision would
+  // serve one configuration's answers for another), and options that only
+  // change HOW the identical bits are computed must not (an over-keyed
+  // cache silently stops amortizing). Adding a numerics field to
+  // SolverOptions without teaching digest_options about it fails here.
+  Rng rng(6);
+  const PointCloud pts = uniform_cube(256, rng);
+  const LaplaceKernel kern(1e-2);
+  Server server;
+  (void)server.acquire(pts, kern, cheap_opts());
+  std::uint64_t want_misses = 1;
+  auto expect_miss = [&](const SolverOptions& o, const char* what) {
+    (void)server.acquire(pts, kern, o);
+    ++want_misses;
+    EXPECT_EQ(server.stats().misses, want_misses) << "numerics knob '" << what
+                                                  << "' did not miss";
+  };
+  auto expect_hit = [&](const SolverOptions& o, const char* what) {
+    (void)server.acquire(pts, kern, o);
+    EXPECT_EQ(server.stats().misses, want_misses)
+        << "execution knob '" << what << "' perturbed the cache key";
+  };
+  // Numerics-relevant: each perturbation must build a new entry.
+  expect_miss(cheap_opts().with_structure(SolverStructure::HODLR), "structure");
+  expect_miss(cheap_opts().with_leaf_size(64), "leaf_size");
+  expect_miss(cheap_opts().with_partitioner(Partitioner::Morton),
+              "partitioner");
+  expect_miss(cheap_opts().with_seed(7), "seed");
+  expect_miss(cheap_opts().with_eta(1.25), "eta");
+  expect_miss(cheap_opts().with_tol(1e-5), "tol");
+  expect_miss(cheap_opts().with_build_tol_factor(5e-2), "build_tol_factor");
+  expect_miss(cheap_opts().with_max_rank(40), "max_rank");
+  expect_miss(cheap_opts().with_mode(UlvMode::Sequential), "mode");
+  {
+    SolverOptions o = cheap_opts();
+    o.fill_tol_factor = 0.5;
+    expect_miss(o, "fill_tol_factor");
+  }
+  {
+    SolverOptions o = cheap_opts();
+    o.fillin_augmentation = false;
+    expect_miss(o, "fillin_augmentation");
+  }
+  expect_miss(cheap_opts().with_precision(Precision::F32), "precision");
+  expect_miss(cheap_opts()
+                  .with_precision(Precision::F32)
+                  .with_refine_tol(1e-7),
+              "refine_tol");
+  expect_miss(cheap_opts()
+                  .with_precision(Precision::F32)
+                  .with_max_refine_iters(2),
+              "max_refine_iters");
+  // Execution-only: identical bits by the determinism contract, so the
+  // first entry must be reused.
+  expect_hit(cheap_opts().with_executor(UlvExecutor::PhaseLoops), "executor");
+  expect_hit(cheap_opts().with_solve_executor(UlvExecutor::PhaseLoops),
+             "solve_executor");
+  expect_hit(cheap_opts().with_schedule(UlvSchedule::Fifo), "schedule");
+  expect_hit(cheap_opts().with_priority(UlvPriority::None), "priority");
+  expect_hit(cheap_opts().with_workers(3), "n_workers");
+  expect_hit(cheap_opts().with_record_tasks(true), "record_tasks");
+  expect_hit(cheap_opts().with_spill_budget_mb(512.0), "spill_budget_mb");
+  expect_hit(cheap_opts().with_spill_threads(3), "spill_threads");
+}
+
 }  // namespace
 }  // namespace h2
